@@ -1,0 +1,103 @@
+// Command gengraph synthesizes graph datasets in the text formats the
+// psgraph command consumes.
+//
+// Usage:
+//
+//	gengraph -model rmat -scale 16 -edges 1000000 -out edges.txt
+//	gengraph -model sbm -vertices 10000 -classes 5 -out edges.txt -feats feats.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"psgraph/internal/gen"
+)
+
+func main() {
+	log.SetFlags(0)
+	model := flag.String("model", "rmat", "generator: rmat (power-law) or sbm (planted communities)")
+	out := flag.String("out", "edges.txt", "output edge file (src<TAB>dst[<TAB>w] lines)")
+	seed := flag.Int64("seed", 1, "random seed")
+	weighted := flag.Bool("weighted", false, "attach uniform(0,1] edge weights (rmat)")
+
+	scale := flag.Int("scale", 14, "rmat: log2 of the vertex count")
+	edges := flag.Int64("edges", 200_000, "rmat: number of edges")
+
+	vertices := flag.Int64("vertices", 10_000, "sbm: number of vertices")
+	classes := flag.Int("classes", 4, "sbm: number of planted communities")
+	intra := flag.Float64("intra", 8, "sbm: expected intra-community degree")
+	inter := flag.Float64("inter", 1, "sbm: expected inter-community degree")
+	feats := flag.String("feats", "", "sbm: also write features/labels to this file")
+	dim := flag.Int("dim", 16, "sbm: feature dimension")
+	noise := flag.Float64("noise", 1.0, "sbm: feature noise level")
+	flag.Parse()
+
+	switch *model {
+	case "rmat":
+		es := gen.RMAT(gen.RMATConfig{Scale: *scale, Edges: *edges, Weighted: *weighted, Seed: *seed})
+		if err := writeEdges(*out, es, *weighted); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d edges over 2^%d vertices to %s\n", len(es), *scale, *out)
+	case "sbm":
+		es, labels := gen.SBM(gen.SBMConfig{
+			Vertices: *vertices, Classes: *classes,
+			IntraDeg: *intra, InterDeg: *inter, Seed: *seed,
+		})
+		if err := writeEdges(*out, es, false); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d edges over %d vertices to %s\n", len(es), *vertices, *out)
+		if *feats != "" {
+			fs := gen.Features(labels, *classes, *dim, *noise, *seed+1)
+			if err := writeFeats(*feats, labels, fs); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %d feature rows (dim %d, %d classes) to %s\n",
+				len(labels), *dim, *classes, *feats)
+		}
+	default:
+		log.Fatalf("unknown model %q (rmat|sbm)", *model)
+	}
+}
+
+func writeEdges(path string, edges []gen.Edge, weighted bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<20)
+	for _, e := range edges {
+		if weighted {
+			fmt.Fprintf(w, "%d\t%d\t%g\n", e.Src, e.Dst, e.W)
+		} else {
+			fmt.Fprintf(w, "%d\t%d\n", e.Src, e.Dst)
+		}
+	}
+	return w.Flush()
+}
+
+func writeFeats(path string, labels []int, feats [][]float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<20)
+	for v := range labels {
+		fmt.Fprintf(w, "%d\t%d\t", v, labels[v])
+		for i, x := range feats[v] {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			fmt.Fprintf(w, "%.5f", x)
+		}
+		w.WriteByte('\n')
+	}
+	return w.Flush()
+}

@@ -1,0 +1,206 @@
+// Command psbench regenerates every table and figure of the PSGraph
+// paper's evaluation (Sec. V) on scaled-down synthetic workloads and
+// prints paper-reported values next to the measured ones.
+//
+// Usage:
+//
+//	psbench [-scale small|medium] [-exp all|fig6|line|table1|table2|ablation]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"psgraph/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	scaleName := flag.String("scale", "small", "dataset/resource scale preset (small|medium)")
+	exp := flag.String("exp", "all", "experiment to run (all|fig6|line|table1|table2|ablation)")
+	flag.Parse()
+
+	scale, err := bench.ScaleByName(*scaleName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("psbench: scale=%s  executors=%d servers=%d parts=%d\n",
+		scale.Name, scale.Executors, scale.Servers, scale.Parts)
+	fmt.Printf("         DS1'=2^%d vertices/%d edges  DS2'=2^%d/%d  DS3'=%d vertices\n",
+		scale.DS1Scale, scale.DS1Edges, scale.DS2Scale, scale.DS2Edges, scale.DS3Vertices)
+	fmt.Printf("         executor memory: PSGraph %dMB, GraphX %dMB (paper: 20GB vs 55GB)\n\n",
+		scale.PSGraphExecMem>>20, scale.GraphXExecMem>>20)
+
+	ok := true
+	switch *exp {
+	case "all":
+		ok = runFig6(scale) && runLine(scale) && runTable1(scale) && runTable2(scale) && runAblation(scale)
+	case "fig6":
+		ok = runFig6(scale)
+	case "line":
+		ok = runLine(scale)
+	case "table1":
+		ok = runTable1(scale)
+	case "table2":
+		ok = runTable2(scale)
+	case "ablation":
+		ok = runAblation(scale)
+	default:
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func cellString(c bench.CellResult) string {
+	if c.OOM {
+		return "OOM"
+	}
+	return fmt.Sprintf("%.2fs", c.Seconds)
+}
+
+// fig6Cell runs one PSGraph/GraphX pair and prints the row.
+func fig6Cell(name, dataset string, paperPS, paperGX string,
+	ps func() (bench.CellResult, error), gx func() (bench.CellResult, error)) bool {
+	psRes, err := ps()
+	if err != nil {
+		log.Printf("  %-16s %-5s PSGraph FAILED: %v", name, dataset, err)
+		return false
+	}
+	gxRes, err := gx()
+	if err != nil {
+		log.Printf("  %-16s %-5s GraphX FAILED: %v", name, dataset, err)
+		return false
+	}
+	ratio := "-"
+	if !psRes.OOM && !gxRes.OOM && psRes.Seconds > 0 {
+		ratio = fmt.Sprintf("%.1fx", gxRes.Seconds/psRes.Seconds)
+	}
+	fmt.Printf("  %-16s %-5s  paper: PSGraph %-5s GraphX %-5s | measured: PSGraph %-8s GraphX %-8s speedup %-6s %s\n",
+		name, dataset, paperPS, paperGX, cellString(psRes), cellString(gxRes), ratio, psRes.Extra)
+	return true
+}
+
+func runFig6(s bench.Scale) bool {
+	fmt.Println("== Fig. 6: traditional graph algorithms, PSGraph vs GraphX ==")
+	ds1 := s.DS1()
+	ds1w := s.DS1W()
+	ds2 := s.DS2()
+	ok := true
+	ok = fig6Cell("PageRank", "DS1'", "0.5h", "4h",
+		func() (bench.CellResult, error) { return s.PSGraphPageRank(ds1) },
+		func() (bench.CellResult, error) { return s.GraphXPageRank(ds1) }) && ok
+	ok = fig6Cell("PageRank", "DS2'", "7h", "OOM",
+		func() (bench.CellResult, error) { return s.PSGraphPageRank(ds2) },
+		func() (bench.CellResult, error) { return s.GraphXPageRank(ds2) }) && ok
+	ok = fig6Cell("CommonNeighbor", "DS1'", "0.5h", "1.5h",
+		func() (bench.CellResult, error) { return s.PSGraphCommonNeighbor(ds1) },
+		func() (bench.CellResult, error) { return s.GraphXCommonNeighbor(ds1) }) && ok
+	ok = fig6Cell("CommonNeighbor", "DS2'", "3.5h", "OOM",
+		func() (bench.CellResult, error) { return s.PSGraphCommonNeighbor(ds2) },
+		func() (bench.CellResult, error) { return s.GraphXCommonNeighbor(ds2) }) && ok
+	ok = fig6Cell("FastUnfolding", "DS1'", "3.5h", "10.3h",
+		func() (bench.CellResult, error) { return s.PSGraphFastUnfolding(ds1w) },
+		func() (bench.CellResult, error) { return s.GraphXFastUnfolding(ds1w) }) && ok
+	ok = fig6Cell("K-Core", "DS1'", "2h", "OOM",
+		func() (bench.CellResult, error) { return s.PSGraphKCore(ds1) },
+		func() (bench.CellResult, error) { return s.GraphXKCore(ds1) }) && ok
+	ok = fig6Cell("TriangleCount", "DS1'", "0.7h", "OOM",
+		func() (bench.CellResult, error) { return s.PSGraphTriangle(ds1) },
+		func() (bench.CellResult, error) { return s.GraphXTriangle(ds1) }) && ok
+	fmt.Println()
+	return ok
+}
+
+func runLine(s bench.Scale) bool {
+	fmt.Println("== Sec. V-B2: LINE graph embedding (paper: 40 min/epoch on DS1, dim 128; no distributed baseline) ==")
+	res, err := s.PSGraphLine(s.DS1())
+	if err != nil {
+		log.Printf("  LINE FAILED: %v", err)
+		return false
+	}
+	fmt.Printf("  LINE dim=%d on DS1': %s per epoch (reference measurement, as in the paper)\n\n",
+		s.LineDim, cellString(res))
+	return true
+}
+
+func runTable1(s bench.Scale) bool {
+	fmt.Println("== Table I: GraphSage on DS3', Euler vs PSGraph ==")
+	res, err := s.Table1()
+	if err != nil {
+		log.Printf("  Table1 FAILED: %v", err)
+		return false
+	}
+	fmt.Printf("  %-8s  paper: pre 8h      train 200s/epoch  acc 91.5%%  | measured: pre %-10v epoch %-10v acc %.1f%%\n",
+		"Euler", res.EulerPreprocess.Round(1e6), res.EulerEpochMean.Round(1e6), 100*res.EulerAccuracy)
+	fmt.Printf("  %-8s  paper: pre 12min   train 7s/epoch    acc 91.6%%  | measured: pre %-10v epoch %-10v acc %.1f%%\n",
+		"PSGraph", res.PSGraphPreprocess.Round(1e6), res.PSGraphEpochMean.Round(1e6), 100*res.PSGraphAccuracy)
+	fmt.Printf("  speedups: preprocessing %.1fx (paper 40x), per-epoch %.1fx (paper ~29x)\n\n",
+		res.EulerPreprocess.Seconds()/res.PSGraphPreprocess.Seconds(),
+		res.EulerEpochMean.Seconds()/res.PSGraphEpochMean.Seconds())
+	return true
+}
+
+func runTable2(s bench.Scale) bool {
+	fmt.Println("== Table II: failure recovery on common neighbor, DS1' ==")
+	res, err := s.Table2()
+	if err != nil {
+		log.Printf("  Table2 FAILED: %v", err)
+		return false
+	}
+	fmt.Printf("  paper:    none 30min, executor failure 35min (+17%%), PS failure 36min (+20%%)\n")
+	fmt.Printf("  measured: none %v, executor failure %v (+%.0f%%), PS failure %v (+%.0f%%)\n\n",
+		res.Baseline.Round(1e6),
+		res.ExecutorFailure.Round(1e6), 100*(res.ExecutorFailure.Seconds()/res.Baseline.Seconds()-1),
+		res.PSFailure.Round(1e6), 100*(res.PSFailure.Seconds()/res.Baseline.Seconds()-1))
+	return true
+}
+
+func runAblation(s bench.Scale) bool {
+	fmt.Println("== Ablations: the paper's design choices ==")
+	ok := true
+	mb := func(b int64) float64 { return float64(b) / (1 << 20) }
+	if sparse, full, err := s.AblationDeltaPageRank(); err == nil {
+		fmt.Printf("  Δ-threshold PageRank:    sparse %-8s %6.1fMB PS traffic | full %-8s %6.1fMB (%.1fx time, %.1fx traffic)\n",
+			cellString(sparse), mb(sparse.CommBytes), cellString(full), mb(full.CommBytes),
+			full.Seconds/sparse.Seconds, float64(full.CommBytes)/float64(sparse.CommBytes))
+	} else {
+		log.Printf("  delta ablation FAILED: %v", err)
+		ok = false
+	}
+	if vp, ep, err := s.AblationPartitioning(); err == nil {
+		fmt.Printf("  partitioning (PageRank): vertex %-8s %6.1fMB PS traffic | edge %-8s %6.1fMB (%.1fx traffic — the overhead Sec. IV-A removes)\n",
+			cellString(vp), mb(vp.CommBytes), cellString(ep), mb(ep.CommBytes),
+			float64(ep.CommBytes)/float64(vp.CommBytes))
+	} else {
+		log.Printf("  partitioning ablation FAILED: %v", err)
+		ok = false
+	}
+	if pf, pull, err := s.AblationLinePSFunc(); err == nil {
+		fmt.Printf("  LINE psFunc dot:         psFunc %-8s %6.1fMB PS traffic | pull %-8s %6.1fMB (%.1fx time, %.1fx traffic)\n",
+			cellString(pf), mb(pf.CommBytes), cellString(pull), mb(pull.CommBytes),
+			pull.Seconds/pf.Seconds, float64(pull.CommBytes)/float64(pf.CommBytes))
+	} else {
+		log.Printf("  LINE ablation FAILED: %v", err)
+		ok = false
+	}
+	if bsp, asp, err := s.AblationSync(); err == nil {
+		fmt.Printf("  BSP vs ASP (PageRank):   BSP %-8s %6.1fMB PS traffic | ASP %-8s %6.1fMB\n",
+			cellString(bsp), mb(bsp.CommBytes), cellString(asp), mb(asp.CommBytes))
+	} else {
+		log.Printf("  sync ablation FAILED: %v", err)
+		ok = false
+	}
+	if batched, single, err := s.AblationBatchPull(); err == nil {
+		fmt.Printf("  batched PS pulls (CN):   batch=1024 %-8s | batch=1 %-8s (%.1fx time)\n",
+			cellString(batched), cellString(single), single.Seconds/batched.Seconds)
+	} else {
+		log.Printf("  batch ablation FAILED: %v", err)
+		ok = false
+	}
+	fmt.Println()
+	return ok
+}

@@ -1,0 +1,398 @@
+// Command psgraph runs one PSGraph algorithm over an edge-list file, the
+// way GraphRunner does in Listing 1 of the paper: stage the input onto
+// the cluster DFS, build the PS models, run, and save the output.
+//
+// Usage:
+//
+//	psgraph -algo pagerank -input edges.txt -output ranks.txt
+//	psgraph -algo fastunfolding -input weighted.txt -output communities.txt
+//	psgraph -algo kcore -k 5 -input edges.txt
+//	psgraph -algo coreness -input edges.txt -output coreness.txt
+//	psgraph -algo triangles -input edges.txt
+//	psgraph -algo line -input edges.txt -output embeddings.txt -dim 64
+//	psgraph -algo graphsage -input edges.txt -features feats.txt -classes 4
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"os"
+	"sort"
+
+	"psgraph"
+)
+
+func main() {
+	log.SetFlags(0)
+	algo := flag.String("algo", "pagerank", "algorithm: pagerank|pagerank-asp|sssp|deepwalk|commonneighbor|labelprop|fastunfolding|kcore|coreness|triangles|line|graphsage")
+	input := flag.String("input", "", "edge-list file (src<TAB>dst[<TAB>w] lines)")
+	output := flag.String("output", "", "output file (algorithm dependent; optional)")
+	features := flag.String("features", "", "feature file for graphsage (id<TAB>label<TAB>f0,f1,...)")
+	pairsFile := flag.String("pairs", "", "candidate pair file for commonneighbor (defaults to the input edges)")
+
+	executors := flag.Int("executors", 4, "number of executors")
+	servers := flag.Int("servers", 2, "number of parameter servers")
+	parts := flag.Int("parts", 0, "RDD partitions (0 = 2x executors)")
+
+	iters := flag.Int("iters", 30, "max iterations (pagerank)")
+	k := flag.Int64("k", 3, "core order (kcore)")
+	dim := flag.Int("dim", 64, "embedding dimension (line)")
+	epochs := flag.Int("epochs", 3, "training epochs (line, graphsage)")
+	classes := flag.Int("classes", 0, "number of classes (graphsage)")
+	source := flag.Int64("source", 0, "source vertex (sssp)")
+	flag.Parse()
+
+	if *input == "" {
+		log.Fatal("psgraph: -input is required")
+	}
+
+	ctx, err := psgraph.New(psgraph.Config{
+		NumExecutors: *executors,
+		NumServers:   *servers,
+		Partitions:   *parts,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ctx.Close()
+
+	if err := stage(ctx, *input, "/in/edges.txt"); err != nil {
+		log.Fatal(err)
+	}
+	edges := psgraph.LoadEdges(ctx, "/in/edges.txt", 0)
+
+	switch *algo {
+	case "pagerank":
+		res, err := psgraph.PageRank(ctx, edges, psgraph.PageRankConfig{MaxIterations: *iters})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("converged in %d iterations over %d vertices\n", res.Iterations, res.NumVertices)
+		if *output != "" {
+			ranks, err := res.Ranks.PullAll()
+			if err != nil {
+				log.Fatal(err)
+			}
+			lines := make([]string, len(ranks))
+			for v, r := range ranks {
+				lines[v] = fmt.Sprintf("%d\t%g", v, r)
+			}
+			if err := writeLines(*output, lines); err != nil {
+				log.Fatal(err)
+			}
+		}
+
+	case "pagerank-asp":
+		res, err := psgraph.PageRankASP(ctx, edges, psgraph.PageRankConfig{MaxIterations: *iters})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ranks, err := res.Ranks.PullAll()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("asynchronous PageRank over %d vertices\n", res.NumVertices)
+		if *output != "" {
+			lines := make([]string, len(ranks))
+			for v, r := range ranks {
+				lines[v] = fmt.Sprintf("%d\t%g", v, r)
+			}
+			if err := writeLines(*output, lines); err != nil {
+				log.Fatal(err)
+			}
+		}
+
+	case "sssp":
+		// Single-source shortest paths as a vertex program with a min
+		// combiner (Sec. II-C vertex-centric model).
+		inf := math.Inf(1)
+		src := *source
+		prog := psgraph.VertexProgram{
+			Combiner: psgraph.CombineMin,
+			Init: func(v int64, outDeg int) (float64, float64, bool) {
+				if v == src {
+					return 0, 1, true
+				}
+				return inf, 0, false
+			},
+			Compute: func(v int64, outDeg int, state, combined float64) (float64, float64, bool) {
+				if combined < state {
+					return combined, combined + 1, true
+				}
+				return state, 0, false
+			},
+		}
+		res, err := psgraph.RunVertexCentric(ctx, edges, prog, psgraph.VertexCentricConfig{MaxSupersteps: *iters})
+		if err != nil {
+			log.Fatal(err)
+		}
+		dists, err := res.States.PullAll()
+		if err != nil {
+			log.Fatal(err)
+		}
+		reached := 0
+		for _, d := range dists {
+			if !math.IsInf(d, 1) {
+				reached++
+			}
+		}
+		fmt.Printf("sssp from %d: %d vertices reachable in %d supersteps\n", src, reached, res.Supersteps)
+		if *output != "" {
+			lines := make([]string, 0, len(dists))
+			for v, d := range dists {
+				if !math.IsInf(d, 1) {
+					lines = append(lines, fmt.Sprintf("%d\t%g", v, d))
+				}
+			}
+			if err := writeLines(*output, lines); err != nil {
+				log.Fatal(err)
+			}
+		}
+
+	case "commonneighbor":
+		model, err := psgraph.BuildNeighborModel(ctx, edges, true, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer model.Close(ctx)
+		pairs := edges
+		if *pairsFile != "" {
+			if err := stage(ctx, *pairsFile, "/in/pairs.txt"); err != nil {
+				log.Fatal(err)
+			}
+			pairs = psgraph.LoadEdges(ctx, "/in/pairs.txt", 0)
+		}
+		scored, err := psgraph.CommonNeighbor(ctx, model, pairs, psgraph.CommonNeighborConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, err := scored.Collect()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("scored %d pairs\n", len(rows))
+		if *output != "" {
+			lines := make([]string, len(rows))
+			for i, kv := range rows {
+				lines[i] = fmt.Sprintf("%d\t%d\t%d", kv.K.Src, kv.K.Dst, kv.V)
+			}
+			if err := writeLines(*output, lines); err != nil {
+				log.Fatal(err)
+			}
+		}
+
+	case "labelprop":
+		res, err := psgraph.LabelPropagation(ctx, edges, psgraph.LabelPropagationConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d communities after %d iterations\n", res.Communities, res.Iterations)
+		if *output != "" {
+			var vs []int64
+			for v := range res.Assignment {
+				vs = append(vs, v)
+			}
+			sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+			lines := make([]string, len(vs))
+			for i, v := range vs {
+				lines[i] = fmt.Sprintf("%d\t%d", v, res.Assignment[v])
+			}
+			if err := writeLines(*output, lines); err != nil {
+				log.Fatal(err)
+			}
+		}
+
+	case "fastunfolding":
+		res, err := psgraph.FastUnfolding(ctx, edges, psgraph.FastUnfoldingConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d communities, modularity %.4f\n", res.Communities, res.Modularity)
+		if *output != "" {
+			var vs []int64
+			for v := range res.Assignment {
+				vs = append(vs, v)
+			}
+			sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+			lines := make([]string, len(vs))
+			for i, v := range vs {
+				lines[i] = fmt.Sprintf("%d\t%d", v, res.Assignment[v])
+			}
+			if err := writeLines(*output, lines); err != nil {
+				log.Fatal(err)
+			}
+		}
+
+	case "kcore":
+		res, err := psgraph.KCore(ctx, edges, psgraph.KCoreConfig{K: *k})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d-core has %d vertices (%d peeling rounds)\n", *k, res.Survivors, res.Rounds)
+		if *output != "" {
+			lines := make([]string, len(res.Members))
+			for i, v := range res.Members {
+				lines[i] = fmt.Sprintf("%d", v)
+			}
+			if err := writeLines(*output, lines); err != nil {
+				log.Fatal(err)
+			}
+		}
+
+	case "coreness":
+		res, err := psgraph.KCoreDecompose(ctx, edges, psgraph.KCoreConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("degeneracy %d (%d peeling rounds)\n", res.MaxCore, res.Rounds)
+		if *output != "" {
+			lines := make([]string, len(res.Coreness))
+			for v, c := range res.Coreness {
+				lines[v] = fmt.Sprintf("%d\t%d", v, c)
+			}
+			if err := writeLines(*output, lines); err != nil {
+				log.Fatal(err)
+			}
+		}
+
+	case "triangles":
+		model, err := psgraph.BuildNeighborModel(ctx, edges, true, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer model.Close(ctx)
+		n, err := psgraph.TriangleCount(ctx, model, edges, psgraph.TriangleCountConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d triangles\n", n)
+
+	case "deepwalk":
+		res, err := psgraph.DeepWalk(ctx, edges, psgraph.DeepWalkConfig{Dim: *dim, Epochs: *epochs})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trained %d-dimensional DeepWalk embeddings for %d epochs\n", *dim, res.Epochs)
+		if *output != "" {
+			n, err := psgraph.NumVertices(edges)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ids := make([]int64, n)
+			for i := range ids {
+				ids[i] = int64(i)
+			}
+			embs, err := res.Embedding(ids)
+			if err != nil {
+				log.Fatal(err)
+			}
+			lines := make([]string, 0, len(embs))
+			for _, v := range ids {
+				line := fmt.Sprintf("%d", v)
+				for _, x := range embs[v] {
+					line += fmt.Sprintf("\t%.5f", x)
+				}
+				lines = append(lines, line)
+			}
+			if err := writeLines(*output, lines); err != nil {
+				log.Fatal(err)
+			}
+		}
+
+	case "line":
+		res, err := psgraph.Line(ctx, edges, psgraph.LineConfig{Dim: *dim, Epochs: *epochs})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trained %d-dimensional embeddings for %d epochs\n", *dim, res.Epochs)
+		if *output != "" {
+			n, err := psgraph.NumVertices(edges)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ids := make([]int64, n)
+			for i := range ids {
+				ids[i] = int64(i)
+			}
+			embs, err := res.Embedding(ids)
+			if err != nil {
+				log.Fatal(err)
+			}
+			lines := make([]string, 0, len(embs))
+			for _, v := range ids {
+				line := fmt.Sprintf("%d", v)
+				for _, x := range embs[v] {
+					line += fmt.Sprintf("\t%.5f", x)
+				}
+				lines = append(lines, line)
+			}
+			if err := writeLines(*output, lines); err != nil {
+				log.Fatal(err)
+			}
+		}
+
+	case "graphsage":
+		if *features == "" || *classes < 2 {
+			log.Fatal("psgraph: graphsage requires -features and -classes")
+		}
+		if err := stage(ctx, *features, "/in/feats.txt"); err != nil {
+			log.Fatal(err)
+		}
+		data, err := psgraph.GraphSagePreprocess(ctx, "/in/edges.txt", "/in/feats.txt", 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer data.Close(ctx)
+		fmt.Printf("preprocessing: %v\n", data.PreprocessTime.Round(1e6))
+		res, err := psgraph.GraphSage(ctx, data, psgraph.GraphSageConfig{
+			Classes: *classes, Epochs: *epochs,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := range res.Losses {
+			fmt.Printf("epoch %d: loss %.4f (%v)\n", i+1, res.Losses[i], res.EpochTimes[i].Round(1e6))
+		}
+		fmt.Printf("train accuracy %.1f%%, test accuracy %.1f%%\n",
+			100*res.TrainAccuracy, 100*res.TestAccuracy)
+
+	default:
+		log.Fatalf("unknown algorithm %q", *algo)
+	}
+}
+
+// stage copies a local file onto the cluster DFS.
+func stage(ctx *psgraph.Context, local, remote string) error {
+	f, err := os.Open(local)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := ctx.FS.Create(remote)
+	if _, err := io.Copy(w, f); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+func writeLines(path string, lines []string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<20)
+	for _, line := range lines {
+		w.WriteString(line)
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d lines to %s\n", len(lines), path)
+	return nil
+}

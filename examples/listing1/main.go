@@ -1,0 +1,77 @@
+// Listing 1 of the paper, in Go: a GraphRunner that creates the Spark
+// and PS contexts, loads graph data through GraphIO into a Dataset, runs
+// a GraphAlgo whose model lives on the parameter server, turns the model
+// back into a DataFrame with the relational schema, and saves it — so the
+// result flows on into the rest of a dataflow pipeline.
+//
+//	go run ./examples/listing1
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"psgraph"
+)
+
+// graphAlgo mirrors the paper's GraphAlgo class: transform takes a
+// Dataset and returns a DataFrame.
+type graphAlgo struct {
+	iterations int
+}
+
+func (a *graphAlgo) transform(ctx *psgraph.Context, dataset *psgraph.DataFrame) (*psgraph.DataFrame, error) {
+	// val edges = GraphOps.loadEdges(dataset)
+	edges, err := psgraph.EdgesOfFrame(dataset)
+	if err != nil {
+		return nil, err
+	}
+	// val model = PSContext.matrix(...); val delta = ...; model.update(delta)
+	// — PageRank manages its rank/Δ-rank vectors on the PS internally.
+	res, err := psgraph.PageRank(ctx, edges, psgraph.PageRankConfig{MaxIterations: a.iterations})
+	if err != nil {
+		return nil, err
+	}
+	// SparkContext.createDataFrame(model)
+	return psgraph.VectorFrame(ctx, res.Ranks, "rank", 0)
+}
+
+func main() {
+	// SparkContext.getOrCreate(); PSContext.getOrCreate()
+	ctx, err := psgraph.New(psgraph.Config{NumExecutors: 4, NumServers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ctx.Close()
+
+	// Stage a dataset on the DFS the way upstream pipeline stages would.
+	edges := psgraph.GenerateRMAT(psgraph.RMATConfig{Scale: 11, Edges: 20_000, Seed: 9})
+	if err := psgraph.WriteEdges(ctx, "/pipeline/edges.txt", edges, false); err != nil {
+		log.Fatal(err)
+	}
+
+	// val graph = GraphIO.load(params)
+	graph := psgraph.LoadEdgeFrame(ctx, "/pipeline/edges.txt", 0)
+
+	// val output = algo.transform(graph)
+	algo := &graphAlgo{iterations: 25}
+	output, err := algo.transform(ctx, graph)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// GraphIO.save(output) — and downstream stages keep going: here a
+	// relational filter over the result, still inside the same pipeline.
+	if err := output.Save("/pipeline/ranks", "\t"); err != nil {
+		log.Fatal(err)
+	}
+	hot := output.Filter(func(r psgraph.Row) bool { return r.Float64(1) > 3.0 })
+	n, err := hot.Count()
+	if err != nil {
+		log.Fatal(err)
+	}
+	total, _ := output.Count()
+	fmt.Printf("pipeline complete: %d vertices ranked, %d with rank > 3.0, saved to /pipeline/ranks\n",
+		total, n)
+	fmt.Printf("output schema: %v\n", output.Columns())
+}

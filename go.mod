@@ -1,0 +1,3 @@
+module psgraph
+
+go 1.24

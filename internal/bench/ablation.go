@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"psgraph/internal/core"
+	"psgraph/internal/dataflow"
+)
+
+// Ablation benchmarks isolate the design choices the paper motivates.
+// Each returns the optimized and the strawman cell so callers can report
+// the ratio.
+
+// AblationDeltaPageRank compares Δ-rank PageRank with the sparsity
+// threshold (skip negligible increments; Sec. IV-A) against full
+// propagation. Increments decay geometrically, so past the crossover
+// iteration the thresholded run ships (and eventually computes) almost
+// nothing, while full propagation keeps paying per-edge work and traffic
+// to the last iteration.
+func (s Scale) AblationDeltaPageRank() (sparse, full CellResult, err error) {
+	raw := s.DS1()
+	run := func(threshold float64) (CellResult, error) {
+		ctx, err := s.NewPSGraphContext()
+		if err != nil {
+			return CellResult{}, err
+		}
+		defer ctx.Close()
+		edges := dataflow.Parallelize(ctx.Spark, toCoreEdges(raw), s.Parts)
+		res, err := timed(func() error {
+			_, err := core.PageRank(ctx, edges, core.PageRankConfig{
+				MaxIterations: 12 * s.PRIters, Tolerance: 1e-12, DeltaThreshold: threshold,
+			})
+			return err
+		})
+		sent, recv := ctx.Agent.Comm()
+		res.CommBytes = sent + recv
+		return res, err
+	}
+	if sparse, err = run(1e-3); err != nil {
+		return
+	}
+	full, err = run(-1)
+	return
+}
+
+// AblationPartitioning compares vertex partitioning (neighbor tables via
+// groupBy) against running directly on the edge-partitioned RDD, where
+// high-degree vertices are pulled by many executors (Sec. IV-A step 1).
+func (s Scale) AblationPartitioning() (vertexPart, edgePart CellResult, err error) {
+	raw := s.DS1()
+	run := func(edgePartitioned bool) (CellResult, error) {
+		ctx, err := s.NewPSGraphContext()
+		if err != nil {
+			return CellResult{}, err
+		}
+		defer ctx.Close()
+		edges := dataflow.Parallelize(ctx.Spark, toCoreEdges(raw), s.Parts)
+		cfg := core.PageRankConfig{MaxIterations: s.PRIters, Tolerance: 1e-12}
+		res, err := timed(func() error {
+			if edgePartitioned {
+				_, err := core.PageRankEdgePartitioned(ctx, edges, cfg)
+				return err
+			}
+			_, err := core.PageRank(ctx, edges, cfg)
+			return err
+		})
+		sent, recv := ctx.Agent.Comm()
+		res.CommBytes = sent + recv
+		return res, err
+	}
+	if vertexPart, err = run(false); err != nil {
+		return
+	}
+	edgePart, err = run(true)
+	return
+}
+
+// AblationLinePSFunc compares LINE with server-side partial dot products
+// (psFunc, Sec. IV-D) against pulling whole embedding vectors to the
+// executors.
+func (s Scale) AblationLinePSFunc() (psfunc, pull CellResult, err error) {
+	raw := s.DS1()
+	run := func(pullVectors bool) (CellResult, error) {
+		ctx, err := s.NewPSGraphContext()
+		if err != nil {
+			return CellResult{}, err
+		}
+		defer ctx.Close()
+		edges := dataflow.Parallelize(ctx.Spark, toCoreEdges(raw), s.Parts)
+		res, err := timed(func() error {
+			_, err := core.Line(ctx, edges, core.LineConfig{
+				Dim: s.LineDim, Epochs: 1, Seed: s.Seed, PullVectors: pullVectors,
+			})
+			return err
+		})
+		sent, recv := ctx.Agent.Comm()
+		res.CommBytes = sent + recv
+		return res, err
+	}
+	if psfunc, err = run(false); err != nil {
+		return
+	}
+	pull, err = run(true)
+	return
+}
+
+// AblationBatchPull compares batched neighbor-table pulls against one
+// pull per pair in common neighbor — the PS-agent batching that keeps the
+// request count (and thus RPC overhead) low.
+func (s Scale) AblationBatchPull() (batched, single CellResult, err error) {
+	raw := s.DS1()
+	run := func(batchSize int) (CellResult, error) {
+		ctx, err := s.NewPSGraphContext()
+		if err != nil {
+			return CellResult{}, err
+		}
+		defer ctx.Close()
+		edges := dataflow.Parallelize(ctx.Spark, toCoreEdges(raw), s.Parts)
+		pairs := dataflow.Parallelize(ctx.Spark, toCoreEdges(s.pairWorkload(raw)), s.Parts)
+		return timed(func() error {
+			model, err := core.BuildNeighborModel(ctx, edges, true, s.Parts)
+			if err != nil {
+				return err
+			}
+			defer model.Close(ctx)
+			_, err = core.CommonNeighbor(ctx, model, pairs, core.CommonNeighborConfig{BatchSize: batchSize})
+			return err
+		})
+	}
+	if batched, err = run(1024); err != nil {
+		return
+	}
+	single, err = run(1)
+	return
+}
+
+// AblationSync compares BSP delta PageRank (barrier + commit every
+// iteration) against the ASP execution (uncoordinated sweeps). Both reach
+// the same ranks; ASP trades barrier waits for extra pending-mass traffic.
+func (s Scale) AblationSync() (bsp, asp CellResult, err error) {
+	raw := s.DS1()
+	run := func(async bool) (CellResult, error) {
+		ctx, err := s.NewPSGraphContext()
+		if err != nil {
+			return CellResult{}, err
+		}
+		defer ctx.Close()
+		edges := dataflow.Parallelize(ctx.Spark, toCoreEdges(raw), s.Parts)
+		cfg := core.PageRankConfig{MaxIterations: 4 * s.PRIters, Tolerance: 1e-9}
+		res, err := timed(func() error {
+			if async {
+				_, err := core.PageRankASP(ctx, edges, cfg)
+				return err
+			}
+			_, err := core.PageRank(ctx, edges, cfg)
+			return err
+		})
+		sent, recv := ctx.Agent.Comm()
+		res.CommBytes = sent + recv
+		return res, err
+	}
+	if bsp, err = run(false); err != nil {
+		return
+	}
+	asp, err = run(true)
+	return
+}

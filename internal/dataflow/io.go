@@ -1,0 +1,90 @@
+package dataflow
+
+import (
+	"bufio"
+	"fmt"
+	"strings"
+)
+
+// TextFile reads a DFS file as an RDD of lines using byte-range input
+// splits (Hadoop InputFormat semantics): partition p owns the lines whose
+// first byte falls in its range, so each task reads and parses only its
+// share of the file. A retried task re-reads its split from the DFS — the
+// "executor reloads graph data from HDFS and continues" behavior of
+// Sec. III-C.
+func TextFile(ctx *Context, path string, parts int) *RDD[string] {
+	if parts <= 0 {
+		parts = ctx.cfg.DefaultParallelism
+	}
+	return &RDD[string]{
+		ctx:   ctx,
+		parts: parts,
+		name:  "textFile(" + path + ")",
+		compute: func(t *Task, part int) ([]string, error) {
+			size, err := ctx.FS.Size(path)
+			if err != nil {
+				return nil, err
+			}
+			start := size * int64(part) / int64(parts)
+			end := size * int64(part+1) / int64(parts)
+			// Hadoop split semantics: a line belongs to the split holding
+			// its first byte. Readers of non-first splits open one byte
+			// early and discard one line — if start coincides with a line
+			// start, the discarded "line" is exactly the preceding
+			// newline, so nothing is lost; otherwise the partial line is
+			// dropped (its owner is the previous split, which reads lines
+			// as long as they *start* before its end).
+			readFrom := start
+			if start > 0 {
+				readFrom = start - 1
+			}
+			f, err := ctx.FS.OpenRange(path, readFrom, size-readFrom)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			br := bufio.NewReaderSize(f, 1<<16)
+			pos := readFrom
+			if start > 0 {
+				skipped, err := br.ReadBytes('\n')
+				pos += int64(len(skipped))
+				if err != nil {
+					return nil, nil // split begins inside the final line
+				}
+			}
+			var out []string
+			for pos < end {
+				line, err := br.ReadBytes('\n')
+				pos += int64(len(line))
+				if len(line) > 0 {
+					out = append(out, strings.TrimRight(string(line), "\n"))
+				}
+				if err != nil {
+					break
+				}
+			}
+			return out, nil
+		},
+	}
+}
+
+// SaveAsTextFile writes one file per partition under dir, formatting each
+// element with format.
+func SaveAsTextFile[T any](r *RDD[T], dir string, format func(T) string) error {
+	return r.ForeachPartition(func(part int, in []T) error {
+		w := r.ctx.FS.Create(fmt.Sprintf("%s/part-%05d", dir, part))
+		bw := bufio.NewWriter(w)
+		for _, x := range in {
+			if _, err := bw.WriteString(format(x)); err != nil {
+				return err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		return w.Close()
+	})
+}

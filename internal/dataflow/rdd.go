@@ -1,0 +1,364 @@
+package dataflow
+
+import (
+	"fmt"
+	"sync"
+)
+
+// node is the untyped view of an RDD used for dependency preparation:
+// before a stage runs, every upstream shuffle must be materialized.
+type node interface {
+	prepare() error
+}
+
+// RDD is a lazily evaluated, partitioned, immutable dataset. Narrow
+// transformations (Map, Filter, FlatMap) compose compute closures without
+// materializing data; wide transformations (GroupByKey, ReduceByKey, Join)
+// insert a shuffle. Actions (Collect, Count, Foreach) trigger execution on
+// the executor pool.
+type RDD[T any] struct {
+	ctx      *Context
+	parts    int
+	parents  []node
+	shuffles []*shuffleDep
+	compute  func(t *Task, part int) ([]T, error)
+	name     string
+
+	cacheMu  sync.Mutex
+	caching  bool
+	cached   [][]T
+	cachedSz []int64
+}
+
+// Context returns the RDD's execution context.
+func (r *RDD[T]) Context() *Context { return r.ctx }
+
+// NumPartitions returns the partition count.
+func (r *RDD[T]) NumPartitions() int { return r.parts }
+
+// Name returns the debug name of the RDD.
+func (r *RDD[T]) Name() string { return r.name }
+
+func (r *RDD[T]) prepare() error {
+	for _, p := range r.parents {
+		if err := p.prepare(); err != nil {
+			return err
+		}
+	}
+	for _, s := range r.shuffles {
+		if err := s.materialize(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// materialize computes partition part, honoring the cache.
+func (r *RDD[T]) materialize(t *Task, part int) ([]T, error) {
+	r.cacheMu.Lock()
+	if r.cached != nil && r.cached[part] != nil {
+		out := r.cached[part]
+		r.cacheMu.Unlock()
+		return out, nil
+	}
+	caching := r.caching
+	r.cacheMu.Unlock()
+
+	out, err := r.compute(t, part)
+	if err != nil {
+		return nil, err
+	}
+	if caching {
+		sz := estimateBytes(out)
+		// Cached partitions live on the executor that computed them, like
+		// Spark block storage.
+		if err := r.ctx.persist(t.Executor(), sz); err != nil {
+			return nil, err
+		}
+		r.cacheMu.Lock()
+		if r.cached == nil {
+			r.cached = make([][]T, r.parts)
+			r.cachedSz = make([]int64, r.parts)
+		}
+		if r.cached[part] == nil {
+			r.cached[part] = out
+			r.cachedSz[part] = sz
+		} else {
+			r.ctx.unpersist(t.Executor(), sz) // lost the race; another task cached it
+		}
+		r.cacheMu.Unlock()
+	}
+	return out, nil
+}
+
+// Cache marks the RDD for in-memory persistence: each partition is kept on
+// the executor that first computes it and charged against its budget.
+func (r *RDD[T]) Cache() *RDD[T] {
+	r.cacheMu.Lock()
+	r.caching = true
+	r.cacheMu.Unlock()
+	return r
+}
+
+// Unpersist drops cached partitions and releases executor memory.
+func (r *RDD[T]) Unpersist() {
+	r.cacheMu.Lock()
+	defer r.cacheMu.Unlock()
+	r.caching = false
+	if r.cached == nil {
+		return
+	}
+	var total int64
+	for _, sz := range r.cachedSz {
+		total += sz
+	}
+	// Memory accounting does not track which executor cached which
+	// partition; release round-robin, which keeps pool totals exact.
+	if len(r.ctx.execs) > 0 {
+		per := total / int64(len(r.ctx.execs))
+		for _, e := range r.ctx.execs {
+			r.ctx.unpersist(e.id, per)
+		}
+	}
+	r.cached = nil
+	r.cachedSz = nil
+}
+
+// Parallelize distributes data across parts partitions.
+func Parallelize[T any](ctx *Context, data []T, parts int) *RDD[T] {
+	if parts <= 0 {
+		parts = ctx.cfg.DefaultParallelism
+	}
+	n := len(data)
+	return &RDD[T]{
+		ctx:   ctx,
+		parts: parts,
+		name:  "parallelize",
+		compute: func(t *Task, part int) ([]T, error) {
+			lo := n * part / parts
+			hi := n * (part + 1) / parts
+			out := make([]T, hi-lo)
+			copy(out, data[lo:hi])
+			return out, nil
+		},
+	}
+}
+
+// Map applies f to every element.
+func Map[T, U any](r *RDD[T], f func(T) U) *RDD[U] {
+	return &RDD[U]{
+		ctx:     r.ctx,
+		parts:   r.parts,
+		parents: []node{r},
+		name:    r.name + ".map",
+		compute: func(t *Task, part int) ([]U, error) {
+			in, err := r.materialize(t, part)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]U, len(in))
+			for i, x := range in {
+				out[i] = f(x)
+			}
+			return out, nil
+		},
+	}
+}
+
+// Filter keeps the elements for which pred is true.
+func Filter[T any](r *RDD[T], pred func(T) bool) *RDD[T] {
+	return &RDD[T]{
+		ctx:     r.ctx,
+		parts:   r.parts,
+		parents: []node{r},
+		name:    r.name + ".filter",
+		compute: func(t *Task, part int) ([]T, error) {
+			in, err := r.materialize(t, part)
+			if err != nil {
+				return nil, err
+			}
+			var out []T
+			for _, x := range in {
+				if pred(x) {
+					out = append(out, x)
+				}
+			}
+			return out, nil
+		},
+	}
+}
+
+// FlatMap applies f to every element and concatenates the results.
+func FlatMap[T, U any](r *RDD[T], f func(T) []U) *RDD[U] {
+	return &RDD[U]{
+		ctx:     r.ctx,
+		parts:   r.parts,
+		parents: []node{r},
+		name:    r.name + ".flatMap",
+		compute: func(t *Task, part int) ([]U, error) {
+			in, err := r.materialize(t, part)
+			if err != nil {
+				return nil, err
+			}
+			var out []U
+			for _, x := range in {
+				out = append(out, f(x)...)
+			}
+			return out, nil
+		},
+	}
+}
+
+// MapPartitions transforms each partition as a whole. The index of the
+// partition is passed to f.
+func MapPartitions[T, U any](r *RDD[T], f func(part int, in []T) ([]U, error)) *RDD[U] {
+	return &RDD[U]{
+		ctx:     r.ctx,
+		parts:   r.parts,
+		parents: []node{r},
+		name:    r.name + ".mapPartitions",
+		compute: func(t *Task, part int) ([]U, error) {
+			in, err := r.materialize(t, part)
+			if err != nil {
+				return nil, err
+			}
+			return f(part, in)
+		},
+	}
+}
+
+// Collect gathers all partitions into one slice (partition order).
+func (r *RDD[T]) Collect() ([]T, error) {
+	if err := r.prepare(); err != nil {
+		return nil, err
+	}
+	results := make([][]T, r.parts)
+	err := r.ctx.runTasks(r.parts, func(t *Task, part int) error {
+		out, err := r.materialize(t, part)
+		if err != nil {
+			return err
+		}
+		results[part] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var all []T
+	for _, p := range results {
+		all = append(all, p...)
+	}
+	return all, nil
+}
+
+// Count returns the number of elements.
+func (r *RDD[T]) Count() (int64, error) {
+	if err := r.prepare(); err != nil {
+		return 0, err
+	}
+	counts := make([]int64, r.parts)
+	err := r.ctx.runTasks(r.parts, func(t *Task, part int) error {
+		out, err := r.materialize(t, part)
+		if err != nil {
+			return err
+		}
+		counts[part] = int64(len(out))
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	return total, nil
+}
+
+// Foreach runs f over every element for its side effects. f must be safe
+// for concurrent use across partitions.
+func (r *RDD[T]) Foreach(f func(T) error) error {
+	return r.ForeachPartition(func(part int, in []T) error {
+		for _, x := range in {
+			if err := f(x); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// ForeachPartition runs f once per partition for its side effects. This is
+// the workhorse of PSGraph algorithms: each executor processes its graph
+// partition and talks to the parameter server from inside f.
+func (r *RDD[T]) ForeachPartition(f func(part int, in []T) error) error {
+	if err := r.prepare(); err != nil {
+		return err
+	}
+	return r.ctx.runTasks(r.parts, func(t *Task, part int) error {
+		in, err := r.materialize(t, part)
+		if err != nil {
+			return err
+		}
+		return f(part, in)
+	})
+}
+
+// Reduce combines all elements with f. It returns an error if the RDD is
+// empty.
+func (r *RDD[T]) Reduce(f func(a, b T) T) (T, error) {
+	var zero T
+	all, err := r.Collect()
+	if err != nil {
+		return zero, err
+	}
+	if len(all) == 0 {
+		return zero, fmt.Errorf("dataflow: reduce of empty RDD")
+	}
+	acc := all[0]
+	for _, x := range all[1:] {
+		acc = f(acc, x)
+	}
+	return acc, nil
+}
+
+// Union concatenates two RDDs (no deduplication); partitions of b follow
+// partitions of a.
+func Union[T any](a, b *RDD[T]) *RDD[T] {
+	aParts := a.parts
+	return &RDD[T]{
+		ctx:     a.ctx,
+		parts:   a.parts + b.parts,
+		parents: []node{a, b},
+		name:    a.name + ".union(" + b.name + ")",
+		compute: func(t *Task, part int) ([]T, error) {
+			if part < aParts {
+				return a.materialize(t, part)
+			}
+			return b.materialize(t, part-aParts)
+		},
+	}
+}
+
+// Keys projects the keys of a keyed RDD.
+func Keys[K comparable, V any](r *RDD[KV[K, V]]) *RDD[K] {
+	return Map(r, func(kv KV[K, V]) K { return kv.K })
+}
+
+// Values projects the values of a keyed RDD.
+func Values[K comparable, V any](r *RDD[KV[K, V]]) *RDD[V] {
+	return Map(r, func(kv KV[K, V]) V { return kv.V })
+}
+
+// MapValues transforms values while keeping keys (and partitioning).
+func MapValues[K comparable, V, W any](r *RDD[KV[K, V]], f func(V) W) *RDD[KV[K, W]] {
+	return Map(r, func(kv KV[K, V]) KV[K, W] {
+		return KV[K, W]{K: kv.K, V: f(kv.V)}
+	})
+}
+
+// CountByKey returns the number of elements per key.
+func CountByKey[K comparable, V any](r *RDD[KV[K, V]], parts int) *RDD[KV[K, int64]] {
+	ones := MapValues(r, func(V) int64 { return 1 })
+	return ReduceByKey(ones, func(a, b int64) int64 { return a + b }, parts)
+}

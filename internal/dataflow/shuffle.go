@@ -1,0 +1,395 @@
+package dataflow
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"hash/maphash"
+	"sync"
+)
+
+// KV is the element type of keyed datasets.
+type KV[K comparable, V any] struct {
+	K K
+	V V
+}
+
+// Pair carries the two sides of a join result.
+type Pair[V, W any] struct {
+	A V
+	B W
+}
+
+// shuffleSeed makes key hashing stable within a process.
+var shuffleSeed = maphash.MakeSeed()
+
+func hashPart[K comparable](k K, parts int) int {
+	return int(maphash.Comparable(shuffleSeed, k) % uint64(parts))
+}
+
+// shuffleDep is one shuffle boundary: its map side runs once (guarded),
+// writing per-(mapPart, reducePart) gob files to the DFS; reduce tasks
+// read the files addressed to their partition.
+type shuffleDep struct {
+	ctx         *Context
+	id          int64
+	mapParts    int
+	reduceParts int
+	run         func() error
+	once        sync.Once
+	err         error
+}
+
+func (s *shuffleDep) materialize() error {
+	s.once.Do(func() { s.err = s.run() })
+	return s.err
+}
+
+func shufflePath(id int64, mapPart, reducePart int) string {
+	return fmt.Sprintf("/shuffle/%d/%05d-%05d", id, mapPart, reducePart)
+}
+
+func gobEncode[T any](v []T) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func gobDecode[T any](data []byte) ([]T, error) {
+	var out []T
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// writeShuffle creates the map side of a shuffle over parent, bucketing
+// elements by key hash. It returns the dep to attach to the reduce-side
+// RDD.
+func writeShuffle[K comparable, V any](parent *RDD[KV[K, V]], reduceParts int) *shuffleDep {
+	ctx := parent.ctx
+	dep := &shuffleDep{
+		ctx:         ctx,
+		id:          ctx.shuffleSeq.Add(1),
+		mapParts:    parent.parts,
+		reduceParts: reduceParts,
+	}
+	dep.run = func() error {
+		if err := parent.prepare(); err != nil {
+			return err
+		}
+		return ctx.runTasks(parent.parts, func(t *Task, part int) error {
+			in, err := parent.materialize(t, part)
+			if err != nil {
+				return err
+			}
+			buckets := make([][]KV[K, V], reduceParts)
+			for _, kv := range in {
+				b := hashPart(kv.K, reduceParts)
+				buckets[b] = append(buckets[b], kv)
+			}
+			for rp, bucket := range buckets {
+				data, err := gobEncode(bucket)
+				if err != nil {
+					return err
+				}
+				// The serialization buffer is transient executor memory.
+				if err := t.Alloc(int64(len(data))); err != nil {
+					return err
+				}
+				if err := ctx.FS.WriteFile(shufflePath(dep.id, part, rp), data); err != nil {
+					return err
+				}
+				t.Free(int64(len(data)))
+				ctx.statMu.Lock()
+				ctx.shuffleBytes += int64(len(data))
+				ctx.statMu.Unlock()
+			}
+			return nil
+		})
+	}
+	return dep
+}
+
+// readShufflePart loads every map output addressed to reduce partition rp
+// and streams the decoded records to consume. Decoded bytes are charged to
+// the task as transient memory (the shuffle fetch buffer) and released
+// when the function returns.
+func readShufflePart[K comparable, V any](t *Task, dep *shuffleDep, rp int, consume func(KV[K, V]) error) error {
+	var charged int64
+	defer func() { t.Free(charged) }()
+	for mp := 0; mp < dep.mapParts; mp++ {
+		data, err := dep.ctx.FS.ReadFile(shufflePath(dep.id, mp, rp))
+		if err != nil {
+			return err
+		}
+		if err := t.Alloc(int64(len(data))); err != nil {
+			return err
+		}
+		charged += int64(len(data))
+		records, err := gobDecode[KV[K, V]](data)
+		if err != nil {
+			return err
+		}
+		for _, kv := range records {
+			if err := consume(kv); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// GroupByKey shuffles the dataset so that all values of a key land in one
+// partition and groups them. The per-partition hash table is charged
+// against the executor budget — this is the memory-hungry operation that
+// blows up GraphX on large graphs.
+func GroupByKey[K comparable, V any](r *RDD[KV[K, V]], parts int) *RDD[KV[K, []V]] {
+	if parts <= 0 {
+		parts = r.ctx.cfg.DefaultParallelism
+	}
+	dep := writeShuffle(r, parts)
+	return &RDD[KV[K, []V]]{
+		ctx:      r.ctx,
+		parts:    parts,
+		parents:  []node{r},
+		shuffles: []*shuffleDep{dep},
+		name:     r.name + ".groupByKey",
+		compute: func(t *Task, part int) ([]KV[K, []V], error) {
+			groups := make(map[K][]V)
+			var tableBytes int64
+			err := readShufflePart(t, dep, part, func(kv KV[K, V]) error {
+				groups[kv.K] = append(groups[kv.K], kv.V)
+				// Charge the grouped table as it grows; 1.5x the raw data
+				// models map + slice overhead.
+				grow := estimateBytes([]V{kv.V})*3/2 + 8
+				tableBytes += grow
+				return t.Alloc(grow)
+			})
+			if err != nil {
+				return nil, err
+			}
+			out := make([]KV[K, []V], 0, len(groups))
+			for k, vs := range groups {
+				out = append(out, KV[K, []V]{K: k, V: vs})
+			}
+			// The materialized output partition coexists with the table.
+			if err := t.Alloc(estimateBytes(out)); err != nil {
+				return nil, err
+			}
+			t.Free(tableBytes)
+			return out, nil
+		},
+	}
+}
+
+// ReduceByKey shuffles with map-side combining and merges values with f.
+func ReduceByKey[K comparable, V any](r *RDD[KV[K, V]], f func(a, b V) V, parts int) *RDD[KV[K, V]] {
+	if parts <= 0 {
+		parts = r.ctx.cfg.DefaultParallelism
+	}
+	// Map-side combine before the shuffle.
+	combined := MapPartitions(r, func(part int, in []KV[K, V]) ([]KV[K, V], error) {
+		acc := make(map[K]V, len(in)/2+1)
+		for _, kv := range in {
+			if cur, ok := acc[kv.K]; ok {
+				acc[kv.K] = f(cur, kv.V)
+			} else {
+				acc[kv.K] = kv.V
+			}
+		}
+		out := make([]KV[K, V], 0, len(acc))
+		for k, v := range acc {
+			out = append(out, KV[K, V]{K: k, V: v})
+		}
+		return out, nil
+	})
+	combined.name = r.name + ".combine"
+	dep := writeShuffle(combined, parts)
+	return &RDD[KV[K, V]]{
+		ctx:      r.ctx,
+		parts:    parts,
+		parents:  []node{combined},
+		shuffles: []*shuffleDep{dep},
+		name:     r.name + ".reduceByKey",
+		compute: func(t *Task, part int) ([]KV[K, V], error) {
+			acc := make(map[K]V)
+			var tableBytes int64
+			err := readShufflePart(t, dep, part, func(kv KV[K, V]) error {
+				if cur, ok := acc[kv.K]; ok {
+					acc[kv.K] = f(cur, kv.V)
+					return nil
+				}
+				acc[kv.K] = kv.V
+				grow := estimateBytes([]V{kv.V}) + 16
+				tableBytes += grow
+				return t.Alloc(grow)
+			})
+			if err != nil {
+				return nil, err
+			}
+			out := make([]KV[K, V], 0, len(acc))
+			for k, v := range acc {
+				out = append(out, KV[K, V]{K: k, V: v})
+			}
+			if err := t.Alloc(estimateBytes(out)); err != nil {
+				return nil, err
+			}
+			t.Free(tableBytes)
+			return out, nil
+		},
+	}
+}
+
+// Join computes the inner join of two keyed datasets. Both sides are
+// shuffled; the reduce task builds a hash table of the left side and
+// streams the right side through it. The build table plus the emitted
+// pairs are charged to the executor — joining two large tables is
+// exactly where GraphX runs out of memory (Sec. I).
+func Join[K comparable, V, W any](a *RDD[KV[K, V]], b *RDD[KV[K, W]], parts int) *RDD[KV[K, Pair[V, W]]] {
+	if parts <= 0 {
+		parts = a.ctx.cfg.DefaultParallelism
+	}
+	depA := writeShuffle(a, parts)
+	depB := writeShuffle(b, parts)
+	return &RDD[KV[K, Pair[V, W]]]{
+		ctx:      a.ctx,
+		parts:    parts,
+		parents:  []node{a, b},
+		shuffles: []*shuffleDep{depA, depB},
+		name:     a.name + ".join(" + b.name + ")",
+		compute: func(t *Task, part int) ([]KV[K, Pair[V, W]], error) {
+			build := make(map[K][]V)
+			var tableBytes int64
+			err := readShufflePart(t, depA, part, func(kv KV[K, V]) error {
+				build[kv.K] = append(build[kv.K], kv.V)
+				grow := estimateBytes([]V{kv.V})*3/2 + 8
+				tableBytes += grow
+				return t.Alloc(grow)
+			})
+			if err != nil {
+				return nil, err
+			}
+			var out []KV[K, Pair[V, W]]
+			err = readShufflePart(t, depB, part, func(kv KV[K, W]) error {
+				vs, ok := build[kv.K]
+				if !ok {
+					return nil
+				}
+				for _, v := range vs {
+					out = append(out, KV[K, Pair[V, W]]{K: kv.K, V: Pair[V, W]{A: v, B: kv.V}})
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			// Charge the full materialized join output: rows replicate the
+			// build-side values (e.g. whole adjacency arrays), which is
+			// where join-based graph processing spends its memory.
+			if err := t.Alloc(estimateBytes(out)); err != nil {
+				return nil, err
+			}
+			t.Free(tableBytes)
+			return out, nil
+		},
+	}
+}
+
+// LeftOuter is one row of a left outer join: B/Has are the right side.
+type LeftOuter[V, W any] struct {
+	A   V
+	B   W
+	Has bool
+}
+
+// LeftJoin computes the left outer join of two keyed datasets. Every left
+// row appears exactly once per matching right row, or once with Has=false
+// when the key has no right rows (right sides with duplicate keys emit
+// multiple rows).
+func LeftJoin[K comparable, V, W any](a *RDD[KV[K, V]], b *RDD[KV[K, W]], parts int) *RDD[KV[K, LeftOuter[V, W]]] {
+	if parts <= 0 {
+		parts = a.ctx.cfg.DefaultParallelism
+	}
+	depA := writeShuffle(a, parts)
+	depB := writeShuffle(b, parts)
+	return &RDD[KV[K, LeftOuter[V, W]]]{
+		ctx:      a.ctx,
+		parts:    parts,
+		parents:  []node{a, b},
+		shuffles: []*shuffleDep{depA, depB},
+		name:     a.name + ".leftJoin(" + b.name + ")",
+		compute: func(t *Task, part int) ([]KV[K, LeftOuter[V, W]], error) {
+			right := make(map[K][]W)
+			var tableBytes int64
+			err := readShufflePart(t, depB, part, func(kv KV[K, W]) error {
+				right[kv.K] = append(right[kv.K], kv.V)
+				grow := estimateBytes([]W{kv.V})*3/2 + 8
+				tableBytes += grow
+				return t.Alloc(grow)
+			})
+			if err != nil {
+				return nil, err
+			}
+			var out []KV[K, LeftOuter[V, W]]
+			err = readShufflePart(t, depA, part, func(kv KV[K, V]) error {
+				ws, ok := right[kv.K]
+				if !ok {
+					out = append(out, KV[K, LeftOuter[V, W]]{K: kv.K, V: LeftOuter[V, W]{A: kv.V}})
+					return nil
+				}
+				for _, w := range ws {
+					out = append(out, KV[K, LeftOuter[V, W]]{K: kv.K, V: LeftOuter[V, W]{A: kv.V, B: w, Has: true}})
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := t.Alloc(estimateBytes(out)); err != nil {
+				return nil, err
+			}
+			t.Free(tableBytes)
+			return out, nil
+		},
+	}
+}
+
+// PartitionBy re-distributes a keyed dataset by key hash into parts
+// partitions (a pure shuffle with no grouping).
+func PartitionBy[K comparable, V any](r *RDD[KV[K, V]], parts int) *RDD[KV[K, V]] {
+	if parts <= 0 {
+		parts = r.ctx.cfg.DefaultParallelism
+	}
+	dep := writeShuffle(r, parts)
+	return &RDD[KV[K, V]]{
+		ctx:      r.ctx,
+		parts:    parts,
+		parents:  []node{r},
+		shuffles: []*shuffleDep{dep},
+		name:     r.name + ".partitionBy",
+		compute: func(t *Task, part int) ([]KV[K, V], error) {
+			var out []KV[K, V]
+			err := readShufflePart(t, dep, part, func(kv KV[K, V]) error {
+				out = append(out, kv)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			return out, nil
+		},
+	}
+}
+
+// Distinct removes duplicate elements (via a shuffle on the element).
+func Distinct[T comparable](r *RDD[T], parts int) *RDD[T] {
+	keyed := Map(r, func(x T) KV[T, struct{}] { return KV[T, struct{}]{K: x} })
+	keyed.name = r.name + ".keyed"
+	grouped := ReduceByKey(keyed, func(a, b struct{}) struct{} { return a }, parts)
+	out := Map(grouped, func(kv KV[T, struct{}]) T { return kv.K })
+	out.name = r.name + ".distinct"
+	return out
+}

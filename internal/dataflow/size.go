@@ -1,0 +1,38 @@
+package dataflow
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// estimateBytes approximates the in-memory footprint of items by
+// gob-encoding a small sample and extrapolating. It is used wherever the
+// engine charges memory for materialized data (cached partitions, shuffle
+// tables). Encoding cost stays negligible because at most sampleN elements
+// are serialized regardless of slice length.
+func estimateBytes[T any](items []T) int64 {
+	const sampleN = 16
+	n := len(items)
+	if n == 0 {
+		return 0
+	}
+	sample := items
+	if n > sampleN {
+		// Evenly spaced sample: consecutive rows can be badly unrepresentative
+		// (e.g. a hub vertex's adjacency followed by leaves).
+		sample = make([]T, sampleN)
+		for i := 0; i < sampleN; i++ {
+			sample[i] = items[i*n/sampleN]
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(sample); err != nil {
+		// Unencodable types fall back to a flat per-element estimate.
+		return int64(n) * 32
+	}
+	per := int64(buf.Len()) / int64(len(sample))
+	if per < 8 {
+		per = 8
+	}
+	return per * int64(n)
+}

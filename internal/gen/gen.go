@@ -1,0 +1,248 @@
+// Package gen synthesizes the graph workloads of the paper's evaluation.
+//
+// The paper uses three proprietary Tencent datasets (DS1: 0.8B vertices /
+// 11B edges, DS2: 2B/140B, DS3: 30M/100M with vertex features and labels
+// from a WeChat Pay application). Those graphs are unavailable, so this
+// package generates scaled-down substitutes that preserve the properties
+// the experiments depend on: power-law degree distributions (R-MAT) with
+// the same relative DS2:DS1 proportions, and for DS3 a stochastic block
+// model with class-correlated features so a GNN has signal to learn.
+package gen
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"psgraph/internal/dfs"
+)
+
+// Edge is one generated edge.
+type Edge struct {
+	Src, Dst int64
+	W        float64
+}
+
+// RMATConfig parameterizes the recursive-matrix generator of Chakrabarti
+// et al., the standard synthetic model for power-law web/social graphs
+// (also used by Graph500).
+type RMATConfig struct {
+	// Scale is log2 of the number of vertices.
+	Scale int
+	// Edges is the number of edges to generate.
+	Edges int64
+	// A, B, C are the recursive quadrant probabilities (D = 1-A-B-C).
+	// Zero values default to the Graph500 parameters (0.57, 0.19, 0.19).
+	A, B, C float64
+	// Weighted assigns uniform(0,1] edge weights; otherwise W=1.
+	Weighted bool
+	Seed     int64
+}
+
+// RMAT generates a power-law directed multigraph. Self-loops are skipped.
+func RMAT(cfg RMATConfig) []Edge {
+	if cfg.A == 0 && cfg.B == 0 && cfg.C == 0 {
+		cfg.A, cfg.B, cfg.C = 0.57, 0.19, 0.19
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := int64(1) << cfg.Scale
+	out := make([]Edge, 0, cfg.Edges)
+	for int64(len(out)) < cfg.Edges {
+		var src, dst int64
+		for bit := cfg.Scale - 1; bit >= 0; bit-- {
+			r := rng.Float64()
+			switch {
+			case r < cfg.A:
+				// top-left: no bits set
+			case r < cfg.A+cfg.B:
+				dst |= 1 << bit
+			case r < cfg.A+cfg.B+cfg.C:
+				src |= 1 << bit
+			default:
+				src |= 1 << bit
+				dst |= 1 << bit
+			}
+		}
+		if src == dst {
+			src, dst = 0, 0
+			continue
+		}
+		w := 1.0
+		if cfg.Weighted {
+			w = rng.Float64() + 1e-9
+		}
+		out = append(out, Edge{Src: src % n, Dst: dst % n, W: w})
+		src, dst = 0, 0
+	}
+	return out
+}
+
+// SBMConfig parameterizes a stochastic block model: Classes planted
+// communities where intra-community edges are denser than inter ones.
+type SBMConfig struct {
+	Vertices int64
+	Classes  int
+	// IntraDeg / InterDeg are the expected number of intra- and
+	// inter-community edges per vertex.
+	IntraDeg float64
+	InterDeg float64
+	Seed     int64
+}
+
+// SBM generates a planted-partition graph and the class label of every
+// vertex (vertex id → label = id % Classes rotated through a permutation
+// so labels are not trivially recoverable from ids).
+func SBM(cfg SBMConfig) ([]Edge, []int) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.Vertices
+	labels := make([]int, n)
+	// Random class assignment.
+	for i := range labels {
+		labels[i] = rng.Intn(cfg.Classes)
+	}
+	// Bucket vertices by class for intra-edge sampling.
+	byClass := make([][]int64, cfg.Classes)
+	for v := int64(0); v < n; v++ {
+		c := labels[v]
+		byClass[c] = append(byClass[c], v)
+	}
+	var edges []Edge
+	for v := int64(0); v < n; v++ {
+		c := labels[v]
+		nIntra := poisson(rng, cfg.IntraDeg)
+		for i := 0; i < nIntra; i++ {
+			peers := byClass[c]
+			u := peers[rng.Intn(len(peers))]
+			if u != v {
+				edges = append(edges, Edge{Src: v, Dst: u, W: 1})
+			}
+		}
+		nInter := poisson(rng, cfg.InterDeg)
+		for i := 0; i < nInter; i++ {
+			u := rng.Int63n(n)
+			if u != v && labels[u] != c {
+				edges = append(edges, Edge{Src: v, Dst: u, W: 1})
+			}
+		}
+	}
+	return edges, labels
+}
+
+// poisson samples from Poisson(lambda) by inversion (lambda is small).
+func poisson(rng *rand.Rand, lambda float64) int {
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Features synthesizes a dim-dimensional feature vector per vertex: the
+// class centroid (a fixed random unit direction per class) plus Gaussian
+// noise. noise controls how informative raw features are — higher noise
+// forces the GNN to rely on neighborhood aggregation.
+func Features(labels []int, classes, dim int, noise float64, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	centroids := make([][]float64, classes)
+	for c := range centroids {
+		v := make([]float64, dim)
+		var norm float64
+		for i := range v {
+			v[i] = rng.NormFloat64()
+			norm += v[i] * v[i]
+		}
+		norm = math.Sqrt(norm)
+		for i := range v {
+			v[i] /= norm
+		}
+		centroids[c] = v
+	}
+	out := make([][]float64, len(labels))
+	for v, c := range labels {
+		f := make([]float64, dim)
+		for i := range f {
+			f[i] = centroids[c][i] + rng.NormFloat64()*noise
+		}
+		out[v] = f
+	}
+	return out
+}
+
+// WriteEdgesText writes edges as "src<TAB>dst[<TAB>w]" lines, the input
+// format the paper assumes on HDFS (Sec. IV).
+func WriteEdgesText(fs *dfs.FS, path string, edges []Edge, weighted bool) error {
+	w := fs.Create(path)
+	bw := bufio.NewWriterSize(w, 1<<20)
+	for _, e := range edges {
+		var err error
+		if weighted {
+			_, err = fmt.Fprintf(bw, "%d\t%d\t%g\n", e.Src, e.Dst, e.W)
+		} else {
+			_, err = fmt.Fprintf(bw, "%d\t%d\n", e.Src, e.Dst)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// WriteFeaturesText writes "id<TAB>label<TAB>f0,f1,..." lines.
+func WriteFeaturesText(fs *dfs.FS, path string, labels []int, feats [][]float64) error {
+	w := fs.Create(path)
+	bw := bufio.NewWriterSize(w, 1<<20)
+	for v := range labels {
+		fmt.Fprintf(bw, "%d\t%d\t", v, labels[v])
+		for i, x := range feats[v] {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			fmt.Fprintf(bw, "%.5f", x)
+		}
+		bw.WriteByte('\n')
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// SamplePairs draws n distinct-endpoint candidate pairs for the common
+// neighbor workload, biased toward pairs at distance two by sampling a
+// random edge and a random neighbor of its endpoint when possible.
+func SamplePairs(edges []Edge, n int, seed int64) []Edge {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Edge, 0, n)
+	for len(out) < n {
+		e := edges[rng.Intn(len(edges))]
+		f := edges[rng.Intn(len(edges))]
+		a, b := e.Src, f.Dst
+		if a != b {
+			out = append(out, Edge{Src: a, Dst: b, W: 1})
+		}
+	}
+	return out
+}
+
+// MaxVertexID returns max(src, dst) over all edges.
+func MaxVertexID(edges []Edge) int64 {
+	var m int64
+	for _, e := range edges {
+		if e.Src > m {
+			m = e.Src
+		}
+		if e.Dst > m {
+			m = e.Dst
+		}
+	}
+	return m
+}

@@ -1,0 +1,170 @@
+package gen
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"psgraph/internal/dfs"
+)
+
+func TestRMATDeterministic(t *testing.T) {
+	cfg := RMATConfig{Scale: 8, Edges: 1000, Seed: 42}
+	a := RMAT(cfg)
+	b := RMAT(cfg)
+	if len(a) != 1000 || len(b) != 1000 {
+		t.Fatalf("lens = %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRMATNoSelfLoopsAndInRange(t *testing.T) {
+	edges := RMAT(RMATConfig{Scale: 6, Edges: 2000, Seed: 1})
+	n := int64(1) << 6
+	for _, e := range edges {
+		if e.Src == e.Dst {
+			t.Fatalf("self loop: %v", e)
+		}
+		if e.Src < 0 || e.Src >= n || e.Dst < 0 || e.Dst >= n {
+			t.Fatalf("out of range: %v", e)
+		}
+		if e.W != 1 {
+			t.Fatalf("unweighted edge has W=%v", e.W)
+		}
+	}
+}
+
+func TestRMATPowerLawSkew(t *testing.T) {
+	// R-MAT with Graph500 parameters must produce a skewed out-degree
+	// distribution: the top-1% of vertices should own far more than 1% of
+	// the edges.
+	edges := RMAT(RMATConfig{Scale: 12, Edges: 50000, Seed: 7})
+	deg := map[int64]int{}
+	for _, e := range edges {
+		deg[e.Src]++
+	}
+	degs := make([]int, 0, len(deg))
+	for _, d := range deg {
+		degs = append(degs, d)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degs)))
+	top := len(degs) / 100
+	if top == 0 {
+		top = 1
+	}
+	var topSum, total int
+	for i, d := range degs {
+		total += d
+		if i < top {
+			topSum += d
+		}
+	}
+	if float64(topSum) < 0.05*float64(total) {
+		t.Fatalf("degree distribution not skewed: top 1%% owns %d/%d", topSum, total)
+	}
+}
+
+func TestRMATWeighted(t *testing.T) {
+	edges := RMAT(RMATConfig{Scale: 6, Edges: 100, Weighted: true, Seed: 3})
+	for _, e := range edges {
+		if e.W <= 0 || e.W > 1.01 {
+			t.Fatalf("weight out of range: %v", e.W)
+		}
+	}
+}
+
+func TestSBMCommunityStructure(t *testing.T) {
+	edges, labels := SBM(SBMConfig{Vertices: 2000, Classes: 4, IntraDeg: 8, InterDeg: 1, Seed: 5})
+	if len(labels) != 2000 {
+		t.Fatalf("labels = %d", len(labels))
+	}
+	var intra, inter int
+	for _, e := range edges {
+		if labels[e.Src] == labels[e.Dst] {
+			intra++
+		} else {
+			inter++
+		}
+	}
+	if intra < 4*inter {
+		t.Fatalf("intra=%d inter=%d: insufficient community structure", intra, inter)
+	}
+}
+
+func TestFeaturesClassSeparation(t *testing.T) {
+	labels := []int{0, 0, 1, 1, 2, 2}
+	feats := Features(labels, 3, 16, 0.1, 9)
+	dist := func(a, b []float64) float64 {
+		var s float64
+		for i := range a {
+			d := a[i] - b[i]
+			s += d * d
+		}
+		return math.Sqrt(s)
+	}
+	sameClass := dist(feats[0], feats[1])
+	diffClass := dist(feats[0], feats[2])
+	if sameClass >= diffClass {
+		t.Fatalf("same-class distance %v >= cross-class %v", sameClass, diffClass)
+	}
+}
+
+func TestWriteEdgesText(t *testing.T) {
+	fs := dfs.NewDefault()
+	edges := []Edge{{Src: 1, Dst: 2, W: 1}, {Src: 3, Dst: 4, W: 0.5}}
+	if err := WriteEdgesText(fs, "/e.txt", edges, false); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := fs.ReadFile("/e.txt")
+	if string(data) != "1\t2\n3\t4\n" {
+		t.Fatalf("got %q", data)
+	}
+	if err := WriteEdgesText(fs, "/w.txt", edges, true); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = fs.ReadFile("/w.txt")
+	if !strings.Contains(string(data), "3\t4\t0.5") {
+		t.Fatalf("got %q", data)
+	}
+}
+
+func TestWriteFeaturesText(t *testing.T) {
+	fs := dfs.NewDefault()
+	labels := []int{1, 0}
+	feats := [][]float64{{0.5, -1}, {2, 3}}
+	if err := WriteFeaturesText(fs, "/f.txt", labels, feats); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := fs.ReadFile("/f.txt")
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if !strings.HasPrefix(lines[0], "0\t1\t0.50000,-1.00000") {
+		t.Fatalf("line 0 = %q", lines[0])
+	}
+}
+
+func TestSamplePairs(t *testing.T) {
+	edges := RMAT(RMATConfig{Scale: 6, Edges: 500, Seed: 11})
+	pairs := SamplePairs(edges, 100, 1)
+	if len(pairs) != 100 {
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	for _, p := range pairs {
+		if p.Src == p.Dst {
+			t.Fatalf("degenerate pair %v", p)
+		}
+	}
+}
+
+func TestMaxVertexID(t *testing.T) {
+	if got := MaxVertexID([]Edge{{Src: 5, Dst: 2}, {Src: 1, Dst: 9}}); got != 9 {
+		t.Fatalf("max = %d", got)
+	}
+}

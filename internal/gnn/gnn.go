@@ -1,0 +1,173 @@
+// Package gnn holds the GraphSage network definition shared by PSGraph
+// and the Euler baseline, so that the Table I accuracy comparison is
+// between systems, not between models. The payload types are flat
+// buffers and index arrays — the form data takes when crossing PSGraph's
+// JVM→C++ (JNI) boundary.
+package gnn
+
+import (
+	"math"
+	"math/rand"
+
+	"psgraph/internal/tensor"
+)
+
+// Batch is one GraphSage mini-batch in boundary form.
+type Batch struct {
+	// X is the row-major feature matrix of every vertex the batch
+	// touches (batch ∪ 1-hop samples ∪ 2-hop samples).
+	X        []float64
+	NumNodes int
+	Dim      int
+
+	// Layer-1 evaluation set: h1 is computed for these rows of X.
+	Self1 []int32   // row of X for each layer-1 vertex
+	Nbrs1 [][]int32 // rows of X aggregated for each layer-1 vertex
+
+	// Layer-2 (output) set: logits are computed for these rows of h1.
+	Self2 []int32   // row of h1 for each output vertex
+	Nbrs2 [][]int32 // rows of h1 aggregated for each output vertex
+
+	// Labels of the output vertices; nil for inference.
+	Labels []int32
+
+	// Aggregator selects "mean" or "pool".
+	Aggregator string
+}
+
+// Result carries the outputs back across the boundary.
+type Result struct {
+	Loss   float64
+	Preds  []int32
+	GradW1 []float64 // nil for inference
+	GradW2 []float64
+	// GradL1 / GradL2 carry the LSTM aggregator gradients when RunLSTM
+	// produced the result; zero-valued otherwise.
+	GradL1  LSTMParams
+	GradL2  LSTMParams
+	Correct int
+}
+
+// Run executes forward (and backward when labels are present) of the
+// 2-layer GraphSage network
+//
+//	h1_v = σ(W1ᵀ · concat(x_v, AGG{x_u : u ∈ N(v)}))
+//	z_v  = W2ᵀ · concat(h1_v, AGG{h1_u : u ∈ N(v)})
+//
+// with σ = ReLU and AGG ∈ {mean, max-pool}. w1 is (2·Dim)×hidden, w2 is
+// (2·hidden)×classes, both row-major.
+func Run(b Batch, w1, w2 []float64, hidden, classes int) Result {
+	x := tensor.Const(tensor.FromData(b.NumNodes, b.Dim, b.X))
+	W1 := tensor.Param(tensor.FromData(2*b.Dim, hidden, append([]float64(nil), w1...)))
+	W2 := tensor.Param(tensor.FromData(2*hidden, classes, append([]float64(nil), w2...)))
+
+	agg := tensor.SegmentMean
+	if b.Aggregator == "pool" {
+		agg = tensor.SegmentMaxPool
+	}
+
+	self1 := tensor.GatherRows(x, toInts(b.Self1))
+	agg1 := agg(x, toSegs(b.Nbrs1))
+	h1 := tensor.ReLU(tensor.MatMul(tensor.ConcatCols(self1, agg1), W1))
+
+	self2 := tensor.GatherRows(h1, toInts(b.Self2))
+	agg2 := agg(h1, toSegs(b.Nbrs2))
+	logits := tensor.MatMul(tensor.ConcatCols(self2, agg2), W2)
+
+	if b.Labels == nil {
+		preds := make([]int32, logits.T.Rows)
+		for r := 0; r < logits.T.Rows; r++ {
+			row := logits.T.Row(r)
+			best := 0
+			for c, val := range row {
+				if val > row[best] {
+					best = c
+				}
+			}
+			preds[r] = int32(best)
+		}
+		return Result{Preds: preds}
+	}
+
+	labels := toInts(b.Labels)
+	loss, preds := tensor.SoftmaxCrossEntropy(logits, labels)
+	tensor.Backward(loss)
+	correct := 0
+	p32 := make([]int32, len(preds))
+	for i, p := range preds {
+		p32[i] = int32(p)
+		if p == labels[i] {
+			correct++
+		}
+	}
+	return Result{
+		Loss:    loss.T.Data[0],
+		Preds:   p32,
+		GradW1:  W1.Grad.Data,
+		GradW2:  W2.Grad.Data,
+		Correct: correct,
+	}
+}
+
+func toInts(xs []int32) []int {
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[i] = int(x)
+	}
+	return out
+}
+
+func toSegs(segs [][]int32) [][]int {
+	out := make([][]int, len(segs))
+	for i, s := range segs {
+		out[i] = toInts(s)
+	}
+	return out
+}
+
+// XavierFlat returns Glorot-uniform initial weights for a rows×cols
+// matrix, flattened row-major.
+func XavierFlat(rows, cols int, rng *rand.Rand) []float64 {
+	return tensor.Xavier(rows, cols, rng).Data
+}
+
+// Adam is a local (non-PS) Adam optimizer over a flat parameter vector,
+// used by baselines that keep weights in the trainer process.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	step                  int
+	m, v                  []float64
+}
+
+// NewAdam returns an Adam optimizer with standard betas.
+func NewAdam(lr float64, size int) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, m: make([]float64, size), v: make([]float64, size)}
+}
+
+// Step applies one update of grad to params in place.
+func (a *Adam) Step(params, grad []float64) {
+	a.step++
+	b1c := 1 - math.Pow(a.Beta1, float64(a.step))
+	b2c := 1 - math.Pow(a.Beta2, float64(a.step))
+	for i, g := range grad {
+		a.m[i] = a.Beta1*a.m[i] + (1-a.Beta1)*g
+		a.v[i] = a.Beta2*a.v[i] + (1-a.Beta2)*g*g
+		params[i] -= a.LR * (a.m[i] / b1c) / (math.Sqrt(a.v[i]/b2c) + a.Eps)
+	}
+}
+
+// SampleK draws min(k, len(ns)) distinct elements uniformly.
+func SampleK(ns []int64, k int, rng *rand.Rand) []int64 {
+	if len(ns) <= k {
+		out := make([]int64, len(ns))
+		copy(out, ns)
+		return out
+	}
+	cp := make([]int64, len(ns))
+	copy(cp, ns)
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(len(cp)-i)
+		cp[i], cp[j] = cp[j], cp[i]
+	}
+	return cp[:k]
+}

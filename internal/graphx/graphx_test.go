@@ -1,0 +1,328 @@
+package graphx
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"psgraph/internal/dataflow"
+	"psgraph/internal/dfs"
+)
+
+func newCtx() *dataflow.Context {
+	return dataflow.NewContext(dfs.NewDefault(), dataflow.Config{NumExecutors: 3})
+}
+
+// ringEdges returns a directed cycle 0→1→…→n-1→0.
+func ringEdges(n int) []Edge {
+	out := make([]Edge, n)
+	for i := 0; i < n; i++ {
+		out[i] = Edge{Src: int64(i), Dst: int64((i + 1) % n)}
+	}
+	return out
+}
+
+func TestFromEdgesDerivesVertices(t *testing.T) {
+	ctx := newCtx()
+	g := FromEdges(dataflow.Parallelize(ctx, ringEdges(5), 2), 0.0, 2)
+	vs, err := g.Vertices.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 5 {
+		t.Fatalf("vertices = %d", len(vs))
+	}
+}
+
+func TestOutDegrees(t *testing.T) {
+	ctx := newCtx()
+	edges := dataflow.Parallelize(ctx, []Edge{
+		{Src: 1, Dst: 2}, {Src: 1, Dst: 3}, {Src: 2, Dst: 3},
+	}, 2)
+	degs, err := OutDegrees(edges, 2).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := map[int64]int64{}
+	for _, kv := range degs {
+		m[kv.K] = kv.V
+	}
+	if m[1] != 2 || m[2] != 1 {
+		t.Fatalf("degrees = %v", m)
+	}
+}
+
+func TestPageRankUniformOnRing(t *testing.T) {
+	// On a directed ring every vertex must have rank exactly 1.
+	ctx := newCtx()
+	edges := dataflow.Parallelize(ctx, ringEdges(10), 3)
+	ranks, err := PageRank(edges, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ranks.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("ranks = %d", len(got))
+	}
+	for _, kv := range got {
+		if math.Abs(kv.V-1.0) > 1e-9 {
+			t.Fatalf("rank[%d] = %v, want 1", kv.K, kv.V)
+		}
+	}
+}
+
+func TestPageRankStar(t *testing.T) {
+	// Star 1..4 → 0 plus 0 → 1: hub 0 accumulates rank.
+	ctx := newCtx()
+	edges := []Edge{
+		{Src: 1, Dst: 0}, {Src: 2, Dst: 0}, {Src: 3, Dst: 0}, {Src: 4, Dst: 0},
+		{Src: 0, Dst: 1},
+	}
+	ranks, err := PageRank(dataflow.Parallelize(ctx, edges, 2), 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := ranks.Collect()
+	m := map[int64]float64{}
+	for _, kv := range got {
+		m[kv.K] = kv.V
+	}
+	if m[0] <= m[2] {
+		t.Fatalf("hub rank %v not above leaf rank %v", m[0], m[2])
+	}
+}
+
+func TestCommonNeighbor(t *testing.T) {
+	ctx := newCtx()
+	// Square with a diagonal: pairs (0,2) share {1,3}; (1,3) share {0,2}.
+	edges := dataflow.Parallelize(ctx, []Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 3, Dst: 0},
+	}, 2)
+	pairs := dataflow.Parallelize(ctx, []Edge{{Src: 0, Dst: 2}, {Src: 1, Dst: 3}, {Src: 0, Dst: 1}}, 2)
+	scored, err := CommonNeighbor(edges, pairs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := scored.Collect()
+	m := map[Edge]int64{}
+	for _, kv := range got {
+		m[kv.K] = kv.V
+	}
+	if m[Edge{Src: 0, Dst: 2}] != 2 {
+		t.Fatalf("cn(0,2) = %d, want 2", m[Edge{Src: 0, Dst: 2}])
+	}
+	if m[Edge{Src: 1, Dst: 3}] != 2 {
+		t.Fatalf("cn(1,3) = %d, want 2", m[Edge{Src: 1, Dst: 3}])
+	}
+	if m[Edge{Src: 0, Dst: 1}] != 0 {
+		t.Fatalf("cn(0,1) = %d, want 0", m[Edge{Src: 0, Dst: 1}])
+	}
+}
+
+func TestTriangleCountK4(t *testing.T) {
+	ctx := newCtx()
+	// K4 has 4 triangles.
+	var edges []Edge
+	for i := int64(0); i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			edges = append(edges, Edge{Src: i, Dst: j})
+		}
+	}
+	n, err := TriangleCount(dataflow.Parallelize(ctx, edges, 2), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("triangles = %d, want 4", n)
+	}
+}
+
+func TestTriangleCountNoTriangles(t *testing.T) {
+	ctx := newCtx()
+	n, err := TriangleCount(dataflow.Parallelize(ctx, ringEdges(6), 2), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("triangles = %d, want 0", n)
+	}
+}
+
+func TestTriangleCountHandlesReciprocalEdges(t *testing.T) {
+	ctx := newCtx()
+	edges := []Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 0}, // duplicate in reverse
+		{Src: 1, Dst: 2}, {Src: 2, Dst: 0},
+	}
+	n, err := TriangleCount(dataflow.Parallelize(ctx, edges, 2), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("triangles = %d, want 1", n)
+	}
+}
+
+func TestKCore(t *testing.T) {
+	ctx := newCtx()
+	// K4 (vertices 0-3) plus pendant chain 4-5.
+	var edges []Edge
+	for i := int64(0); i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			edges = append(edges, Edge{Src: i, Dst: j})
+		}
+	}
+	edges = append(edges, Edge{Src: 0, Dst: 4}, Edge{Src: 4, Dst: 5})
+	core, err := KCore(dataflow.Parallelize(ctx, edges, 2), 3, 2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := core.Collect()
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if len(got) != 4 || got[0] != 0 || got[3] != 3 {
+		t.Fatalf("3-core = %v, want [0 1 2 3]", got)
+	}
+}
+
+func TestKCoreEmptyWhenKTooLarge(t *testing.T) {
+	ctx := newCtx()
+	core, err := KCore(dataflow.Parallelize(ctx, ringEdges(5), 2), 3, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := core.Collect()
+	if len(got) != 0 {
+		t.Fatalf("3-core of ring = %v, want empty", got)
+	}
+}
+
+func TestFastUnfoldingTwoCliques(t *testing.T) {
+	ctx := newCtx()
+	// Two 4-cliques joined by a single bridge: communities must separate
+	// the cliques.
+	var edges []Edge
+	for i := int64(0); i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			edges = append(edges, Edge{Src: i, Dst: j}, Edge{Src: i + 4, Dst: j + 4})
+		}
+	}
+	edges = append(edges, Edge{Src: 0, Dst: 4})
+	coms, q, err := FastUnfolding(dataflow.Parallelize(ctx, edges, 2), 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := coms.Collect()
+	m := map[int64]int64{}
+	for _, kv := range got {
+		m[kv.K] = kv.V
+	}
+	for i := int64(1); i < 4; i++ {
+		if m[i] != m[0] {
+			t.Fatalf("vertex %d not with clique A: %v", i, m)
+		}
+		if m[i+4] != m[4] {
+			t.Fatalf("vertex %d not with clique B: %v", i+4, m)
+		}
+	}
+	if m[0] == m[4] {
+		t.Fatalf("cliques merged: %v", m)
+	}
+	if q < 0.3 {
+		t.Fatalf("modularity = %v, want > 0.3", q)
+	}
+}
+
+func TestPregelPropagatesMax(t *testing.T) {
+	ctx := newCtx()
+	// Max-value propagation around a ring converges to the global max.
+	edges := dataflow.Parallelize(ctx, ringEdges(6), 2)
+	g := FromEdges(edges, int64(0), 2)
+	out, err := Pregel(g, 6, 2,
+		func(id int64, vd int64) int64 { return id },
+		func(tr Triplet[int64]) []dataflow.KV[int64, int64] {
+			return []dataflow.KV[int64, int64]{{K: tr.Edge.Dst, V: tr.SrcAttr}}
+		},
+		func(a, b int64) int64 { return max(a, b) },
+		func(id int64, vd int64, msg int64) int64 { return max(vd, msg) },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, _ := out.Collect()
+	for _, kv := range vs {
+		if kv.V != 5 {
+			t.Fatalf("vertex %d converged to %d, want 5", kv.K, kv.V)
+		}
+	}
+}
+
+func TestKCoreDecomposeCliqueAndChain(t *testing.T) {
+	ctx := newCtx()
+	// K4 (coreness 3) plus a chain 3-4-5 (coreness 1).
+	var edges []Edge
+	for i := int64(0); i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			edges = append(edges, Edge{Src: i, Dst: j})
+		}
+	}
+	edges = append(edges, Edge{Src: 3, Dst: 4}, Edge{Src: 4, Dst: 5})
+	core, maxCore, err := KCoreDecompose(dataflow.Parallelize(ctx, edges, 2), 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxCore != 3 {
+		t.Fatalf("degeneracy = %d", maxCore)
+	}
+	want := map[int64]int64{0: 3, 1: 3, 2: 3, 3: 3, 4: 1, 5: 1}
+	for v, c := range want {
+		if core[v] != c {
+			t.Fatalf("coreness[%d] = %d, want %d", v, core[v], c)
+		}
+	}
+}
+
+func TestPregelStopsWhenNoMessages(t *testing.T) {
+	ctx := newCtx()
+	g := FromEdges(dataflow.Parallelize(ctx, ringEdges(4), 2), int64(0), 2)
+	calls := 0
+	out, err := Pregel(g, 10, 2,
+		func(id int64, vd int64) int64 { return vd },
+		func(tr Triplet[int64]) []dataflow.KV[int64, int64] {
+			calls++
+			return nil // never send: the loop must exit after one superstep
+		},
+		func(a, b int64) int64 { return a },
+		func(id int64, vd int64, msg int64) int64 { return vd },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, _ := out.Collect()
+	if len(vs) != 4 {
+		t.Fatalf("vertices = %d", len(vs))
+	}
+	if calls != 4 {
+		t.Fatalf("sendMsg calls = %d, want 4 (one superstep)", calls)
+	}
+}
+
+func TestCommonNeighborSkipsUnknownVertices(t *testing.T) {
+	ctx := newCtx()
+	edges := dataflow.Parallelize(ctx, []Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}}, 2)
+	// Pair endpoints 7/8 have no adjacency: the inner join drops them.
+	pairs := dataflow.Parallelize(ctx, []Edge{{Src: 0, Dst: 2}, {Src: 7, Dst: 8}}, 1)
+	scored, err := CommonNeighbor(edges, pairs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := scored.Collect()
+	if len(rows) != 1 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0].K != (Edge{Src: 0, Dst: 2}) || rows[0].V != 1 {
+		t.Fatalf("score = %+v", rows[0])
+	}
+}

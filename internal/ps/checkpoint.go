@@ -1,0 +1,103 @@
+package ps
+
+import "fmt"
+
+// ckptSnapshot is the serialized form of one partition, including
+// optimizer state so that training resumes exactly where it stopped.
+type ckptSnapshot struct {
+	Kind   Kind
+	Vec    []float64
+	Lo, Hi int64
+	M      map[int64]float64
+	Emb    map[int64][]float64
+	Nbr    map[int64][]int64
+	CsrIDs []int64
+	CsrOff []int64
+	CsrAdj []int64
+	Mat    []float64
+	Col0   int
+	Col1   int
+	Step   int
+	Mom    map[int64][]float64
+	Vel    map[int64][]float64
+	MatMom []float64
+	MatVel []float64
+}
+
+// CheckpointPath returns the DFS path of a partition checkpoint.
+func CheckpointPath(model string, part int) string {
+	return fmt.Sprintf("/ps/ckpt/%s/part-%05d", model, part)
+}
+
+// checkpoint snapshots one partition to the DFS. The write lands in a
+// temporary file first and is renamed so a crash mid-write never corrupts
+// the previous checkpoint.
+func (s *Server) checkpoint(model string, idx int) error {
+	p, err := s.store.get(model, idx)
+	if err != nil {
+		return err
+	}
+	p.mu.RLock()
+	snap := ckptSnapshot{
+		Kind: p.meta.Kind,
+		Vec:  p.vec, Lo: p.lo, Hi: p.hi,
+		M: p.m, Emb: p.emb, Nbr: p.nbr,
+		CsrIDs: p.csrIDs, CsrOff: p.csrOff, CsrAdj: p.csrAdj,
+		Mat: p.mat, Col0: p.col0, Col1: p.col1,
+		Step: p.step, Mom: p.mom, Vel: p.vel,
+		MatMom: p.matMom, MatVel: p.matVel,
+	}
+	data := enc(snap)
+	p.mu.RUnlock()
+
+	final := CheckpointPath(model, idx)
+	tmp := final + ".tmp"
+	if err := s.fs.WriteFile(tmp, data); err != nil {
+		return err
+	}
+	return s.fs.Rename(tmp, final)
+}
+
+// restore loads one partition from its checkpoint, or recreates it empty
+// when no checkpoint exists yet (failure before the first checkpoint).
+func (s *Server) restore(meta ModelMeta, idx int) error {
+	path := CheckpointPath(meta.Name, idx)
+	if !s.fs.Exists(path) {
+		return s.createPart(meta, idx)
+	}
+	data, err := s.fs.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var snap ckptSnapshot
+	if err := dec(data, &snap); err != nil {
+		return fmt.Errorf("ps: decode checkpoint %s: %w", path, err)
+	}
+	p := &partition{
+		meta: meta, idx: idx,
+		vec: snap.Vec, lo: snap.Lo, hi: snap.Hi,
+		m: snap.M, emb: snap.Emb, nbr: snap.Nbr,
+		csrIDs: snap.CsrIDs, csrOff: snap.CsrOff, csrAdj: snap.CsrAdj,
+		mat: snap.Mat, col0: snap.Col0, col1: snap.Col1,
+		step: snap.Step, mom: snap.Mom, vel: snap.Vel,
+		matMom: snap.MatMom, matVel: snap.MatVel,
+	}
+	// Gob decodes empty maps as nil; normalize so handlers can assume
+	// non-nil storage for the partition's kind.
+	switch meta.Kind {
+	case SparseVector:
+		if p.m == nil {
+			p.m = make(map[int64]float64)
+		}
+	case Embedding, ColumnEmbedding:
+		if p.emb == nil {
+			p.emb = make(map[int64][]float64)
+		}
+	case Neighbor:
+		if p.nbr == nil && p.csrIDs == nil {
+			p.nbr = make(map[int64][]int64)
+		}
+	}
+	s.store.put(p)
+	return nil
+}

@@ -1,0 +1,785 @@
+package ps
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"psgraph/internal/rpc"
+)
+
+// Client is the PS agent embedded in every executor (Sec. III-C). It
+// caches partition layouts from the master and fans pull/push requests out
+// to the owning servers. Calls that hit a dead server are retried with
+// backoff until the master's recovery brings the server back — this is
+// what "the other executors are blocked by the synchronization controller"
+// looks like from the worker's side.
+type Client struct {
+	tr         rpc.Transport
+	masterAddr string
+
+	mu    sync.RWMutex
+	cache map[string]ModelMeta
+
+	sentBytes atomic.Int64
+	recvBytes atomic.Int64
+
+	// RetryTimeout bounds how long a call waits for a recovering server.
+	RetryTimeout time.Duration
+}
+
+// Comm reports the cumulative request/response payload bytes this agent
+// has exchanged with the master and servers — the communication-volume
+// metric the paper's partitioning and psFunc optimizations target.
+func (c *Client) Comm() (sent, recv int64) {
+	return c.sentBytes.Load(), c.recvBytes.Load()
+}
+
+// ResetComm zeroes the communication counters.
+func (c *Client) ResetComm() {
+	c.sentBytes.Store(0)
+	c.recvBytes.Store(0)
+}
+
+// NewClient creates a PS agent talking to the master at masterAddr.
+func NewClient(tr rpc.Transport, masterAddr string) *Client {
+	return &Client{
+		tr:           tr,
+		masterAddr:   masterAddr,
+		cache:        make(map[string]ModelMeta),
+		RetryTimeout: 30 * time.Second,
+	}
+}
+
+// call performs one RPC with retry-on-unreachable semantics.
+func (c *Client) call(addr, method string, body []byte) ([]byte, error) {
+	deadline := time.Now().Add(c.RetryTimeout)
+	backoff := 5 * time.Millisecond
+	c.sentBytes.Add(int64(len(body)))
+	for {
+		resp, err := c.tr.Call(addr, method, body)
+		if err == nil {
+			c.recvBytes.Add(int64(len(resp)))
+			return resp, nil
+		}
+		if !errors.Is(err, rpc.ErrUnreachable) || time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(backoff)
+		if backoff < 200*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// CreateModel registers a new model with the master and returns its meta.
+func (c *Client) CreateModel(meta ModelMeta) (ModelMeta, error) {
+	resp, err := c.call(c.masterAddr, "CreateModel", enc(createModelReq{Meta: meta}))
+	if err != nil {
+		return ModelMeta{}, err
+	}
+	var out getModelResp
+	if err := dec(resp, &out); err != nil {
+		return ModelMeta{}, err
+	}
+	c.mu.Lock()
+	c.cache[out.Meta.Name] = out.Meta
+	c.mu.Unlock()
+	return out.Meta, nil
+}
+
+// GetModel fetches (and caches) a model's layout.
+func (c *Client) GetModel(name string) (ModelMeta, error) {
+	c.mu.RLock()
+	meta, ok := c.cache[name]
+	c.mu.RUnlock()
+	if ok {
+		return meta, nil
+	}
+	resp, err := c.call(c.masterAddr, "GetModel", enc(getModelReq{Name: name}))
+	if err != nil {
+		return ModelMeta{}, err
+	}
+	var out getModelResp
+	if err := dec(resp, &out); err != nil {
+		return ModelMeta{}, err
+	}
+	c.mu.Lock()
+	c.cache[out.Meta.Name] = out.Meta
+	c.mu.Unlock()
+	return out.Meta, nil
+}
+
+// DeleteModel removes a model from the servers and the master.
+func (c *Client) DeleteModel(name string) error {
+	c.mu.Lock()
+	delete(c.cache, name)
+	c.mu.Unlock()
+	_, err := c.call(c.masterAddr, "DeleteModel", enc(deleteModelReq{Name: name}))
+	return err
+}
+
+// Barrier blocks until expect workers have reached (tag, epoch). This is
+// the BSP synchronization primitive; ASP algorithms simply never call it.
+func (c *Client) Barrier(tag string, epoch, expect int) error {
+	_, err := c.call(c.masterAddr, "Barrier", enc(barrierReq{Tag: tag, Epoch: epoch, Expect: expect}))
+	return err
+}
+
+// Checkpoint snapshots every partition of the model to the DFS.
+func (c *Client) Checkpoint(model string) error {
+	_, err := c.call(c.masterAddr, "Checkpoint", enc(deleteModelReq{Name: model}))
+	return err
+}
+
+// RecoveryCount returns the number of server-recovery events the master
+// has performed. Drivers of consistency-critical algorithms compare it
+// across an iteration to detect a mid-iteration restore.
+func (c *Client) RecoveryCount() (int64, error) {
+	resp, err := c.call(c.masterAddr, "RecoveryCount", nil)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	if err := dec(resp, &n); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// RestoreModel rolls every partition of the model back to its latest
+// checkpoint, discarding updates that raced with a recovery.
+func (c *Client) RestoreModel(model string) error {
+	_, err := c.call(c.masterAddr, "RestoreModel", enc(deleteModelReq{Name: model}))
+	return err
+}
+
+// fanOut runs fn for every partition concurrently and returns the first
+// error.
+func fanOut(parts []Partition, fn func(i int, p Partition) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(parts))
+	for i := range parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i, parts[i])
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// ---------------------------------------------------------------------------
+// Typed model handles.
+
+// Vector is a handle to a DenseVector model.
+type Vector struct {
+	c    *Client
+	Meta ModelMeta
+}
+
+// DenseVectorSpec describes a DenseVector model to create.
+type DenseVectorSpec struct {
+	Name               string
+	Size               int64
+	ConsistentRecovery bool
+	// Partitions overrides the partition count (default one per server).
+	Partitions int
+}
+
+// CreateDenseVector creates a range-partitioned dense vector.
+func (c *Client) CreateDenseVector(spec DenseVectorSpec) (*Vector, error) {
+	meta, err := c.CreateModel(ModelMeta{
+		Name: spec.Name, Kind: DenseVector, Size: spec.Size,
+		ConsistentRecovery: spec.ConsistentRecovery,
+		NumPartitions:      spec.Partitions,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Vector{c: c, Meta: meta}, nil
+}
+
+// Vector returns a handle to an existing DenseVector model.
+func (c *Client) Vector(name string) (*Vector, error) {
+	meta, err := c.GetModel(name)
+	if err != nil {
+		return nil, err
+	}
+	if meta.Kind != DenseVector {
+		return nil, fmt.Errorf("ps: model %q is %v, not DenseVector", name, meta.Kind)
+	}
+	return &Vector{c: c, Meta: meta}, nil
+}
+
+// PullAll assembles the full vector from every partition.
+func (v *Vector) PullAll() ([]float64, error) {
+	out := make([]float64, v.Meta.Size)
+	err := fanOut(v.Meta.Parts, func(i int, p Partition) error {
+		resp, err := v.c.call(p.Server, "VecPull", enc(vecPullReq{Model: v.Meta.Name, Part: i}))
+		if err != nil {
+			return err
+		}
+		var r vecPullResp
+		if err := dec(resp, &r); err != nil {
+			return err
+		}
+		copy(out[r.Lo:], r.Values)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Pull fetches the given indices, returned in the same order.
+func (v *Vector) Pull(indices []int64) ([]float64, error) {
+	byPart := make(map[int][]int64)
+	pos := make(map[int][]int) // original positions
+	for i, idx := range indices {
+		p := v.Meta.PartitionFor(idx)
+		byPart[p] = append(byPart[p], idx)
+		pos[p] = append(pos[p], i)
+	}
+	out := make([]float64, len(indices))
+	var mu sync.Mutex
+	err := fanOut(v.Meta.Parts, func(i int, p Partition) error {
+		idxs := byPart[i]
+		if len(idxs) == 0 {
+			return nil
+		}
+		resp, err := v.c.call(p.Server, "VecPull", enc(vecPullReq{Model: v.Meta.Name, Part: i, Indices: idxs}))
+		if err != nil {
+			return err
+		}
+		var r vecPullResp
+		if err := dec(resp, &r); err != nil {
+			return err
+		}
+		mu.Lock()
+		for j, orig := range pos[i] {
+			out[orig] = r.Values[j]
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (v *Vector) push(indices []int64, values []float64, op vecOp) error {
+	byPartIdx := make(map[int][]int64)
+	byPartVal := make(map[int][]float64)
+	for i, idx := range indices {
+		p := v.Meta.PartitionFor(idx)
+		byPartIdx[p] = append(byPartIdx[p], idx)
+		byPartVal[p] = append(byPartVal[p], values[i])
+	}
+	return fanOut(v.Meta.Parts, func(i int, p Partition) error {
+		if len(byPartIdx[i]) == 0 {
+			return nil
+		}
+		req := vecPushReq{Model: v.Meta.Name, Part: i, Indices: byPartIdx[i], Values: byPartVal[i], Op: op}
+		_, err := v.c.call(p.Server, "VecPush", enc(req))
+		return err
+	})
+}
+
+// PushAdd adds values at the given indices.
+func (v *Vector) PushAdd(indices []int64, values []float64) error {
+	return v.push(indices, values, vecAdd)
+}
+
+// PushSet overwrites values at the given indices.
+func (v *Vector) PushSet(indices []int64, values []float64) error {
+	return v.push(indices, values, vecSet)
+}
+
+// PushMin combines values with element-wise minimum (message combiner
+// for shortest-path-style vertex programs).
+func (v *Vector) PushMin(indices []int64, values []float64) error {
+	return v.push(indices, values, vecMin)
+}
+
+// PushMax combines values with element-wise maximum.
+func (v *Vector) PushMax(indices []int64, values []float64) error {
+	return v.push(indices, values, vecMax)
+}
+
+// SetAll overwrites the whole vector.
+func (v *Vector) SetAll(values []float64) error {
+	if int64(len(values)) != v.Meta.Size {
+		return fmt.Errorf("ps: SetAll size %d != model size %d", len(values), v.Meta.Size)
+	}
+	return fanOut(v.Meta.Parts, func(i int, p Partition) error {
+		req := vecPushReq{Model: v.Meta.Name, Part: i, Values: values[p.Lo:p.Hi], Op: vecSet}
+		_, err := v.c.call(p.Server, "VecPush", enc(req))
+		return err
+	})
+}
+
+// Fill sets every element to x.
+func (v *Vector) Fill(x float64) error {
+	vals := make([]float64, v.Meta.Size)
+	for i := range vals {
+		vals[i] = x
+	}
+	return v.SetAll(vals)
+}
+
+// Zero resets the whole vector to zero.
+func (v *Vector) Zero() error { return v.Fill(0) }
+
+// SparseVec is a handle to a SparseVector model.
+type SparseVec struct {
+	c    *Client
+	Meta ModelMeta
+}
+
+// CreateSparseVector creates a hash-partitioned sparse vector.
+func (c *Client) CreateSparseVector(name string) (*SparseVec, error) {
+	return c.CreateSparseVectorWithScheme(name, SchemeHash, 0)
+}
+
+// CreateSparseVectorWithScheme creates a sparse vector with an explicit
+// partitioning scheme; size bounds the key domain for SchemeRange.
+func (c *Client) CreateSparseVectorWithScheme(name string, scheme Scheme, size int64) (*SparseVec, error) {
+	meta, err := c.CreateModel(ModelMeta{Name: name, Kind: SparseVector, Scheme: scheme, Size: size})
+	if err != nil {
+		return nil, err
+	}
+	return &SparseVec{c: c, Meta: meta}, nil
+}
+
+func (s *SparseVec) pull(keys []int64) (map[int64]float64, error) {
+	byPart := make(map[int][]int64)
+	if keys != nil {
+		for _, k := range keys {
+			p := s.Meta.PartitionFor(k)
+			byPart[p] = append(byPart[p], k)
+		}
+	}
+	out := make(map[int64]float64)
+	var mu sync.Mutex
+	err := fanOut(s.Meta.Parts, func(i int, p Partition) error {
+		req := mapPullReq{Model: s.Meta.Name, Part: i}
+		if keys != nil {
+			req.Keys = byPart[i]
+			if len(req.Keys) == 0 {
+				return nil
+			}
+		}
+		resp, err := s.c.call(p.Server, "MapPull", enc(req))
+		if err != nil {
+			return err
+		}
+		var r mapPullResp
+		if err := dec(resp, &r); err != nil {
+			return err
+		}
+		mu.Lock()
+		for k, v := range r.M {
+			out[k] = v
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Pull fetches the given keys; absent keys are omitted from the result.
+func (s *SparseVec) Pull(keys []int64) (map[int64]float64, error) { return s.pull(keys) }
+
+// PullAll fetches the entire sparse vector.
+func (s *SparseVec) PullAll() (map[int64]float64, error) { return s.pull(nil) }
+
+func (s *SparseVec) push(m map[int64]float64, set bool) error {
+	byPart := make(map[int]map[int64]float64)
+	for k, v := range m {
+		p := s.Meta.PartitionFor(k)
+		if byPart[p] == nil {
+			byPart[p] = make(map[int64]float64)
+		}
+		byPart[p][k] = v
+	}
+	return fanOut(s.Meta.Parts, func(i int, p Partition) error {
+		if len(byPart[i]) == 0 {
+			return nil
+		}
+		req := mapPushReq{Model: s.Meta.Name, Part: i, M: byPart[i], Set: set}
+		_, err := s.c.call(p.Server, "MapPush", enc(req))
+		return err
+	})
+}
+
+// PushAdd adds the entries of m into the model.
+func (s *SparseVec) PushAdd(m map[int64]float64) error { return s.push(m, false) }
+
+// PushSet overwrites the entries of m in the model.
+func (s *SparseVec) PushSet(m map[int64]float64) error { return s.push(m, true) }
+
+// Emb is a handle to an Embedding or ColumnEmbedding model.
+type Emb struct {
+	c    *Client
+	Meta ModelMeta
+}
+
+// EmbeddingSpec describes an embedding model to create.
+type EmbeddingSpec struct {
+	Name string
+	Dim  int
+	// ByColumn selects ColumnEmbedding layout (LINE-style partial dot
+	// products) instead of hash-by-vertex.
+	ByColumn  bool
+	InitScale float64
+	Opt       Optimizer
+	// Partitions overrides the partition count (default one per server).
+	Partitions int
+}
+
+// CreateEmbedding creates an embedding model.
+func (c *Client) CreateEmbedding(spec EmbeddingSpec) (*Emb, error) {
+	kind := Embedding
+	if spec.ByColumn {
+		kind = ColumnEmbedding
+	}
+	meta, err := c.CreateModel(ModelMeta{
+		Name: spec.Name, Kind: kind, Dim: spec.Dim,
+		InitScale: spec.InitScale, Opt: spec.Opt,
+		NumPartitions: spec.Partitions,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Emb{c: c, Meta: meta}, nil
+}
+
+// Embedding returns a handle to an existing Embedding or ColumnEmbedding
+// model.
+func (c *Client) Embedding(name string) (*Emb, error) {
+	meta, err := c.GetModel(name)
+	if err != nil {
+		return nil, err
+	}
+	if meta.Kind != Embedding && meta.Kind != ColumnEmbedding {
+		return nil, fmt.Errorf("ps: model %q is %v, not an embedding", name, meta.Kind)
+	}
+	return &Emb{c: c, Meta: meta}, nil
+}
+
+// Pull fetches full vectors for the given ids. For ColumnEmbedding models
+// the per-partition column slices are reassembled.
+func (e *Emb) Pull(ids []int64) (map[int64][]float64, error) {
+	out := make(map[int64][]float64, len(ids))
+	var mu sync.Mutex
+	if e.Meta.Kind == ColumnEmbedding {
+		for _, id := range ids {
+			out[id] = make([]float64, e.Meta.Dim)
+		}
+		err := fanOut(e.Meta.Parts, func(i int, p Partition) error {
+			resp, err := e.c.call(p.Server, "EmbPull", enc(embPullReq{Model: e.Meta.Name, Part: i, IDs: ids}))
+			if err != nil {
+				return err
+			}
+			var r embPullResp
+			if err := dec(resp, &r); err != nil {
+				return err
+			}
+			mu.Lock()
+			for id, vals := range r.Vecs {
+				copy(out[id][p.Col0:p.Col1], vals)
+			}
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	byPart := make(map[int][]int64)
+	for _, id := range ids {
+		pi := e.Meta.PartitionFor(id)
+		byPart[pi] = append(byPart[pi], id)
+	}
+	err := fanOut(e.Meta.Parts, func(i int, p Partition) error {
+		if len(byPart[i]) == 0 {
+			return nil
+		}
+		resp, err := e.c.call(p.Server, "EmbPull", enc(embPullReq{Model: e.Meta.Name, Part: i, IDs: byPart[i]}))
+		if err != nil {
+			return err
+		}
+		var r embPullResp
+		if err := dec(resp, &r); err != nil {
+			return err
+		}
+		mu.Lock()
+		for id, vals := range r.Vecs {
+			out[id] = vals
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (e *Emb) push(vecs map[int64][]float64, grad, set bool) error {
+	if e.Meta.Kind == ColumnEmbedding {
+		return fanOut(e.Meta.Parts, func(i int, p Partition) error {
+			slice := make(map[int64][]float64, len(vecs))
+			for id, v := range vecs {
+				slice[id] = v[p.Col0:p.Col1]
+			}
+			req := embPushReq{Model: e.Meta.Name, Part: i, Vecs: slice, Grad: grad, Set: set}
+			_, err := e.c.call(p.Server, "EmbPush", enc(req))
+			return err
+		})
+	}
+	byPart := make(map[int]map[int64][]float64)
+	for id, v := range vecs {
+		pi := e.Meta.PartitionFor(id)
+		if byPart[pi] == nil {
+			byPart[pi] = make(map[int64][]float64)
+		}
+		byPart[pi][id] = v
+	}
+	return fanOut(e.Meta.Parts, func(i int, p Partition) error {
+		if len(byPart[i]) == 0 {
+			return nil
+		}
+		req := embPushReq{Model: e.Meta.Name, Part: i, Vecs: byPart[i], Grad: grad, Set: set}
+		_, err := e.c.call(p.Server, "EmbPush", enc(req))
+		return err
+	})
+}
+
+// PushAdd adds the vectors into the stored rows.
+func (e *Emb) PushAdd(vecs map[int64][]float64) error { return e.push(vecs, false, false) }
+
+// PushSet overwrites the stored rows.
+func (e *Emb) PushSet(vecs map[int64][]float64) error { return e.push(vecs, false, true) }
+
+// PushGrad applies the model's server-side optimizer to the pushed
+// gradients.
+func (e *Emb) PushGrad(grads map[int64][]float64) error { return e.push(grads, true, false) }
+
+// Nbr is a handle to a Neighbor (adjacency) model.
+type Nbr struct {
+	c    *Client
+	Meta ModelMeta
+}
+
+// CreateNeighbor creates a hash-partitioned neighbor-table model.
+func (c *Client) CreateNeighbor(name string) (*Nbr, error) {
+	return c.CreateNeighborWithScheme(name, SchemeHash, 0)
+}
+
+// CreateNeighborWithScheme creates a neighbor-table model with an
+// explicit partitioning scheme; size bounds the key domain for
+// SchemeRange.
+func (c *Client) CreateNeighborWithScheme(name string, scheme Scheme, size int64) (*Nbr, error) {
+	meta, err := c.CreateModel(ModelMeta{Name: name, Kind: Neighbor, Scheme: scheme, Size: size})
+	if err != nil {
+		return nil, err
+	}
+	return &Nbr{c: c, Meta: meta}, nil
+}
+
+// Neighbor returns a handle to an existing Neighbor model.
+func (c *Client) Neighbor(name string) (*Nbr, error) {
+	meta, err := c.GetModel(name)
+	if err != nil {
+		return nil, err
+	}
+	if meta.Kind != Neighbor {
+		return nil, fmt.Errorf("ps: model %q is %v, not Neighbor", name, meta.Kind)
+	}
+	return &Nbr{c: c, Meta: meta}, nil
+}
+
+// Push appends neighbor lists (concatenating with any existing entries,
+// so different executors can push disjoint chunks of the same vertex).
+func (n *Nbr) Push(tables map[int64][]int64) error {
+	byPart := make(map[int]map[int64][]int64)
+	for id, ns := range tables {
+		pi := n.Meta.PartitionFor(id)
+		if byPart[pi] == nil {
+			byPart[pi] = make(map[int64][]int64)
+		}
+		byPart[pi][id] = ns
+	}
+	return fanOut(n.Meta.Parts, func(i int, p Partition) error {
+		if len(byPart[i]) == 0 {
+			return nil
+		}
+		req := nbrPushReq{Model: n.Meta.Name, Part: i, Tables: byPart[i]}
+		_, err := n.c.call(p.Server, "NbrPush", enc(req))
+		return err
+	})
+}
+
+// Pull fetches neighbor tables for the given ids; vertices with no
+// neighbors are omitted.
+func (n *Nbr) Pull(ids []int64) (map[int64][]int64, error) {
+	byPart := make(map[int][]int64)
+	for _, id := range ids {
+		pi := n.Meta.PartitionFor(id)
+		byPart[pi] = append(byPart[pi], id)
+	}
+	out := make(map[int64][]int64, len(ids))
+	var mu sync.Mutex
+	err := fanOut(n.Meta.Parts, func(i int, p Partition) error {
+		if len(byPart[i]) == 0 {
+			return nil
+		}
+		resp, err := n.c.call(p.Server, "NbrPull", enc(nbrPullReq{Model: n.Meta.Name, Part: i, IDs: byPart[i]}))
+		if err != nil {
+			return err
+		}
+		var r nbrPullResp
+		if err := dec(resp, &r); err != nil {
+			return err
+		}
+		mu.Lock()
+		for id, ns := range r.Tables {
+			out[id] = ns
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Mat is a handle to a DenseMatrix model (e.g. GNN layer weights).
+type Mat struct {
+	c    *Client
+	Meta ModelMeta
+}
+
+// MatrixSpec describes a dense matrix model to create.
+type MatrixSpec struct {
+	Name string
+	Rows int64
+	Cols int
+	Opt  Optimizer
+}
+
+// CreateMatrix creates a column-partitioned dense matrix.
+func (c *Client) CreateMatrix(spec MatrixSpec) (*Mat, error) {
+	meta, err := c.CreateModel(ModelMeta{
+		Name: spec.Name, Kind: DenseMatrix, Size: spec.Rows, Dim: spec.Cols, Opt: spec.Opt,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Mat{c: c, Meta: meta}, nil
+}
+
+// Matrix returns a handle to an existing DenseMatrix model.
+func (c *Client) Matrix(name string) (*Mat, error) {
+	meta, err := c.GetModel(name)
+	if err != nil {
+		return nil, err
+	}
+	if meta.Kind != DenseMatrix {
+		return nil, fmt.Errorf("ps: model %q is %v, not DenseMatrix", name, meta.Kind)
+	}
+	return &Mat{c: c, Meta: meta}, nil
+}
+
+// PullAll assembles the full rows×cols matrix (row-major).
+func (m *Mat) PullAll() ([]float64, error) {
+	rows := int(m.Meta.Size)
+	cols := m.Meta.Dim
+	out := make([]float64, rows*cols)
+	err := fanOut(m.Meta.Parts, func(i int, p Partition) error {
+		resp, err := m.c.call(p.Server, "MatPull", enc(matPullReq{Model: m.Meta.Name, Part: i}))
+		if err != nil {
+			return err
+		}
+		var r matPullResp
+		if err := dec(resp, &r); err != nil {
+			return err
+		}
+		w := r.Col1 - r.Col0
+		for row := 0; row < rows; row++ {
+			copy(out[row*cols+r.Col0:row*cols+r.Col1], r.Data[row*w:(row+1)*w])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (m *Mat) push(data []float64, grad, set bool) error {
+	rows := int(m.Meta.Size)
+	cols := m.Meta.Dim
+	if len(data) != rows*cols {
+		return fmt.Errorf("ps: matrix push size %d != %dx%d", len(data), rows, cols)
+	}
+	return fanOut(m.Meta.Parts, func(i int, p Partition) error {
+		w := p.Col1 - p.Col0
+		slice := make([]float64, rows*w)
+		for row := 0; row < rows; row++ {
+			copy(slice[row*w:(row+1)*w], data[row*cols+p.Col0:row*cols+p.Col1])
+		}
+		req := matPushReq{Model: m.Meta.Name, Part: i, Data: slice, Grad: grad, Set: set}
+		_, err := m.c.call(p.Server, "MatPush", enc(req))
+		return err
+	})
+}
+
+// PushSet overwrites the matrix (driver pushing the initial model).
+func (m *Mat) PushSet(data []float64) error { return m.push(data, false, true) }
+
+// PushAdd adds into the matrix.
+func (m *Mat) PushAdd(data []float64) error { return m.push(data, false, false) }
+
+// PushGrad applies the server-side optimizer to a full-matrix gradient.
+func (m *Mat) PushGrad(grad []float64) error { return m.push(grad, true, false) }
+
+// CallFunc invokes a registered psFunc on every partition of model,
+// passing argFor(partition) as the argument, and returns the raw
+// per-partition outputs ordered by partition index.
+func (c *Client) CallFunc(model, fn string, argFor func(p Partition) []byte) ([][]byte, error) {
+	meta, err := c.GetModel(model)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(meta.Parts))
+	err = fanOut(meta.Parts, func(i int, p Partition) error {
+		req := funcReq{Model: model, Part: i, Name: fn, Arg: argFor(p)}
+		resp, err := c.call(p.Server, "Func", enc(req))
+		if err != nil {
+			return err
+		}
+		var r funcResp
+		if err := dec(resp, &r); err != nil {
+			return err
+		}
+		out[i] = r.Out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

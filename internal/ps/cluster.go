@@ -1,0 +1,191 @@
+package ps
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"psgraph/internal/dfs"
+	"psgraph/internal/rpc"
+)
+
+// Cluster wires a master and a set of servers over a transport, the way
+// Yarn/Kubernetes launches them in production (Sec. III-B). It owns
+// failure injection for the Table II experiment: KillServer drops a
+// server's state and endpoint; the master's monitor (or an explicit
+// CheckServers call) restarts it and restores from checkpoints.
+type Cluster struct {
+	Transport  rpc.Transport
+	FS         *dfs.FS
+	Master     *Master
+	MasterAddr string
+
+	restartDelay time.Duration
+
+	mu      sync.Mutex
+	servers map[string]*Server
+	addrs   []string
+}
+
+// ClusterConfig configures a PS cluster.
+type ClusterConfig struct {
+	// NumServers is the number of parameter servers. Defaults to 2.
+	NumServers int
+	// Transport defaults to a shared in-process transport.
+	Transport rpc.Transport
+	// FS is the checkpoint store; a default DFS is created if nil.
+	FS *dfs.FS
+	// MonitorInterval enables the background health checker when > 0.
+	MonitorInterval time.Duration
+	// RestartDelay models the time Yarn/Kubernetes takes to provision a
+	// replacement server container before recovery can restore it.
+	RestartDelay time.Duration
+	// CheckpointInterval enables periodic model checkpoints to the DFS
+	// (requires MonitorInterval > 0 to drive the loop).
+	CheckpointInterval time.Duration
+	// NamePrefix disambiguates endpoints when several clusters share one
+	// transport.
+	NamePrefix string
+}
+
+// NewCluster starts a master and NumServers servers.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.NumServers <= 0 {
+		cfg.NumServers = 2
+	}
+	if cfg.Transport == nil {
+		cfg.Transport = rpc.NewInProc()
+	}
+	if cfg.FS == nil {
+		cfg.FS = dfs.NewDefault()
+	}
+	if cfg.NamePrefix == "" {
+		cfg.NamePrefix = "ps"
+	}
+	c := &Cluster{
+		Transport:    cfg.Transport,
+		FS:           cfg.FS,
+		MasterAddr:   cfg.NamePrefix + "-master",
+		restartDelay: cfg.RestartDelay,
+		servers:      make(map[string]*Server),
+	}
+	// A TCP transport assigns real host:port endpoints via Listen; other
+	// transports use symbolic names.
+	tcp, overTCP := cfg.Transport.(*rpc.TCP)
+	c.Master = NewMaster(c.MasterAddr, cfg.Transport)
+	if overTCP {
+		addr, err := tcp.Listen(c.Master.Handle)
+		if err != nil {
+			return nil, err
+		}
+		c.MasterAddr = addr
+		c.Master.Addr = addr
+	} else if err := cfg.Transport.Register(c.MasterAddr, c.Master.Handle); err != nil {
+		return nil, err
+	}
+	c.Master.SetRestartFunc(c.restartServer)
+	for i := 0; i < cfg.NumServers; i++ {
+		addr := fmt.Sprintf("%s-server-%d", cfg.NamePrefix, i)
+		srv := NewServer(addr, cfg.FS)
+		if overTCP {
+			bound, err := tcp.Listen(srv.Handle)
+			if err != nil {
+				return nil, err
+			}
+			addr = bound
+			srv.Addr = bound
+		} else if err := cfg.Transport.Register(addr, srv.Handle); err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		c.servers[addr] = srv
+		c.addrs = append(c.addrs, addr)
+		c.mu.Unlock()
+		if _, err := cfg.Transport.Call(c.MasterAddr, "RegisterServer", enc(registerServerReq{Addr: addr})); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.CheckpointInterval > 0 {
+		c.Master.SetCheckpointInterval(cfg.CheckpointInterval)
+	}
+	if cfg.MonitorInterval > 0 {
+		c.Master.StartMonitor(cfg.MonitorInterval)
+	}
+	return c, nil
+}
+
+// NewClient returns a PS agent for this cluster.
+func (c *Cluster) NewClient() *Client {
+	return NewClient(c.Transport, c.MasterAddr)
+}
+
+// ServerAddrs returns the server endpoint names.
+func (c *Cluster) ServerAddrs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.addrs...)
+}
+
+// KillServer simulates a server crash: its endpoint vanishes and its
+// in-memory partitions are lost.
+func (c *Cluster) KillServer(addr string) {
+	c.Transport.Deregister(addr)
+	c.mu.Lock()
+	delete(c.servers, addr)
+	c.mu.Unlock()
+}
+
+// restartServer is the master's recovery callback: it launches a fresh,
+// empty server at the same endpoint after the container-provisioning
+// delay. The master then drives Restore calls.
+func (c *Cluster) restartServer(addr string) error {
+	if c.restartDelay > 0 {
+		time.Sleep(c.restartDelay)
+	}
+	srv := NewServer(addr, c.FS)
+	if err := c.Transport.Register(addr, srv.Handle); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.servers[addr] = srv
+	c.mu.Unlock()
+	return nil
+}
+
+// Close stops the monitor and deregisters all endpoints.
+func (c *Cluster) Close() {
+	c.Master.StopMonitor()
+	c.Transport.Deregister(c.MasterAddr)
+	c.mu.Lock()
+	for addr := range c.servers {
+		c.Transport.Deregister(addr)
+	}
+	c.servers = make(map[string]*Server)
+	c.mu.Unlock()
+}
+
+// ServerStats reports per-server model statistics (model names,
+// partition counts, approximate resident bytes).
+type ServerStats struct {
+	Addr       string
+	Models     []string
+	Partitions int
+	Bytes      int64
+}
+
+// Stats queries every live server.
+func (c *Cluster) Stats() ([]ServerStats, error) {
+	var out []ServerStats
+	for _, addr := range c.ServerAddrs() {
+		resp, err := c.Transport.Call(addr, "Stats", nil)
+		if err != nil {
+			return nil, err
+		}
+		var r statsResp
+		if err := dec(resp, &r); err != nil {
+			return nil, err
+		}
+		out = append(out, ServerStats{Addr: addr, Models: r.Models, Partitions: r.Partitions, Bytes: r.Bytes})
+	}
+	return out, nil
+}

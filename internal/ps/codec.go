@@ -1,0 +1,195 @@
+// Package ps implements PSGraph's distributed parameter server: a master
+// that allocates and monitors model partitions, a set of servers that hold
+// them in memory, and a client ("PS agent" in the paper) embedded in every
+// executor.
+//
+// The parameter server supports the data structures of the paper
+// (dense/sparse vectors, embeddings, dense matrices, neighbor tables),
+// hash/range/column partitioning, pull/push/add operators, user-defined
+// server-side functions (psFunc), BSP/ASP synchronization, periodic
+// checkpoints to the distributed file system and heartbeat-driven failure
+// recovery.
+package ps
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// enc gob-encodes v, panicking on programmer error (unregistered types).
+func enc(v any) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		panic(fmt.Sprintf("ps: encode %T: %v", v, err))
+	}
+	return buf.Bytes()
+}
+
+// dec gob-decodes data into v.
+func dec(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}
+
+// Wire requests and responses. One struct pair per server method keeps the
+// protocol explicit and gob-friendly.
+
+type createPartReq struct {
+	Meta ModelMeta
+	Part int
+}
+
+type vecPullReq struct {
+	Model   string
+	Part    int
+	Indices []int64 // nil means the whole partition range
+}
+
+type vecPullResp struct {
+	Values []float64
+	Lo     int64 // partition start when Indices is nil
+}
+
+// vecOp selects the combine rule of a vector push.
+type vecOp int
+
+const (
+	vecAdd vecOp = iota
+	vecSet
+	vecMin
+	vecMax
+)
+
+type vecPushReq struct {
+	Model   string
+	Part    int
+	Indices []int64 // nil means Values covers the partition range
+	Values  []float64
+	Op      vecOp
+}
+
+type mapPullReq struct {
+	Model string
+	Part  int
+	Keys  []int64 // nil means all
+}
+
+type mapPullResp struct {
+	M map[int64]float64
+}
+
+type mapPushReq struct {
+	Model string
+	Part  int
+	M     map[int64]float64
+	Set   bool
+}
+
+type embPullReq struct {
+	Model string
+	Part  int
+	IDs   []int64
+}
+
+type embPullResp struct {
+	Vecs map[int64][]float64
+}
+
+type embPushReq struct {
+	Model string
+	Part  int
+	Vecs  map[int64][]float64
+	// Grad applies the model's optimizer to the pushed values as
+	// gradients; otherwise values are added (or Set).
+	Grad bool
+	Set  bool
+}
+
+type nbrPushReq struct {
+	Model  string
+	Part   int
+	Tables map[int64][]int64
+}
+
+type nbrPullReq struct {
+	Model string
+	Part  int
+	IDs   []int64
+}
+
+type nbrPullResp struct {
+	Tables map[int64][]int64
+}
+
+type matPullReq struct {
+	Model string
+	Part  int
+}
+
+type matPullResp struct {
+	Col0, Col1 int
+	Data       []float64 // rows x (col1-col0), row-major
+}
+
+type matPushReq struct {
+	Model string
+	Part  int
+	Data  []float64
+	Grad  bool
+	Set   bool
+}
+
+type funcReq struct {
+	Model string
+	Part  int
+	Name  string
+	Arg   []byte
+}
+
+type funcResp struct {
+	Out []byte
+}
+
+type ckptReq struct {
+	Model string
+	Part  int
+}
+
+type restoreReq struct {
+	Meta ModelMeta
+	Part int
+}
+
+type statsResp struct {
+	Models     []string
+	Partitions int
+	Bytes      int64
+}
+
+// Master wire messages.
+
+type registerServerReq struct {
+	Addr string
+}
+
+type createModelReq struct {
+	Meta ModelMeta // Parts filled in by the master
+}
+
+type getModelReq struct {
+	Name string
+}
+
+type getModelResp struct {
+	Meta ModelMeta
+}
+
+type barrierReq struct {
+	Tag    string
+	Epoch  int
+	Expect int
+}
+
+type deleteModelReq struct {
+	Name string
+}

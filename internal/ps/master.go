@@ -1,0 +1,379 @@
+package ps
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"psgraph/internal/rpc"
+)
+
+// Master is the control plane of the parameter server (Sec. III-B):
+// it allocates model partitions over servers, answers layout queries,
+// provides the BSP barrier, monitors server health, and drives recovery
+// when a server dies.
+type Master struct {
+	Addr string
+
+	tr rpc.Transport
+
+	mu         sync.Mutex
+	servers    []string
+	models     map[string]ModelMeta
+	barriers   map[string]*barrier
+	recoveries int64
+
+	// restart recreates a server process at the given address after a
+	// failure, re-registering its RPC handler. Provided by the Cluster.
+	restart func(addr string) error
+
+	// checkpointEvery, when positive, makes the monitor loop snapshot
+	// every model periodically ("each parameter server periodically
+	// stores the local data partition to HDFS", Sec. III-A).
+	checkpointEvery time.Duration
+	lastCheckpoint  time.Time
+
+	stopMonitor chan struct{}
+	monitorDone chan struct{}
+}
+
+type barrier struct {
+	arrived int
+	release chan struct{}
+}
+
+// NewMaster creates a master reachable at addr over tr.
+func NewMaster(addr string, tr rpc.Transport) *Master {
+	return &Master{
+		Addr:     addr,
+		tr:       tr,
+		models:   make(map[string]ModelMeta),
+		barriers: make(map[string]*barrier),
+	}
+}
+
+// SetRestartFunc installs the server-restart callback used by recovery.
+func (m *Master) SetRestartFunc(f func(addr string) error) {
+	m.mu.Lock()
+	m.restart = f
+	m.mu.Unlock()
+}
+
+// Handle dispatches one RPC. It is the rpc.Handler of the master.
+func (m *Master) Handle(method string, body []byte) ([]byte, error) {
+	switch method {
+	case "Ping":
+		return nil, nil
+	case "RegisterServer":
+		var req registerServerReq
+		if err := dec(body, &req); err != nil {
+			return nil, err
+		}
+		m.mu.Lock()
+		m.servers = append(m.servers, req.Addr)
+		m.mu.Unlock()
+		return nil, nil
+	case "CreateModel":
+		var req createModelReq
+		if err := dec(body, &req); err != nil {
+			return nil, err
+		}
+		meta, err := m.createModel(req.Meta)
+		if err != nil {
+			return nil, err
+		}
+		return enc(getModelResp{Meta: meta}), nil
+	case "GetModel":
+		var req getModelReq
+		if err := dec(body, &req); err != nil {
+			return nil, err
+		}
+		m.mu.Lock()
+		meta, ok := m.models[req.Name]
+		m.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("ps: model %q does not exist", req.Name)
+		}
+		return enc(getModelResp{Meta: meta}), nil
+	case "DeleteModel":
+		var req deleteModelReq
+		if err := dec(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, m.deleteModel(req.Name)
+	case "Barrier":
+		var req barrierReq
+		if err := dec(body, &req); err != nil {
+			return nil, err
+		}
+		m.barrier(req)
+		return nil, nil
+	case "Checkpoint":
+		var req deleteModelReq // just a name
+		if err := dec(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, m.checkpointModel(req.Name)
+	case "RecoveryCount":
+		m.mu.Lock()
+		n := m.recoveries
+		m.mu.Unlock()
+		return enc(n), nil
+	case "RestoreModel":
+		var req deleteModelReq // just a name
+		if err := dec(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, m.restoreModel(req.Name)
+	default:
+		return nil, fmt.Errorf("ps: master: unknown method %q", method)
+	}
+}
+
+func (m *Master) createModel(meta ModelMeta) (ModelMeta, error) {
+	m.mu.Lock()
+	if _, exists := m.models[meta.Name]; exists {
+		m.mu.Unlock()
+		return ModelMeta{}, fmt.Errorf("ps: model %q already exists", meta.Name)
+	}
+	servers := append([]string(nil), m.servers...)
+	m.mu.Unlock()
+	if len(servers) == 0 {
+		return ModelMeta{}, fmt.Errorf("ps: no servers registered")
+	}
+	meta = layout(meta, servers)
+	for i, part := range meta.Parts {
+		body := enc(createPartReq{Meta: meta, Part: i})
+		if _, err := m.tr.Call(part.Server, "CreatePart", body); err != nil {
+			return ModelMeta{}, fmt.Errorf("ps: create partition %d on %s: %w", i, part.Server, err)
+		}
+	}
+	m.mu.Lock()
+	m.models[meta.Name] = meta
+	m.mu.Unlock()
+	return meta, nil
+}
+
+func (m *Master) deleteModel(name string) error {
+	m.mu.Lock()
+	meta, ok := m.models[name]
+	delete(m.models, name)
+	m.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	seen := map[string]bool{}
+	for _, p := range meta.Parts {
+		if seen[p.Server] {
+			continue
+		}
+		seen[p.Server] = true
+		m.tr.Call(p.Server, "DeleteModel", enc(deleteModelReq{Name: name}))
+	}
+	return nil
+}
+
+// barrier blocks the calling worker until Expect workers have arrived at
+// the same (tag, epoch). This is the BSP synchronization controller.
+func (m *Master) barrier(req barrierReq) {
+	key := fmt.Sprintf("%s/%d", req.Tag, req.Epoch)
+	m.mu.Lock()
+	b, ok := m.barriers[key]
+	if !ok {
+		b = &barrier{release: make(chan struct{})}
+		m.barriers[key] = b
+	}
+	b.arrived++
+	if b.arrived >= req.Expect {
+		close(b.release)
+		delete(m.barriers, key)
+		m.mu.Unlock()
+		return
+	}
+	m.mu.Unlock()
+	<-b.release
+}
+
+// callWithRetry calls a server, waiting out transient unreachability (a
+// server being restarted by this master's own recovery path).
+func (m *Master) callWithRetry(addr, method string, body []byte) ([]byte, error) {
+	deadline := time.Now().Add(10 * time.Second)
+	backoff := 5 * time.Millisecond
+	for {
+		resp, err := m.tr.Call(addr, method, body)
+		if err == nil || !errors.Is(err, rpc.ErrUnreachable) || time.Now().After(deadline) {
+			return resp, err
+		}
+		time.Sleep(backoff)
+		if backoff < 200*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// checkpointModel asks every partition's server to snapshot.
+func (m *Master) checkpointModel(name string) error {
+	m.mu.Lock()
+	meta, ok := m.models[name]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("ps: model %q does not exist", name)
+	}
+	for i, p := range meta.Parts {
+		body := enc(ckptReq{Model: name, Part: i})
+		if _, err := m.callWithRetry(p.Server, "Checkpoint", body); err != nil {
+			return fmt.Errorf("ps: checkpoint %s partition %d: %w", name, i, err)
+		}
+	}
+	return nil
+}
+
+// restoreModel rolls every partition of the model back to its latest
+// checkpoint. Drivers of consistency-critical algorithms call this after
+// observing a recovery to discard updates that raced with the restore.
+func (m *Master) restoreModel(name string) error {
+	m.mu.Lock()
+	meta, ok := m.models[name]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("ps: model %q does not exist", name)
+	}
+	for i, p := range meta.Parts {
+		body := enc(restoreReq{Meta: meta, Part: i})
+		if _, err := m.callWithRetry(p.Server, "Restore", body); err != nil {
+			return fmt.Errorf("ps: restore %s/%d on %s: %w", name, i, p.Server, err)
+		}
+	}
+	return nil
+}
+
+// StartMonitor begins periodic health checking of the servers. On a
+// failed ping the master restarts the server via the restart callback and
+// restores its partitions from the latest checkpoints; models flagged
+// ConsistentRecovery are restored on *every* server so partitions stay
+// mutually consistent (Sec. III-B).
+func (m *Master) StartMonitor(interval time.Duration) {
+	m.mu.Lock()
+	if m.stopMonitor != nil {
+		m.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	m.stopMonitor = stop
+	m.monitorDone = done
+	m.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				m.CheckServers()
+				m.maybeCheckpointAll()
+			}
+		}
+	}()
+}
+
+// SetCheckpointInterval enables periodic checkpointing of every model
+// from the monitor loop (which must be running).
+func (m *Master) SetCheckpointInterval(d time.Duration) {
+	m.mu.Lock()
+	m.checkpointEvery = d
+	m.lastCheckpoint = time.Now()
+	m.mu.Unlock()
+}
+
+// maybeCheckpointAll snapshots every model when the checkpoint interval
+// has elapsed.
+func (m *Master) maybeCheckpointAll() {
+	m.mu.Lock()
+	due := m.checkpointEvery > 0 && time.Since(m.lastCheckpoint) >= m.checkpointEvery
+	if due {
+		m.lastCheckpoint = time.Now()
+	}
+	var names []string
+	if due {
+		for name := range m.models {
+			names = append(names, name)
+		}
+	}
+	m.mu.Unlock()
+	for _, name := range names {
+		// Best effort: a failed snapshot of one model must not stop the
+		// others; the next interval retries.
+		_ = m.checkpointModel(name)
+	}
+}
+
+// StopMonitor halts the health-check loop.
+func (m *Master) StopMonitor() {
+	m.mu.Lock()
+	stop := m.stopMonitor
+	done := m.monitorDone
+	m.stopMonitor = nil
+	m.monitorDone = nil
+	m.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// CheckServers pings every server once and recovers any that are down.
+// It returns the addresses that were recovered. Exposed so tests and the
+// experiment harness can trigger recovery deterministically.
+func (m *Master) CheckServers() []string {
+	m.mu.Lock()
+	servers := append([]string(nil), m.servers...)
+	m.mu.Unlock()
+	var recovered []string
+	for _, addr := range servers {
+		if _, err := m.tr.Call(addr, "Ping", nil); err == nil {
+			continue
+		}
+		if err := m.recoverServer(addr); err == nil {
+			recovered = append(recovered, addr)
+		}
+	}
+	if len(recovered) > 0 {
+		m.mu.Lock()
+		m.recoveries++
+		m.mu.Unlock()
+	}
+	return recovered
+}
+
+func (m *Master) recoverServer(addr string) error {
+	m.mu.Lock()
+	restart := m.restart
+	models := make([]ModelMeta, 0, len(m.models))
+	for _, meta := range m.models {
+		models = append(models, meta)
+	}
+	m.mu.Unlock()
+	if restart == nil {
+		return fmt.Errorf("ps: no restart function configured")
+	}
+	if err := restart(addr); err != nil {
+		return fmt.Errorf("ps: restart %s: %w", addr, err)
+	}
+	for _, meta := range models {
+		for i, p := range meta.Parts {
+			needsRestore := p.Server == addr || meta.ConsistentRecovery
+			if !needsRestore {
+				continue
+			}
+			body := enc(restoreReq{Meta: meta, Part: i})
+			if _, err := m.tr.Call(p.Server, "Restore", body); err != nil {
+				return fmt.Errorf("ps: restore %s/%d on %s: %w", meta.Name, i, p.Server, err)
+			}
+		}
+	}
+	return nil
+}

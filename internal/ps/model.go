@@ -1,0 +1,239 @@
+package ps
+
+import (
+	"fmt"
+	"hash/maphash"
+)
+
+// Kind identifies the storage layout of a model on the parameter server.
+type Kind int
+
+const (
+	// DenseVector is a float64 vector indexed [0, Size), partitioned by
+	// contiguous index ranges. Used for ranks, Δranks, degrees, cores.
+	DenseVector Kind = iota
+	// SparseVector is a map[int64]float64, hash-partitioned by key. Used
+	// for vertex→community and community→weight models in fast unfolding.
+	SparseVector
+	// Embedding stores one Dim-sized vector per vertex id, hash-partitioned
+	// by id. Used for GraphSage features and vertex representations.
+	Embedding
+	// ColumnEmbedding stores one Dim-sized vector per vertex id, but
+	// partitioned by *column*: server p holds dimensions [Col0, Col1) of
+	// every vertex. This co-locates the same dimensions of different
+	// vertices so dot products can be computed server-side (LINE, Sec. IV-D).
+	ColumnEmbedding
+	// Neighbor stores adjacency lists (neighbor tables), hash-partitioned
+	// by source vertex.
+	Neighbor
+	// DenseMatrix is a Rows×Dim dense matrix partitioned by column range.
+	// Used for GNN weight matrices.
+	DenseMatrix
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case DenseVector:
+		return "DenseVector"
+	case SparseVector:
+		return "SparseVector"
+	case Embedding:
+		return "Embedding"
+	case ColumnEmbedding:
+		return "ColumnEmbedding"
+	case Neighbor:
+		return "Neighbor"
+	case DenseMatrix:
+		return "DenseMatrix"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// OptimizerKind selects the server-side gradient rule applied when clients
+// push gradients (Grad=true). The paper implements these on the PS via
+// psFunc so that executors never hold optimizer state.
+type OptimizerKind int
+
+const (
+	// OptNone means pushes are plain additions.
+	OptNone OptimizerKind = iota
+	// OptSGD applies x -= lr * g.
+	OptSGD
+	// OptAdaGrad applies per-coordinate AdaGrad.
+	OptAdaGrad
+	// OptAdam applies Adam with bias correction.
+	OptAdam
+)
+
+// Optimizer configures the server-side optimizer of a model.
+type Optimizer struct {
+	Kind  OptimizerKind
+	LR    float64
+	Beta1 float64 // Adam
+	Beta2 float64 // Adam
+	Eps   float64
+}
+
+// SGD returns a plain SGD optimizer spec.
+func SGD(lr float64) Optimizer { return Optimizer{Kind: OptSGD, LR: lr} }
+
+// AdaGrad returns an AdaGrad optimizer spec.
+func AdaGrad(lr float64) Optimizer {
+	return Optimizer{Kind: OptAdaGrad, LR: lr, Eps: 1e-8}
+}
+
+// Adam returns an Adam optimizer spec with standard betas.
+func Adam(lr float64) Optimizer {
+	return Optimizer{Kind: OptAdam, LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Scheme selects how keys map to partitions for keyed model kinds
+// (SparseVector, Embedding, Neighbor). The paper implements all three
+// (Sec. III-A, citing the hybrid-range strategy of Ghandeharizadeh &
+// DeWitt).
+type Scheme int
+
+const (
+	// SchemeHash spreads keys uniformly by hash (default). Best load
+	// balance, no locality.
+	SchemeHash Scheme = iota
+	// SchemeRange splits the key domain [0, Size) into contiguous ranges.
+	// Keys outside the declared domain fall into the last partition.
+	// Preserves locality; requires Size to be set.
+	SchemeRange
+	// SchemeHashRange hashes keys into NumBuckets coarse buckets and
+	// range-partitions the buckets across servers: hot keys spread like
+	// hash partitioning, while each server owns a contiguous bucket range
+	// that can be split or moved wholesale (the hybrid-range strategy).
+	SchemeHashRange
+)
+
+// hashRangeBuckets is the coarse bucket count of SchemeHashRange.
+const hashRangeBuckets = 256
+
+// Partition locates one shard of a model.
+type Partition struct {
+	Index  int
+	Server string // transport address
+	Lo, Hi int64  // row/index range for range-partitioned kinds
+	Col0   int    // column range for column-partitioned kinds
+	Col1   int
+}
+
+// ModelMeta fully describes a model: its layout is computed once by the
+// master and cached by every client.
+type ModelMeta struct {
+	Name string
+	Kind Kind
+	Size int64 // number of rows / exclusive max vertex id
+	Dim  int   // embedding dimension / matrix columns
+	Opt  Optimizer
+	// ConsistentRecovery requests that a server failure restores *all*
+	// partitions from the checkpoint, not only the failed one, so that the
+	// model stays mutually consistent (PageRank-style algorithms; Sec. III-B).
+	ConsistentRecovery bool
+	// InitScale, when positive, lazily initializes absent embedding rows
+	// with deterministic uniform(-InitScale, +InitScale) values derived
+	// from the vertex id. Zero means absent rows read as zero vectors.
+	InitScale float64
+	// Scheme selects the key→partition mapping for keyed kinds
+	// (SparseVector, Embedding, Neighbor). DenseVector is always
+	// range-partitioned; column kinds are partitioned by column.
+	Scheme Scheme
+	// NumPartitions overrides the partition count (default: one per
+	// server). More partitions than servers spread round-robin, giving
+	// finer units for recovery and rebalancing.
+	NumPartitions int
+	Parts         []Partition
+}
+
+// NumParts returns the number of partitions.
+func (m *ModelMeta) NumParts() int { return len(m.Parts) }
+
+var hashSeed = maphash.MakeSeed()
+
+// hashKey maps a vertex id to a partition index for hash-partitioned kinds.
+func hashKey(key int64, nparts int) int {
+	var h maphash.Hash
+	h.SetSeed(hashSeed)
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(key >> (8 * i))
+	}
+	h.Write(b[:])
+	return int(h.Sum64() % uint64(nparts))
+}
+
+// PartitionFor returns the partition index that owns key.
+func (m *ModelMeta) PartitionFor(key int64) int {
+	switch m.Kind {
+	case DenseVector:
+		// Range partitioning over [0, Size).
+		for i, p := range m.Parts {
+			if key >= p.Lo && key < p.Hi {
+				return i
+			}
+		}
+		return len(m.Parts) - 1
+	case SparseVector, Embedding, Neighbor:
+		switch m.Scheme {
+		case SchemeRange:
+			if m.Size <= 0 {
+				return hashKey(key, len(m.Parts))
+			}
+			k := key
+			if k < 0 {
+				k = 0
+			}
+			if k >= m.Size {
+				k = m.Size - 1
+			}
+			p := int(k * int64(len(m.Parts)) / m.Size)
+			if p >= len(m.Parts) {
+				p = len(m.Parts) - 1
+			}
+			return p
+		case SchemeHashRange:
+			bucket := hashKey(key, hashRangeBuckets)
+			return bucket * len(m.Parts) / hashRangeBuckets
+		default:
+			return hashKey(key, len(m.Parts))
+		}
+	default:
+		// Column-partitioned kinds have every key on every partition.
+		return 0
+	}
+}
+
+// layout computes partition boundaries over the given server addresses.
+// Partitions are assigned to servers round-robin; by default there is one
+// partition per server.
+func layout(meta ModelMeta, servers []string) ModelMeta {
+	n := meta.NumPartitions
+	if n <= 0 {
+		n = len(servers)
+	}
+	meta.Parts = make([]Partition, n)
+	serverOf := func(i int) string { return servers[i%len(servers)] }
+	switch meta.Kind {
+	case DenseVector:
+		for i := 0; i < n; i++ {
+			lo := meta.Size * int64(i) / int64(n)
+			hi := meta.Size * int64(i+1) / int64(n)
+			meta.Parts[i] = Partition{Index: i, Server: serverOf(i), Lo: lo, Hi: hi}
+		}
+	case ColumnEmbedding, DenseMatrix:
+		for i := 0; i < n; i++ {
+			c0 := meta.Dim * i / n
+			c1 := meta.Dim * (i + 1) / n
+			meta.Parts[i] = Partition{Index: i, Server: serverOf(i), Col0: c0, Col1: c1}
+		}
+	default: // hash partitioned
+		for i := 0; i < n; i++ {
+			meta.Parts[i] = Partition{Index: i, Server: serverOf(i)}
+		}
+	}
+	return meta
+}

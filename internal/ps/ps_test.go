@@ -1,0 +1,1145 @@
+package ps
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"psgraph/internal/dfs"
+	"psgraph/internal/rpc"
+)
+
+func newTestCluster(t *testing.T, n int) (*Cluster, *Client) {
+	t.Helper()
+	c, err := NewCluster(ClusterConfig{NumServers: n, NamePrefix: "t" + t.Name()})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	t.Cleanup(c.Close)
+	return c, c.NewClient()
+}
+
+func TestDenseVectorPullPush(t *testing.T) {
+	_, cl := newTestCluster(t, 3)
+	v, err := cl.CreateDenseVector(DenseVectorSpec{Name: "ranks", Size: 100})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := v.PushAdd([]int64{0, 50, 99}, []float64{1, 2, 3}); err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	got, err := v.Pull([]int64{99, 0, 50, 1})
+	if err != nil {
+		t.Fatalf("pull: %v", err)
+	}
+	want := []float64{3, 1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Pull[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	all, err := v.PullAll()
+	if err != nil {
+		t.Fatalf("pullAll: %v", err)
+	}
+	if len(all) != 100 || all[50] != 2 {
+		t.Fatalf("PullAll: len=%d all[50]=%v", len(all), all[50])
+	}
+}
+
+func TestDenseVectorSetAllAndZero(t *testing.T) {
+	_, cl := newTestCluster(t, 2)
+	v, _ := cl.CreateDenseVector(DenseVectorSpec{Name: "v", Size: 10})
+	vals := make([]float64, 10)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	if err := v.SetAll(vals); err != nil {
+		t.Fatalf("SetAll: %v", err)
+	}
+	got, _ := v.PullAll()
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("got[%d] = %v", i, got[i])
+		}
+	}
+	v.Zero()
+	got, _ = v.PullAll()
+	for i := range got {
+		if got[i] != 0 {
+			t.Fatalf("after Zero got[%d] = %v", i, got[i])
+		}
+	}
+}
+
+func TestDenseVectorAddIsCommutativeProperty(t *testing.T) {
+	_, cl := newTestCluster(t, 3)
+	v, _ := cl.CreateDenseVector(DenseVectorSpec{Name: "p", Size: 64})
+	f := func(idx []uint8, val float64) bool {
+		if math.IsNaN(val) || math.IsInf(val, 0) || math.Abs(val) > 1e9 {
+			return true
+		}
+		var sum float64
+		indices := make([]int64, len(idx))
+		vals := make([]float64, len(idx))
+		for i, x := range idx {
+			indices[i] = int64(x) % 64
+			vals[i] = val
+			sum += val
+		}
+		before, _ := v.PullAll()
+		var total float64
+		for _, b := range before {
+			total += b
+		}
+		if err := v.PushAdd(indices, vals); err != nil {
+			return false
+		}
+		after, _ := v.PullAll()
+		var totalAfter float64
+		for _, a := range after {
+			totalAfter += a
+		}
+		return math.Abs(totalAfter-(total+sum)) < 1e-6*(1+math.Abs(total+sum))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseVector(t *testing.T) {
+	_, cl := newTestCluster(t, 3)
+	s, err := cl.CreateSparseVector("v2c")
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := s.PushAdd(map[int64]float64{1: 1.5, 1 << 40: 2.5, -7: 3}); err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	got, err := s.Pull([]int64{1, 1 << 40, -7, 999})
+	if err != nil {
+		t.Fatalf("pull: %v", err)
+	}
+	if got[1] != 1.5 || got[1<<40] != 2.5 || got[-7] != 3 {
+		t.Fatalf("got %v", got)
+	}
+	if _, ok := got[999]; ok {
+		t.Fatal("absent key returned")
+	}
+	s.PushAdd(map[int64]float64{1: 0.5})
+	all, _ := s.PullAll()
+	if all[1] != 2.0 {
+		t.Fatalf("add: got %v", all[1])
+	}
+	s.PushSet(map[int64]float64{1: 9})
+	all, _ = s.PullAll()
+	if all[1] != 9 {
+		t.Fatalf("set: got %v", all[1])
+	}
+}
+
+func TestEmbeddingHashPartitioned(t *testing.T) {
+	_, cl := newTestCluster(t, 3)
+	e, err := cl.CreateEmbedding(EmbeddingSpec{Name: "emb", Dim: 4})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := e.PushSet(map[int64][]float64{7: {1, 2, 3, 4}}); err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	got, err := e.Pull([]int64{7, 8})
+	if err != nil {
+		t.Fatalf("pull: %v", err)
+	}
+	if got[7][2] != 3 {
+		t.Fatalf("got %v", got[7])
+	}
+	// InitScale=0: absent rows are zero vectors.
+	for _, x := range got[8] {
+		if x != 0 {
+			t.Fatalf("uninitialized row not zero: %v", got[8])
+		}
+	}
+	e.PushAdd(map[int64][]float64{7: {1, 1, 1, 1}})
+	got, _ = e.Pull([]int64{7})
+	if got[7][0] != 2 {
+		t.Fatalf("after add got %v", got[7])
+	}
+}
+
+func TestEmbeddingLazyInitDeterministic(t *testing.T) {
+	_, cl1 := newTestCluster(t, 2)
+	e1, _ := cl1.CreateEmbedding(EmbeddingSpec{Name: "e", Dim: 8, InitScale: 0.5})
+	a, _ := e1.Pull([]int64{42})
+
+	// A differently-partitioned cluster must produce the same init values.
+	c2, err := NewCluster(ClusterConfig{NumServers: 5, NamePrefix: "init2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	e2, _ := c2.NewClient().CreateEmbedding(EmbeddingSpec{Name: "e", Dim: 8, InitScale: 0.5, ByColumn: true})
+	b, _ := e2.Pull([]int64{42})
+	for i := range a[42] {
+		if a[42][i] != b[42][i] {
+			t.Fatalf("init differs at dim %d: %v vs %v", i, a[42][i], b[42][i])
+		}
+		if math.Abs(a[42][i]) > 0.5 {
+			t.Fatalf("init out of range: %v", a[42][i])
+		}
+	}
+}
+
+func TestColumnEmbeddingRoundTrip(t *testing.T) {
+	_, cl := newTestCluster(t, 3)
+	e, err := cl.CreateEmbedding(EmbeddingSpec{Name: "colemb", Dim: 10, ByColumn: true})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	vec := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if err := e.PushSet(map[int64][]float64{5: vec}); err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	got, err := e.Pull([]int64{5})
+	if err != nil {
+		t.Fatalf("pull: %v", err)
+	}
+	for i := range vec {
+		if got[5][i] != vec[i] {
+			t.Fatalf("dim %d = %v, want %v", i, got[5][i], vec[i])
+		}
+	}
+}
+
+func TestNeighborTables(t *testing.T) {
+	_, cl := newTestCluster(t, 3)
+	n, err := cl.CreateNeighbor("adj")
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	n.Push(map[int64][]int64{1: {2, 3}, 2: {1}})
+	n.Push(map[int64][]int64{1: {4}}) // append semantics
+	got, err := n.Pull([]int64{1, 2, 3})
+	if err != nil {
+		t.Fatalf("pull: %v", err)
+	}
+	if len(got[1]) != 3 || len(got[2]) != 1 {
+		t.Fatalf("got %v", got)
+	}
+	if _, ok := got[3]; ok {
+		t.Fatal("vertex with no neighbors present")
+	}
+}
+
+func TestDenseMatrix(t *testing.T) {
+	_, cl := newTestCluster(t, 3)
+	m, err := cl.CreateMatrix(MatrixSpec{Name: "W", Rows: 2, Cols: 5})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	data := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if err := m.PushSet(data); err != nil {
+		t.Fatalf("set: %v", err)
+	}
+	got, err := m.PullAll()
+	if err != nil {
+		t.Fatalf("pull: %v", err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("got[%d] = %v, want %v", i, got[i], data[i])
+		}
+	}
+	add := make([]float64, 10)
+	add[3] = 0.5
+	m.PushAdd(add)
+	got, _ = m.PullAll()
+	if got[3] != 4.5 {
+		t.Fatalf("after add got[3] = %v", got[3])
+	}
+}
+
+func TestSGDOptimizerOnMatrix(t *testing.T) {
+	_, cl := newTestCluster(t, 2)
+	m, _ := cl.CreateMatrix(MatrixSpec{Name: "W", Rows: 1, Cols: 4, Opt: SGD(0.1)})
+	m.PushSet([]float64{1, 1, 1, 1})
+	m.PushGrad([]float64{1, 2, 3, 4})
+	got, _ := m.PullAll()
+	want := []float64{0.9, 0.8, 0.7, 0.6}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("got[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAdamOptimizerDecreasesLoss(t *testing.T) {
+	// Minimize f(x) = x^2 on a 1x1 matrix via server-side Adam.
+	_, cl := newTestCluster(t, 1)
+	m, _ := cl.CreateMatrix(MatrixSpec{Name: "x", Rows: 1, Cols: 1, Opt: Adam(0.1)})
+	m.PushSet([]float64{3})
+	for i := 0; i < 200; i++ {
+		x, _ := m.PullAll()
+		m.PushGrad([]float64{2 * x[0]})
+	}
+	x, _ := m.PullAll()
+	if math.Abs(x[0]) > 0.05 {
+		t.Fatalf("Adam did not converge: x = %v", x[0])
+	}
+}
+
+func TestAdaGradOnEmbedding(t *testing.T) {
+	_, cl := newTestCluster(t, 2)
+	e, _ := cl.CreateEmbedding(EmbeddingSpec{Name: "emb", Dim: 2, Opt: AdaGrad(0.5)})
+	e.PushSet(map[int64][]float64{1: {2, -2}})
+	for i := 0; i < 100; i++ {
+		cur, _ := e.Pull([]int64{1})
+		g := []float64{2 * cur[1][0], 2 * cur[1][1]}
+		e.PushGrad(map[int64][]float64{1: g})
+	}
+	cur, _ := e.Pull([]int64{1})
+	if math.Abs(cur[1][0]) > 0.1 || math.Abs(cur[1][1]) > 0.1 {
+		t.Fatalf("AdaGrad did not converge: %v", cur[1])
+	}
+}
+
+func TestPSFunc(t *testing.T) {
+	RegisterFunc("test.sumRow", func(s *Store, model string, part int, arg []byte) ([]byte, error) {
+		id := int64(binary.LittleEndian.Uint64(arg))
+		view, err := s.Partition(model, part)
+		if err != nil {
+			return nil, err
+		}
+		var sum float64
+		for _, x := range view.Row(id) {
+			sum += x
+		}
+		out := make([]byte, 8)
+		binary.LittleEndian.PutUint64(out, math.Float64bits(sum))
+		return out, nil
+	})
+	_, cl := newTestCluster(t, 3)
+	e, _ := cl.CreateEmbedding(EmbeddingSpec{Name: "f", Dim: 6, ByColumn: true})
+	e.PushSet(map[int64][]float64{9: {1, 2, 3, 4, 5, 6}})
+	arg := make([]byte, 8)
+	binary.LittleEndian.PutUint64(arg, 9)
+	outs, err := cl.CallFunc("f", "test.sumRow", func(p Partition) []byte { return arg })
+	if err != nil {
+		t.Fatalf("CallFunc: %v", err)
+	}
+	var total float64
+	for _, o := range outs {
+		total += math.Float64frombits(binary.LittleEndian.Uint64(o))
+	}
+	if total != 21 {
+		t.Fatalf("partial sums total %v, want 21", total)
+	}
+}
+
+func TestBarrierBSP(t *testing.T) {
+	_, cl := newTestCluster(t, 1)
+	const workers = 5
+	var mu sync.Mutex
+	order := []int{}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mu.Lock()
+			order = append(order, 0) // arrived
+			mu.Unlock()
+			if err := cl.Barrier("epoch", 1, workers); err != nil {
+				t.Errorf("barrier: %v", err)
+				return
+			}
+			mu.Lock()
+			order = append(order, 1) // released
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	// All arrivals must precede all releases.
+	for i := 0; i < workers; i++ {
+		if order[i] != 0 {
+			t.Fatalf("release before all arrived: %v", order)
+		}
+	}
+}
+
+func TestBarrierSuccessiveEpochs(t *testing.T) {
+	_, cl := newTestCluster(t, 1)
+	for epoch := 0; epoch < 3; epoch++ {
+		var wg sync.WaitGroup
+		for w := 0; w < 3; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				cl.Barrier("e", epoch, 3)
+			}()
+		}
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("barrier deadlock at epoch %d", epoch)
+		}
+	}
+}
+
+func TestCheckpointRestoreAfterServerFailure(t *testing.T) {
+	c, cl := newTestCluster(t, 3)
+	v, _ := cl.CreateDenseVector(DenseVectorSpec{Name: "ranks", Size: 30})
+	vals := make([]float64, 30)
+	for i := range vals {
+		vals[i] = float64(i) * 1.5
+	}
+	v.SetAll(vals)
+	if err := cl.Checkpoint("ranks"); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	// Overwrite after the checkpoint; recovery must roll back only the
+	// failed partition (inconsistent-ok mode).
+	v.PushAdd([]int64{0, 29}, []float64{100, 100})
+
+	addr := c.ServerAddrs()[1]
+	c.KillServer(addr)
+	recovered := c.Master.CheckServers()
+	if len(recovered) != 1 || recovered[0] != addr {
+		t.Fatalf("recovered = %v", recovered)
+	}
+	got, err := v.PullAll()
+	if err != nil {
+		t.Fatalf("pull after recovery: %v", err)
+	}
+	// Partition 1 of 3 over 30 elements covers [10,20): it must hold the
+	// checkpointed values again.
+	for i := 10; i < 20; i++ {
+		if got[i] != vals[i] {
+			t.Fatalf("restored[%d] = %v, want %v", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestConsistentRecoveryRestoresAllPartitions(t *testing.T) {
+	c, cl := newTestCluster(t, 3)
+	v, _ := cl.CreateDenseVector(DenseVectorSpec{Name: "pr", Size: 30, ConsistentRecovery: true})
+	vals := make([]float64, 30)
+	for i := range vals {
+		vals[i] = 1
+	}
+	v.SetAll(vals)
+	cl.Checkpoint("pr")
+	// Mutate partitions on surviving servers too.
+	v.PushAdd([]int64{0, 15, 29}, []float64{5, 5, 5})
+	c.KillServer(c.ServerAddrs()[0])
+	c.Master.CheckServers()
+	got, _ := v.PullAll()
+	for i, x := range got {
+		if x != 1 {
+			t.Fatalf("consistent recovery left got[%d] = %v, want 1", i, x)
+		}
+	}
+}
+
+func TestRecoveryWithoutCheckpointGivesEmptyPartition(t *testing.T) {
+	c, cl := newTestCluster(t, 2)
+	v, _ := cl.CreateDenseVector(DenseVectorSpec{Name: "x", Size: 10})
+	v.Fill(7)
+	c.KillServer(c.ServerAddrs()[0])
+	c.Master.CheckServers()
+	got, err := v.PullAll()
+	if err != nil {
+		t.Fatalf("pull: %v", err)
+	}
+	// Partition 0 ([0,5)) was never checkpointed: must read as zeros.
+	for i := 0; i < 5; i++ {
+		if got[i] != 0 {
+			t.Fatalf("got[%d] = %v, want 0", i, got[i])
+		}
+	}
+	for i := 5; i < 10; i++ {
+		if got[i] != 7 {
+			t.Fatalf("got[%d] = %v, want 7", i, got[i])
+		}
+	}
+}
+
+func TestClientRetriesWhileServerDown(t *testing.T) {
+	c, cl := newTestCluster(t, 2)
+	v, _ := cl.CreateDenseVector(DenseVectorSpec{Name: "r", Size: 10})
+	v.Fill(1)
+	cl.Checkpoint("r")
+	addr := c.ServerAddrs()[0]
+	c.KillServer(addr)
+	// Recover 50ms later, while a pull is retrying.
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		c.Master.CheckServers()
+	}()
+	got, err := v.PullAll()
+	if err != nil {
+		t.Fatalf("pull during recovery: %v", err)
+	}
+	for i, x := range got {
+		if x != 1 {
+			t.Fatalf("got[%d] = %v", i, x)
+		}
+	}
+}
+
+func TestMonitorRecoversAutomatically(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{
+		NumServers: 2, NamePrefix: "mon", MonitorInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl := c.NewClient()
+	v, _ := cl.CreateDenseVector(DenseVectorSpec{Name: "m", Size: 4})
+	v.Fill(2)
+	cl.Checkpoint("m")
+	c.KillServer(c.ServerAddrs()[1])
+	got, err := v.PullAll() // retried until monitor restores the server
+	if err != nil {
+		t.Fatalf("pull: %v", err)
+	}
+	for _, x := range got {
+		if x != 2 {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestOptimizerStateSurvivesCheckpoint(t *testing.T) {
+	c, cl := newTestCluster(t, 1)
+	m, _ := cl.CreateMatrix(MatrixSpec{Name: "w", Rows: 1, Cols: 1, Opt: Adam(0.1)})
+	m.PushSet([]float64{3})
+	for i := 0; i < 50; i++ {
+		x, _ := m.PullAll()
+		m.PushGrad([]float64{2 * x[0]})
+	}
+	cl.Checkpoint("w")
+	mid, _ := m.PullAll()
+	c.KillServer(c.ServerAddrs()[0])
+	c.Master.CheckServers()
+	// Training continues from restored optimizer state and still converges.
+	for i := 0; i < 150; i++ {
+		x, _ := m.PullAll()
+		m.PushGrad([]float64{2 * x[0]})
+	}
+	x, _ := m.PullAll()
+	if math.Abs(x[0]) >= math.Abs(mid[0]) {
+		t.Fatalf("no progress after restore: before %v, after %v", mid[0], x[0])
+	}
+}
+
+func TestModelLifecycle(t *testing.T) {
+	_, cl := newTestCluster(t, 2)
+	if _, err := cl.CreateDenseVector(DenseVectorSpec{Name: "dup", Size: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.CreateDenseVector(DenseVectorSpec{Name: "dup", Size: 4}); err == nil {
+		t.Fatal("duplicate create succeeded")
+	}
+	if err := cl.DeleteModel("dup"); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if _, err := cl.CreateDenseVector(DenseVectorSpec{Name: "dup", Size: 4}); err != nil {
+		t.Fatalf("recreate after delete: %v", err)
+	}
+	if _, err := cl.GetModel("never"); err == nil {
+		t.Fatal("GetModel on missing model succeeded")
+	}
+}
+
+func TestPartitionForCoversAllKeys(t *testing.T) {
+	meta := layout(ModelMeta{Name: "x", Kind: DenseVector, Size: 1000}, []string{"a", "b", "c"})
+	for k := int64(0); k < 1000; k++ {
+		p := meta.PartitionFor(k)
+		part := meta.Parts[p]
+		if k < part.Lo || k >= part.Hi {
+			t.Fatalf("key %d mapped to partition [%d,%d)", k, part.Lo, part.Hi)
+		}
+	}
+	hmeta := layout(ModelMeta{Name: "h", Kind: Neighbor}, []string{"a", "b", "c"})
+	rng := rand.New(rand.NewSource(7))
+	counts := make([]int, 3)
+	for i := 0; i < 3000; i++ {
+		p := hmeta.PartitionFor(rng.Int63())
+		if p < 0 || p >= 3 {
+			t.Fatalf("hash partition out of range: %d", p)
+		}
+		counts[p]++
+	}
+	for i, c := range counts {
+		if c < 500 {
+			t.Fatalf("hash partition %d badly skewed: %v", i, counts)
+		}
+	}
+}
+
+func TestLayoutColumnPartitions(t *testing.T) {
+	meta := layout(ModelMeta{Kind: DenseMatrix, Size: 4, Dim: 10}, []string{"a", "b", "c"})
+	covered := make([]bool, 10)
+	for _, p := range meta.Parts {
+		for c := p.Col0; c < p.Col1; c++ {
+			if covered[c] {
+				t.Fatalf("column %d covered twice", c)
+			}
+			covered[c] = true
+		}
+	}
+	for c, ok := range covered {
+		if !ok {
+			t.Fatalf("column %d not covered", c)
+		}
+	}
+}
+
+func TestClusterOverTCP(t *testing.T) {
+	// The PS must work identically over a real network transport. TCP
+	// endpoints need real addresses, so wire the pieces manually.
+	tr := rpc.NewTCP()
+	defer tr.Close()
+	fs := dfs.NewDefault()
+	master := NewMaster("", tr)
+	masterAddr, err := tr.Listen(master.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	master.Addr = masterAddr
+	for i := 0; i < 2; i++ {
+		srv := NewServer("", fs)
+		addr, err := tr.Listen(srv.Handle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Addr = addr
+		if _, err := tr.Call(masterAddr, "RegisterServer", enc(registerServerReq{Addr: addr})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl := NewClient(tr, masterAddr)
+	v, err := cl.CreateDenseVector(DenseVectorSpec{Name: "net", Size: 20})
+	if err != nil {
+		t.Fatalf("create over tcp: %v", err)
+	}
+	if err := v.PushAdd([]int64{3, 17}, []float64{1.25, -4}); err != nil {
+		t.Fatalf("push over tcp: %v", err)
+	}
+	got, err := v.Pull([]int64{3, 17})
+	if err != nil {
+		t.Fatalf("pull over tcp: %v", err)
+	}
+	if got[0] != 1.25 || got[1] != -4 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestConcurrentPushesAggregate(t *testing.T) {
+	_, cl := newTestCluster(t, 3)
+	v, _ := cl.CreateDenseVector(DenseVectorSpec{Name: "agg", Size: 8})
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				v.PushAdd([]int64{0, 7}, []float64{1, 1})
+			}
+		}()
+	}
+	wg.Wait()
+	got, _ := v.PullAll()
+	if got[0] != 160 || got[7] != 160 {
+		t.Fatalf("lost updates: got %v", got)
+	}
+}
+
+func TestPartitionSchemes(t *testing.T) {
+	servers := []string{"a", "b", "c", "d"}
+	// Range: contiguous, covers the domain, monotone.
+	rng := layout(ModelMeta{Kind: SparseVector, Scheme: SchemeRange, Size: 1000}, servers)
+	prev := 0
+	for k := int64(0); k < 1000; k++ {
+		p := rng.PartitionFor(k)
+		if p < prev {
+			t.Fatalf("range partitioning not monotone at key %d", k)
+		}
+		prev = p
+	}
+	if rng.PartitionFor(0) != 0 || rng.PartitionFor(999) != 3 {
+		t.Fatalf("range endpoints: %d, %d", rng.PartitionFor(0), rng.PartitionFor(999))
+	}
+	// Out-of-domain keys clamp instead of panicking.
+	if p := rng.PartitionFor(-5); p != 0 {
+		t.Fatalf("negative key -> %d", p)
+	}
+	if p := rng.PartitionFor(5000); p != 3 {
+		t.Fatalf("overflow key -> %d", p)
+	}
+
+	// HashRange: valid partitions, reasonably balanced, deterministic.
+	hr := layout(ModelMeta{Kind: Neighbor, Scheme: SchemeHashRange}, servers)
+	counts := make([]int, 4)
+	for k := int64(0); k < 4000; k++ {
+		p := hr.PartitionFor(k)
+		if p < 0 || p >= 4 {
+			t.Fatalf("hash-range out of range: %d", p)
+		}
+		if p != hr.PartitionFor(k) {
+			t.Fatal("hash-range not deterministic")
+		}
+		counts[p]++
+	}
+	for i, c := range counts {
+		if c < 500 {
+			t.Fatalf("hash-range partition %d badly skewed: %v", i, counts)
+		}
+	}
+}
+
+func TestSparseVectorRangeSchemeRoundTrip(t *testing.T) {
+	_, cl := newTestCluster(t, 3)
+	s, err := cl.CreateSparseVectorWithScheme("rangevec", SchemeRange, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := map[int64]float64{}
+	for k := int64(0); k < 300; k += 7 {
+		m[k] = float64(k) * 1.5
+	}
+	if err := s.PushSet(m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.PullAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(m) {
+		t.Fatalf("got %d keys, want %d", len(got), len(m))
+	}
+	for k, v := range m {
+		if got[k] != v {
+			t.Fatalf("got[%d] = %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+func TestNeighborSealCSR(t *testing.T) {
+	c, cl := newTestCluster(t, 2)
+	n, err := cl.CreateNeighbor("csr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Push(map[int64][]int64{1: {5, 3}, 2: {9}})
+	n.Push(map[int64][]int64{1: {3, 7}}) // duplicate 3 must be deduped
+	// Seal every partition.
+	for addr, srv := range csrServers(c) {
+		_ = addr
+		for part := 0; part < len(n.Meta.Parts); part++ {
+			view, err := storeOf(srv).Partition("csr", part)
+			if err != nil {
+				continue // partition lives on the other server
+			}
+			view.SealCSR()
+		}
+	}
+	got, err := n.Pull([]int64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got[1]) != "[3 5 7]" {
+		t.Fatalf("csr adjacency = %v", got[1])
+	}
+	if fmt.Sprint(got[2]) != "[9]" {
+		t.Fatalf("csr adjacency = %v", got[2])
+	}
+	if _, ok := got[3]; ok {
+		t.Fatal("absent vertex present after seal")
+	}
+	// Pushes to a sealed partition must be rejected.
+	if err := n.Push(map[int64][]int64{1: {11}}); err == nil {
+		t.Fatal("push to sealed model succeeded")
+	}
+}
+
+func TestCSRSurvivesCheckpointRestore(t *testing.T) {
+	c, cl := newTestCluster(t, 2)
+	n, _ := cl.CreateNeighbor("csr2")
+	n.Push(map[int64][]int64{1: {2, 3}, 4: {5}})
+	for _, srv := range csrServers(c) {
+		for part := 0; part < len(n.Meta.Parts); part++ {
+			if view, err := storeOf(srv).Partition("csr2", part); err == nil {
+				view.SealCSR()
+			}
+		}
+	}
+	if err := cl.Checkpoint("csr2"); err != nil {
+		t.Fatal(err)
+	}
+	victim := c.ServerAddrs()[0]
+	c.KillServer(victim)
+	c.Master.CheckServers()
+	got, err := n.Pull([]int64{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got[1]) != "[2 3]" || fmt.Sprint(got[4]) != "[5]" {
+		t.Fatalf("restored CSR = %v", got)
+	}
+}
+
+// csrServers exposes the live server map for white-box CSR tests.
+func csrServers(c *Cluster) map[string]*Server {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]*Server, len(c.servers))
+	for k, v := range c.servers {
+		out[k] = v
+	}
+	return out
+}
+
+func storeOf(s *Server) *Store { return s.store }
+
+func TestMultiplePartitionsPerServer(t *testing.T) {
+	_, cl := newTestCluster(t, 2)
+	v, err := cl.CreateDenseVector(DenseVectorSpec{Name: "multi", Size: 100, Partitions: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Meta.Parts) != 7 {
+		t.Fatalf("parts = %d, want 7", len(v.Meta.Parts))
+	}
+	// Ranges must tile [0, 100).
+	var covered int64
+	for _, p := range v.Meta.Parts {
+		covered += p.Hi - p.Lo
+	}
+	if covered != 100 {
+		t.Fatalf("ranges cover %d, want 100", covered)
+	}
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	if err := v.SetAll(vals); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.PullAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("got[%d] = %v", i, got[i])
+		}
+	}
+	// Point access works through the range scan.
+	one, err := v.Pull([]int64{93})
+	if err != nil || one[0] != 93 {
+		t.Fatalf("pull 93 = %v, %v", one, err)
+	}
+}
+
+func TestMultiPartitionEmbeddingColumns(t *testing.T) {
+	_, cl := newTestCluster(t, 2)
+	e, err := cl.CreateEmbedding(EmbeddingSpec{Name: "mpc", Dim: 10, ByColumn: true, Partitions: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Meta.Parts) != 5 {
+		t.Fatalf("parts = %d", len(e.Meta.Parts))
+	}
+	vec := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if err := e.PushSet(map[int64][]float64{3: vec}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Pull([]int64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vec {
+		if got[3][i] != vec[i] {
+			t.Fatalf("dim %d = %v", i, got[3][i])
+		}
+	}
+}
+
+func TestMultiPartitionRecovery(t *testing.T) {
+	c, cl := newTestCluster(t, 2)
+	v, _ := cl.CreateDenseVector(DenseVectorSpec{Name: "mr", Size: 40, Partitions: 6})
+	v.Fill(3)
+	cl.Checkpoint("mr")
+	// Killing one of two servers loses three of six partitions.
+	c.KillServer(c.ServerAddrs()[0])
+	c.Master.CheckServers()
+	got, err := v.PullAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range got {
+		if x != 3 {
+			t.Fatalf("got[%d] = %v after multi-partition recovery", i, x)
+		}
+	}
+}
+
+func TestPeriodicCheckpointRecovers(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{
+		NumServers:         2,
+		NamePrefix:         "periodic",
+		MonitorInterval:    5 * time.Millisecond,
+		CheckpointInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl := c.NewClient()
+	v, _ := cl.CreateDenseVector(DenseVectorSpec{Name: "auto", Size: 8})
+	v.Fill(5)
+	// No explicit Checkpoint call: the periodic snapshot must cover us.
+	deadline := time.Now().Add(2 * time.Second)
+	for !c.FS.Exists(CheckpointPath("auto", 0)) {
+		if time.Now().After(deadline) {
+			t.Fatal("periodic checkpoint never appeared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	c.KillServer(c.ServerAddrs()[0])
+	got, err := v.PullAll() // monitor recovers; restore uses the periodic snapshot
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range got {
+		if x != 5 {
+			t.Fatalf("got[%d] = %v after periodic-checkpoint recovery", i, x)
+		}
+	}
+}
+
+func TestClusterStats(t *testing.T) {
+	c, cl := newTestCluster(t, 2)
+	v, _ := cl.CreateDenseVector(DenseVectorSpec{Name: "sv", Size: 1000})
+	v.Fill(1)
+	n, _ := cl.CreateNeighbor("sn")
+	n.Push(map[int64][]int64{1: {2, 3, 4}, 5: {6}})
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("stats for %d servers", len(stats))
+	}
+	var bytes int64
+	var parts int
+	for _, s := range stats {
+		bytes += s.Bytes
+		parts += s.Partitions
+	}
+	if bytes < 8000 { // the dense vector alone is 8000 bytes
+		t.Fatalf("resident bytes = %d", bytes)
+	}
+	if parts != 4 { // 2 models x 2 partitions
+		t.Fatalf("partitions = %d", parts)
+	}
+}
+
+func TestRecoveryCountAndRestoreModel(t *testing.T) {
+	c, cl := newTestCluster(t, 2)
+	v, _ := cl.CreateDenseVector(DenseVectorSpec{Name: "rc", Size: 10})
+	v.Fill(4)
+	cl.Checkpoint("rc")
+	n0, err := cl.RecoveryCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.KillServer(c.ServerAddrs()[0])
+	c.Master.CheckServers()
+	n1, err := cl.RecoveryCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != n0+1 {
+		t.Fatalf("recovery count %d -> %d", n0, n1)
+	}
+	// Taint the surviving partitions, then roll the whole model back.
+	v.PushAdd([]int64{0, 9}, []float64{100, 100})
+	if err := cl.RestoreModel("rc"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := v.PullAll()
+	for i, x := range got {
+		if x != 4 {
+			t.Fatalf("got[%d] = %v after RestoreModel", i, x)
+		}
+	}
+	if err := cl.RestoreModel("missing"); err == nil {
+		t.Fatal("restore of unknown model succeeded")
+	}
+}
+
+func TestVectorPushMinMax(t *testing.T) {
+	_, cl := newTestCluster(t, 2)
+	v, _ := cl.CreateDenseVector(DenseVectorSpec{Name: "mm", Size: 4})
+	v.SetAll([]float64{5, 5, 5, 5})
+	if err := v.PushMin([]int64{0, 1}, []float64{3, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.PushMax([]int64{2, 3}, []float64{9, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := v.PullAll()
+	want := []float64{3, 5, 9, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestClusterOverTCPTransport(t *testing.T) {
+	// The cluster constructor must wire real TCP endpoints end-to-end,
+	// including kill/recovery at the same host:port.
+	c, err := NewCluster(ClusterConfig{
+		NumServers: 2,
+		Transport:  rpc.NewTCP(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl := c.NewClient()
+	v, err := cl.CreateDenseVector(DenseVectorSpec{Name: "tcp", Size: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Fill(2.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Checkpoint("tcp"); err != nil {
+		t.Fatal(err)
+	}
+	victim := c.ServerAddrs()[1]
+	c.KillServer(victim)
+	if got := c.Master.CheckServers(); len(got) != 1 {
+		t.Fatalf("recovered = %v", got)
+	}
+	got, err := v.PullAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range got {
+		if x != 2.5 {
+			t.Fatalf("got[%d] = %v after tcp recovery", i, x)
+		}
+	}
+}
+
+func TestHandleGettersAndKindString(t *testing.T) {
+	_, cl := newTestCluster(t, 2)
+	cl.CreateDenseVector(DenseVectorSpec{Name: "hv", Size: 4})
+	cl.CreateEmbedding(EmbeddingSpec{Name: "he", Dim: 2})
+	cl.CreateNeighbor("hn")
+	cl.CreateMatrix(MatrixSpec{Name: "hm", Rows: 1, Cols: 2})
+
+	if _, err := cl.Vector("hv"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Embedding("he"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Neighbor("hn"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Matrix("hm"); err != nil {
+		t.Fatal(err)
+	}
+	// Kind mismatches are rejected.
+	if _, err := cl.Vector("he"); err == nil {
+		t.Fatal("Vector() accepted an embedding model")
+	}
+	if _, err := cl.Embedding("hv"); err == nil {
+		t.Fatal("Embedding() accepted a vector model")
+	}
+	if _, err := cl.Neighbor("hm"); err == nil {
+		t.Fatal("Neighbor() accepted a matrix model")
+	}
+	if _, err := cl.Matrix("hn"); err == nil {
+		t.Fatal("Matrix() accepted a neighbor model")
+	}
+	// A second client resolves layouts through the master (cache miss).
+	// Kind names render for diagnostics.
+	for k := DenseVector; k <= DenseMatrix; k++ {
+		if k.String() == "" || k.String()[0] == 'K' {
+			t.Fatalf("Kind(%d).String() = %q", k, k.String())
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Fatalf("unknown kind renders %q", Kind(99).String())
+	}
+}
+
+func TestSecondClientResolvesViaMaster(t *testing.T) {
+	c, cl := newTestCluster(t, 2)
+	v, _ := cl.CreateDenseVector(DenseVectorSpec{Name: "shared", Size: 6})
+	v.Fill(3)
+	other := c.NewClient()
+	got, err := other.Vector("shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := got.PullAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[5] != 3 {
+		t.Fatalf("second client sees %v", vals)
+	}
+	if got.Meta.NumParts() != 2 {
+		t.Fatalf("parts = %d", got.Meta.NumParts())
+	}
+	if _, err := other.Vector("missing"); err == nil {
+		t.Fatal("missing model resolved")
+	}
+}
+
+func TestVectorPushSetPointwise(t *testing.T) {
+	_, cl := newTestCluster(t, 2)
+	v, _ := cl.CreateDenseVector(DenseVectorSpec{Name: "pp", Size: 6})
+	v.Fill(1)
+	if err := v.PushSet([]int64{0, 5}, []float64{9, 8}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := v.PullAll()
+	if got[0] != 9 || got[5] != 8 || got[3] != 1 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestClientCommCounters(t *testing.T) {
+	_, cl := newTestCluster(t, 2)
+	cl.ResetComm()
+	v, _ := cl.CreateDenseVector(DenseVectorSpec{Name: "cc", Size: 100})
+	v.Fill(1)
+	v.PullAll()
+	sent, recv := cl.Comm()
+	if sent <= 0 || recv <= 0 {
+		t.Fatalf("comm counters: sent=%d recv=%d", sent, recv)
+	}
+	cl.ResetComm()
+	s2, r2 := cl.Comm()
+	if s2 != 0 || r2 != 0 {
+		t.Fatal("counters not reset")
+	}
+}

@@ -1,0 +1,780 @@
+package ps
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"psgraph/internal/dfs"
+)
+
+// partition is one shard of a model held by a server. Exactly one of the
+// storage fields is used, selected by meta.Kind.
+type partition struct {
+	mu   sync.RWMutex
+	meta ModelMeta
+	idx  int
+
+	vec    []float64 // DenseVector: indices [lo, hi)
+	lo, hi int64
+
+	m map[int64]float64 // SparseVector
+
+	emb map[int64][]float64 // Embedding / ColumnEmbedding (width = embWidth)
+
+	nbr map[int64][]int64 // Neighbor (build form)
+	// Sealed Neighbor partitions are converted to CSR (Sec. III-A lists
+	// CSR among the PS data structures): one sorted id array, offsets,
+	// and a single flat adjacency array. Compact and cache-friendly for
+	// the read-only phase of CN/triangle/GraphSage workloads.
+	csrIDs []int64
+	csrOff []int64
+	csrAdj []int64
+
+	mat        []float64 // DenseMatrix: rows x (col1-col0), row-major
+	col0, col1 int
+
+	// Server-side optimizer state (the paper implements Adam/AdaGrad on
+	// the PS via psFunc so executors stay stateless).
+	step   int
+	mom    map[int64][]float64
+	vel    map[int64][]float64
+	matMom []float64
+	matVel []float64
+}
+
+// embWidth is the per-key vector width stored in this partition.
+func (p *partition) embWidth() int {
+	if p.meta.Kind == ColumnEmbedding {
+		return p.col1 - p.col0
+	}
+	return p.meta.Dim
+}
+
+// initRow deterministically initializes the stored slice for id, honoring
+// InitScale. For ColumnEmbedding the full Dim-wide vector is generated and
+// sliced, so values do not depend on the partition layout.
+func (p *partition) initRow(id int64) []float64 {
+	w := p.embWidth()
+	if p.meta.InitScale == 0 {
+		return make([]float64, w)
+	}
+	rng := rand.New(rand.NewSource(id*2654435761 + 12345))
+	full := make([]float64, p.meta.Dim)
+	for i := range full {
+		full[i] = (rng.Float64()*2 - 1) * p.meta.InitScale
+	}
+	if p.meta.Kind == ColumnEmbedding {
+		out := make([]float64, w)
+		copy(out, full[p.col0:p.col1])
+		return out
+	}
+	return full
+}
+
+func (p *partition) row(id int64) []float64 {
+	v, ok := p.emb[id]
+	if !ok {
+		v = p.initRow(id)
+		p.emb[id] = v
+	}
+	return v
+}
+
+// PSFunc is a user-defined function executed server-side against one model
+// partition. The store argument gives access to co-located partitions of
+// other models on the same server (the paper's LINE implementation relies
+// on this to compute partial dot products between the embedding and
+// context models, which are column-partitioned with the same layout).
+type PSFunc func(s *Store, model string, part int, arg []byte) ([]byte, error)
+
+var (
+	funcMu  sync.RWMutex
+	funcReg = make(map[string]PSFunc)
+)
+
+// RegisterFunc installs a named psFunc. Registration is global (mirrors
+// shipping user JARs to the servers) and must happen before use.
+func RegisterFunc(name string, f PSFunc) {
+	funcMu.Lock()
+	defer funcMu.Unlock()
+	funcReg[name] = f
+}
+
+func lookupFunc(name string) (PSFunc, bool) {
+	funcMu.RLock()
+	defer funcMu.RUnlock()
+	f, ok := funcReg[name]
+	return f, ok
+}
+
+// Store is the partition container of one server, exposed to psFuncs.
+type Store struct {
+	mu    sync.RWMutex
+	parts map[string]map[int]*partition
+}
+
+func newStore() *Store {
+	return &Store{parts: make(map[string]map[int]*partition)}
+}
+
+func (s *Store) get(model string, idx int) (*partition, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	byIdx, ok := s.parts[model]
+	if !ok {
+		return nil, fmt.Errorf("ps: model %q not on this server", model)
+	}
+	p, ok := byIdx[idx]
+	if !ok {
+		return nil, fmt.Errorf("ps: model %q partition %d not on this server", model, idx)
+	}
+	return p, nil
+}
+
+func (s *Store) put(p *partition) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	byIdx, ok := s.parts[p.meta.Name]
+	if !ok {
+		byIdx = make(map[int]*partition)
+		s.parts[p.meta.Name] = byIdx
+	}
+	byIdx[p.idx] = p
+}
+
+func (s *Store) delete(model string) {
+	s.mu.Lock()
+	delete(s.parts, model)
+	s.mu.Unlock()
+}
+
+// Partition returns the typed view of a co-located partition for psFuncs.
+// See LINE's dot-product function for the canonical use.
+func (s *Store) Partition(model string, idx int) (*PartView, error) {
+	p, err := s.get(model, idx)
+	if err != nil {
+		return nil, err
+	}
+	return &PartView{p: p}, nil
+}
+
+// PartView is the limited interface a psFunc gets to a partition.
+type PartView struct{ p *partition }
+
+// Row returns (and lazily initializes) the stored vector for id. The
+// caller must not retain the slice across calls. Only valid for Embedding
+// and ColumnEmbedding partitions.
+func (v *PartView) Row(id int64) []float64 {
+	v.p.mu.Lock()
+	defer v.p.mu.Unlock()
+	return v.p.row(id)
+}
+
+// Cols returns the column range stored by this partition.
+func (v *PartView) Cols() (int, int) { return v.p.col0, v.p.col1 }
+
+// Width returns the per-key stored vector width.
+func (v *PartView) Width() int { return v.p.embWidth() }
+
+// Lock acquires the partition write lock for a multi-row operation and
+// returns the unlock function together with a raw row accessor.
+func (v *PartView) Lock() (rows func(id int64) []float64, unlock func()) {
+	v.p.mu.Lock()
+	return v.p.row, v.p.mu.Unlock
+}
+
+// VecLock acquires the write lock of a DenseVector partition and returns
+// its backing slice and range start. psFuncs touching several co-located
+// partitions must acquire VecLocks in a consistent (model-name) order.
+func (v *PartView) VecLock() (data []float64, lo int64, unlock func()) {
+	v.p.mu.Lock()
+	return v.p.vec, v.p.lo, v.p.mu.Unlock
+}
+
+// MapLock acquires the write lock of a SparseVector partition and returns
+// the backing map.
+func (v *PartView) MapLock() (m map[int64]float64, unlock func()) {
+	v.p.mu.Lock()
+	return v.p.m, v.p.mu.Unlock
+}
+
+// NbrLock acquires the write lock of a Neighbor partition and returns the
+// backing adjacency map (nil once the partition is sealed to CSR).
+func (v *PartView) NbrLock() (m map[int64][]int64, unlock func()) {
+	v.p.mu.Lock()
+	return v.p.nbr, v.p.mu.Unlock
+}
+
+// SealCSR converts a Neighbor partition from its build-form map into
+// compact CSR storage (sorted, deduplicated) and returns the vertex
+// count. Subsequent pushes to the partition are rejected. Idempotent.
+func (v *PartView) SealCSR() int64 {
+	v.p.mu.Lock()
+	defer v.p.mu.Unlock()
+	if v.p.csrIDs != nil {
+		return int64(len(v.p.csrIDs))
+	}
+	return v.p.sealCSR()
+}
+
+// Server holds model partitions in memory and serves pull/push/psFunc
+// requests. A server is stateless across restarts: recovery reloads
+// partitions from the last checkpoint in the DFS.
+type Server struct {
+	Addr  string
+	fs    *dfs.FS
+	store *Store
+}
+
+// NewServer creates a server that checkpoints to fs.
+func NewServer(addr string, fs *dfs.FS) *Server {
+	return &Server{Addr: addr, fs: fs, store: newStore()}
+}
+
+// Handle dispatches one RPC. It is the rpc.Handler of the server.
+func (s *Server) Handle(method string, body []byte) ([]byte, error) {
+	switch method {
+	case "Ping":
+		return nil, nil
+	case "CreatePart":
+		var req createPartReq
+		if err := dec(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, s.createPart(req.Meta, req.Part)
+	case "VecPull":
+		var req vecPullReq
+		if err := dec(body, &req); err != nil {
+			return nil, err
+		}
+		resp, err := s.vecPull(req)
+		if err != nil {
+			return nil, err
+		}
+		return enc(resp), nil
+	case "VecPush":
+		var req vecPushReq
+		if err := dec(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, s.vecPush(req)
+	case "MapPull":
+		var req mapPullReq
+		if err := dec(body, &req); err != nil {
+			return nil, err
+		}
+		resp, err := s.mapPull(req)
+		if err != nil {
+			return nil, err
+		}
+		return enc(resp), nil
+	case "MapPush":
+		var req mapPushReq
+		if err := dec(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, s.mapPush(req)
+	case "EmbPull":
+		var req embPullReq
+		if err := dec(body, &req); err != nil {
+			return nil, err
+		}
+		resp, err := s.embPull(req)
+		if err != nil {
+			return nil, err
+		}
+		return enc(resp), nil
+	case "EmbPush":
+		var req embPushReq
+		if err := dec(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, s.embPush(req)
+	case "NbrPull":
+		var req nbrPullReq
+		if err := dec(body, &req); err != nil {
+			return nil, err
+		}
+		resp, err := s.nbrPull(req)
+		if err != nil {
+			return nil, err
+		}
+		return enc(resp), nil
+	case "NbrPush":
+		var req nbrPushReq
+		if err := dec(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, s.nbrPush(req)
+	case "MatPull":
+		var req matPullReq
+		if err := dec(body, &req); err != nil {
+			return nil, err
+		}
+		resp, err := s.matPull(req)
+		if err != nil {
+			return nil, err
+		}
+		return enc(resp), nil
+	case "MatPush":
+		var req matPushReq
+		if err := dec(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, s.matPush(req)
+	case "Func":
+		var req funcReq
+		if err := dec(body, &req); err != nil {
+			return nil, err
+		}
+		f, ok := lookupFunc(req.Name)
+		if !ok {
+			return nil, fmt.Errorf("ps: psFunc %q not registered", req.Name)
+		}
+		out, err := f(s.store, req.Model, req.Part, req.Arg)
+		if err != nil {
+			return nil, err
+		}
+		return enc(funcResp{Out: out}), nil
+	case "Checkpoint":
+		var req ckptReq
+		if err := dec(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, s.checkpoint(req.Model, req.Part)
+	case "Restore":
+		var req restoreReq
+		if err := dec(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, s.restore(req.Meta, req.Part)
+	case "Stats":
+		return enc(s.stats()), nil
+	case "DeleteModel":
+		var req deleteModelReq
+		if err := dec(body, &req); err != nil {
+			return nil, err
+		}
+		s.store.delete(req.Name)
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("ps: server: unknown method %q", method)
+	}
+}
+
+func (s *Server) createPart(meta ModelMeta, idx int) error {
+	if idx < 0 || idx >= len(meta.Parts) {
+		return fmt.Errorf("ps: partition %d out of range for %s", idx, meta.Name)
+	}
+	pm := meta.Parts[idx]
+	p := &partition{meta: meta, idx: idx}
+	switch meta.Kind {
+	case DenseVector:
+		p.lo, p.hi = pm.Lo, pm.Hi
+		p.vec = make([]float64, pm.Hi-pm.Lo)
+	case SparseVector:
+		p.m = make(map[int64]float64)
+	case Embedding:
+		p.emb = make(map[int64][]float64)
+	case ColumnEmbedding:
+		p.col0, p.col1 = pm.Col0, pm.Col1
+		p.emb = make(map[int64][]float64)
+	case Neighbor:
+		p.nbr = make(map[int64][]int64)
+	case DenseMatrix:
+		p.col0, p.col1 = pm.Col0, pm.Col1
+		p.mat = make([]float64, int(meta.Size)*(pm.Col1-pm.Col0))
+	default:
+		return fmt.Errorf("ps: unknown kind %v", meta.Kind)
+	}
+	s.store.put(p)
+	return nil
+}
+
+func (s *Server) vecPull(req vecPullReq) (vecPullResp, error) {
+	p, err := s.store.get(req.Model, req.Part)
+	if err != nil {
+		return vecPullResp{}, err
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if req.Indices == nil {
+		out := make([]float64, len(p.vec))
+		copy(out, p.vec)
+		return vecPullResp{Values: out, Lo: p.lo}, nil
+	}
+	out := make([]float64, len(req.Indices))
+	for i, idx := range req.Indices {
+		if idx < p.lo || idx >= p.hi {
+			return vecPullResp{}, fmt.Errorf("ps: index %d outside partition [%d,%d)", idx, p.lo, p.hi)
+		}
+		out[i] = p.vec[idx-p.lo]
+	}
+	return vecPullResp{Values: out, Lo: p.lo}, nil
+}
+
+func (s *Server) vecPush(req vecPushReq) error {
+	p, err := s.store.get(req.Model, req.Part)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	combine := func(slot *float64, v float64) {
+		switch req.Op {
+		case vecSet:
+			*slot = v
+		case vecMin:
+			if v < *slot {
+				*slot = v
+			}
+		case vecMax:
+			if v > *slot {
+				*slot = v
+			}
+		default:
+			*slot += v
+		}
+	}
+	if req.Indices == nil {
+		if len(req.Values) != len(p.vec) {
+			return fmt.Errorf("ps: full push size %d != partition size %d", len(req.Values), len(p.vec))
+		}
+		for i, v := range req.Values {
+			combine(&p.vec[i], v)
+		}
+		return nil
+	}
+	for i, idx := range req.Indices {
+		if idx < p.lo || idx >= p.hi {
+			return fmt.Errorf("ps: index %d outside partition [%d,%d)", idx, p.lo, p.hi)
+		}
+		combine(&p.vec[idx-p.lo], req.Values[i])
+	}
+	return nil
+}
+
+func (s *Server) mapPull(req mapPullReq) (mapPullResp, error) {
+	p, err := s.store.get(req.Model, req.Part)
+	if err != nil {
+		return mapPullResp{}, err
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make(map[int64]float64)
+	if req.Keys == nil {
+		for k, v := range p.m {
+			out[k] = v
+		}
+	} else {
+		for _, k := range req.Keys {
+			if v, ok := p.m[k]; ok {
+				out[k] = v
+			}
+		}
+	}
+	return mapPullResp{M: out}, nil
+}
+
+func (s *Server) mapPush(req mapPushReq) error {
+	p, err := s.store.get(req.Model, req.Part)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for k, v := range req.M {
+		if req.Set {
+			p.m[k] = v
+		} else {
+			p.m[k] += v
+		}
+	}
+	return nil
+}
+
+func (s *Server) embPull(req embPullReq) (embPullResp, error) {
+	p, err := s.store.get(req.Model, req.Part)
+	if err != nil {
+		return embPullResp{}, err
+	}
+	p.mu.Lock() // write lock: pulls may lazily materialize rows
+	defer p.mu.Unlock()
+	out := make(map[int64][]float64, len(req.IDs))
+	for _, id := range req.IDs {
+		src := p.row(id)
+		cp := make([]float64, len(src))
+		copy(cp, src)
+		out[id] = cp
+	}
+	return embPullResp{Vecs: out}, nil
+}
+
+func (s *Server) embPush(req embPushReq) error {
+	p, err := s.store.get(req.Model, req.Part)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if req.Grad {
+		p.step++
+	}
+	for id, vals := range req.Vecs {
+		row := p.row(id)
+		if len(vals) != len(row) {
+			return fmt.Errorf("ps: push width %d != row width %d", len(vals), len(row))
+		}
+		switch {
+		case req.Set:
+			copy(row, vals)
+		case req.Grad:
+			p.applyGrad(id, row, vals)
+		default:
+			for i, v := range vals {
+				row[i] += v
+			}
+		}
+	}
+	return nil
+}
+
+// applyGrad applies the model's optimizer to one row, updating per-key
+// moment state.
+func (p *partition) applyGrad(id int64, row, grad []float64) {
+	opt := p.meta.Opt
+	switch opt.Kind {
+	case OptNone:
+		for i, g := range grad {
+			row[i] += g
+		}
+	case OptSGD:
+		for i, g := range grad {
+			row[i] -= opt.LR * g
+		}
+	case OptAdaGrad:
+		if p.vel == nil {
+			p.vel = make(map[int64][]float64)
+		}
+		acc, ok := p.vel[id]
+		if !ok {
+			acc = make([]float64, len(row))
+			p.vel[id] = acc
+		}
+		for i, g := range grad {
+			acc[i] += g * g
+			row[i] -= opt.LR * g / (math.Sqrt(acc[i]) + opt.Eps)
+		}
+	case OptAdam:
+		if p.mom == nil {
+			p.mom = make(map[int64][]float64)
+			p.vel = make(map[int64][]float64)
+		}
+		m, ok := p.mom[id]
+		if !ok {
+			m = make([]float64, len(row))
+			p.mom[id] = m
+		}
+		v, ok := p.vel[id]
+		if !ok {
+			v = make([]float64, len(row))
+			p.vel[id] = v
+		}
+		b1c := 1 - math.Pow(opt.Beta1, float64(p.step))
+		b2c := 1 - math.Pow(opt.Beta2, float64(p.step))
+		for i, g := range grad {
+			m[i] = opt.Beta1*m[i] + (1-opt.Beta1)*g
+			v[i] = opt.Beta2*v[i] + (1-opt.Beta2)*g*g
+			row[i] -= opt.LR * (m[i] / b1c) / (math.Sqrt(v[i]/b2c) + opt.Eps)
+		}
+	}
+}
+
+// csrLookup returns the adjacency of id from the CSR form, or nil.
+func (p *partition) csrLookup(id int64) []int64 {
+	n := len(p.csrIDs)
+	i := sort.Search(n, func(i int) bool { return p.csrIDs[i] >= id })
+	if i >= n || p.csrIDs[i] != id {
+		return nil
+	}
+	return p.csrAdj[p.csrOff[i]:p.csrOff[i+1]]
+}
+
+// sealCSR converts the build-form adjacency map into CSR, sorting and
+// deduplicating every list, and drops the map. Returns the vertex count.
+func (p *partition) sealCSR() int64 {
+	ids := make([]int64, 0, len(p.nbr))
+	var total int
+	for id, ns := range p.nbr {
+		ids = append(ids, id)
+		total += len(ns)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	p.csrIDs = ids
+	p.csrOff = make([]int64, len(ids)+1)
+	p.csrAdj = make([]int64, 0, total)
+	for i, id := range ids {
+		ns := p.nbr[id]
+		sort.Slice(ns, func(a, b int) bool { return ns[a] < ns[b] })
+		var prev int64 = -1 << 62
+		for _, x := range ns {
+			if x != prev {
+				p.csrAdj = append(p.csrAdj, x)
+				prev = x
+			}
+		}
+		p.csrOff[i+1] = int64(len(p.csrAdj))
+	}
+	p.nbr = nil
+	return int64(len(ids))
+}
+
+func (s *Server) nbrPull(req nbrPullReq) (nbrPullResp, error) {
+	p, err := s.store.get(req.Model, req.Part)
+	if err != nil {
+		return nbrPullResp{}, err
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make(map[int64][]int64, len(req.IDs))
+	if p.csrIDs != nil {
+		for _, id := range req.IDs {
+			if ns := p.csrLookup(id); ns != nil {
+				cp := make([]int64, len(ns))
+				copy(cp, ns)
+				out[id] = cp
+			}
+		}
+		return nbrPullResp{Tables: out}, nil
+	}
+	for _, id := range req.IDs {
+		if ns, ok := p.nbr[id]; ok {
+			cp := make([]int64, len(ns))
+			copy(cp, ns)
+			out[id] = cp
+		}
+	}
+	return nbrPullResp{Tables: out}, nil
+}
+
+func (s *Server) nbrPush(req nbrPushReq) error {
+	p, err := s.store.get(req.Model, req.Part)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.csrIDs != nil {
+		return fmt.Errorf("ps: model %q partition %d is sealed (CSR); pushes are rejected", req.Model, req.Part)
+	}
+	for id, ns := range req.Tables {
+		p.nbr[id] = append(p.nbr[id], ns...)
+	}
+	return nil
+}
+
+func (s *Server) matPull(req matPullReq) (matPullResp, error) {
+	p, err := s.store.get(req.Model, req.Part)
+	if err != nil {
+		return matPullResp{}, err
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]float64, len(p.mat))
+	copy(out, p.mat)
+	return matPullResp{Col0: p.col0, Col1: p.col1, Data: out}, nil
+}
+
+func (s *Server) matPush(req matPushReq) error {
+	p, err := s.store.get(req.Model, req.Part)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(req.Data) != len(p.mat) {
+		return fmt.Errorf("ps: matrix push size %d != partition size %d", len(req.Data), len(p.mat))
+	}
+	switch {
+	case req.Set:
+		copy(p.mat, req.Data)
+	case req.Grad:
+		p.step++
+		p.applyMatGrad(req.Data)
+	default:
+		for i, v := range req.Data {
+			p.mat[i] += v
+		}
+	}
+	return nil
+}
+
+func (p *partition) applyMatGrad(grad []float64) {
+	opt := p.meta.Opt
+	switch opt.Kind {
+	case OptNone:
+		for i, g := range grad {
+			p.mat[i] += g
+		}
+	case OptSGD:
+		for i, g := range grad {
+			p.mat[i] -= opt.LR * g
+		}
+	case OptAdaGrad:
+		if p.matVel == nil {
+			p.matVel = make([]float64, len(p.mat))
+		}
+		for i, g := range grad {
+			p.matVel[i] += g * g
+			p.mat[i] -= opt.LR * g / (math.Sqrt(p.matVel[i]) + opt.Eps)
+		}
+	case OptAdam:
+		if p.matMom == nil {
+			p.matMom = make([]float64, len(p.mat))
+			p.matVel = make([]float64, len(p.mat))
+		}
+		b1c := 1 - math.Pow(opt.Beta1, float64(p.step))
+		b2c := 1 - math.Pow(opt.Beta2, float64(p.step))
+		for i, g := range grad {
+			p.matMom[i] = opt.Beta1*p.matMom[i] + (1-opt.Beta1)*g
+			p.matVel[i] = opt.Beta2*p.matVel[i] + (1-opt.Beta2)*g*g
+			p.mat[i] -= opt.LR * (p.matMom[i] / b1c) / (math.Sqrt(p.matVel[i]/b2c) + opt.Eps)
+		}
+	}
+}
+
+// stats walks the partitions and reports approximate resident bytes —
+// the server-side counterpart of the executor memory accounting, used to
+// compare model footprints against the paper's server sizing.
+func (s *Server) stats() statsResp {
+	s.store.mu.RLock()
+	defer s.store.mu.RUnlock()
+	var resp statsResp
+	seen := map[string]bool{}
+	for model, parts := range s.store.parts {
+		if !seen[model] {
+			seen[model] = true
+			resp.Models = append(resp.Models, model)
+		}
+		for _, p := range parts {
+			resp.Partitions++
+			p.mu.RLock()
+			resp.Bytes += int64(len(p.vec)) * 8
+			resp.Bytes += int64(len(p.m)) * 16
+			for _, row := range p.emb {
+				resp.Bytes += 8 + int64(len(row))*8
+			}
+			for _, ns := range p.nbr {
+				resp.Bytes += 8 + int64(len(ns))*8
+			}
+			resp.Bytes += int64(len(p.csrIDs))*8 + int64(len(p.csrOff))*8 + int64(len(p.csrAdj))*8
+			resp.Bytes += int64(len(p.mat)) * 8
+			p.mu.RUnlock()
+		}
+	}
+	sort.Strings(resp.Models)
+	return resp
+}

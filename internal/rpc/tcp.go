@@ -1,0 +1,207 @@
+package rpc
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// tcpRequest is the on-wire request frame.
+type tcpRequest struct {
+	Method string
+	Body   []byte
+}
+
+// tcpResponse is the on-wire response frame.
+type tcpResponse struct {
+	Body []byte
+	Err  string
+}
+
+// tcpConn bundles a pooled connection with its persistent gob stream
+// state. Gob encoders transmit type definitions once per stream, so the
+// encoder/decoder pair must live as long as the connection.
+type tcpConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// TCP is a Transport whose endpoints are real TCP listeners on localhost.
+// Each Register starts a listener; the returned address (host:port) is the
+// endpoint name used by Call. Connections are pooled per destination.
+type TCP struct {
+	mu        sync.Mutex
+	listeners map[string]net.Listener
+	pools     map[string]chan *tcpConn
+	closed    bool
+}
+
+// NewTCP returns a TCP transport.
+func NewTCP() *TCP {
+	return &TCP{
+		listeners: make(map[string]net.Listener),
+		pools:     make(map[string]chan *tcpConn),
+	}
+}
+
+// Listen starts a listener on an ephemeral localhost port, serves h on it,
+// and returns the bound address. This is the usual way to create a TCP
+// endpoint when the caller does not care about the port.
+func (t *TCP) Listen(h Handler) (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	t.mu.Lock()
+	t.listeners[addr] = ln
+	t.mu.Unlock()
+	go t.serve(ln, h)
+	return addr, nil
+}
+
+// Register implements Transport. addr must be a host:port to bind.
+func (t *TCP) Register(addr string, h Handler) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	if old, ok := t.listeners[addr]; ok {
+		old.Close()
+	}
+	t.listeners[addr] = ln
+	t.mu.Unlock()
+	go t.serve(ln, h)
+	return nil
+}
+
+// Deregister implements Transport.
+func (t *TCP) Deregister(addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ln, ok := t.listeners[addr]; ok {
+		ln.Close()
+		delete(t.listeners, addr)
+	}
+	if pool, ok := t.pools[addr]; ok {
+		close(pool)
+		for c := range pool {
+			c.conn.Close()
+		}
+		delete(t.pools, addr)
+	}
+}
+
+func (t *TCP) serve(ln net.Listener, h Handler) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func(c net.Conn) {
+			defer c.Close()
+			dec := gob.NewDecoder(c)
+			enc := gob.NewEncoder(c)
+			for {
+				var req tcpRequest
+				if err := dec.Decode(&req); err != nil {
+					return
+				}
+				body, herr := h(req.Method, req.Body)
+				resp := tcpResponse{Body: body}
+				if herr != nil {
+					resp.Err = herr.Error()
+				}
+				if err := enc.Encode(&resp); err != nil {
+					return
+				}
+			}
+		}(conn)
+	}
+}
+
+func (t *TCP) getConn(addr string) (*tcpConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, errors.New("rpc: transport closed")
+	}
+	pool, ok := t.pools[addr]
+	if !ok {
+		pool = make(chan *tcpConn, 16)
+		t.pools[addr] = pool
+	}
+	t.mu.Unlock()
+	select {
+	case c, ok := <-pool:
+		if ok && c != nil {
+			return c, nil
+		}
+	default:
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+	}
+	return &tcpConn{conn: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}, nil
+}
+
+func (t *TCP) putConn(addr string, c *tcpConn) {
+	t.mu.Lock()
+	pool, ok := t.pools[addr]
+	t.mu.Unlock()
+	if !ok {
+		c.conn.Close()
+		return
+	}
+	select {
+	case pool <- c:
+	default:
+		c.conn.Close()
+	}
+}
+
+// Call implements Transport.
+func (t *TCP) Call(addr, method string, body []byte) ([]byte, error) {
+	c, err := t.getConn(addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.enc.Encode(&tcpRequest{Method: method, Body: body}); err != nil {
+		c.conn.Close()
+		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+	}
+	var resp tcpResponse
+	if err := c.dec.Decode(&resp); err != nil {
+		c.conn.Close()
+		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+	}
+	t.putConn(addr, c)
+	if resp.Err != "" {
+		return nil, &RemoteError{Addr: addr, Method: method, Msg: resp.Err}
+	}
+	return resp.Body, nil
+}
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	for addr, ln := range t.listeners {
+		ln.Close()
+		delete(t.listeners, addr)
+	}
+	for addr, pool := range t.pools {
+		close(pool)
+		for c := range pool {
+			c.conn.Close()
+		}
+		delete(t.pools, addr)
+	}
+	return nil
+}

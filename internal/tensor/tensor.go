@@ -1,0 +1,131 @@
+// Package tensor provides the dense-matrix and reverse-mode automatic
+// differentiation runtime that stands in for PyTorch in this
+// reproduction. PSGraph embeds PyTorch through JNI to train GNNs
+// (Sec. III-C); here the "C++ runtime" is this package, and the JNI
+// boundary is the explicit serialize/execute hand-off in the core
+// GraphSage implementation.
+//
+// The feature set is exactly what GraphSage training needs: matmul,
+// bias broadcast, ReLU/sigmoid/tanh, column concatenation, row gather,
+// segment mean (neighborhood aggregation) and softmax cross-entropy, all
+// differentiable.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a row-major dense matrix of float64.
+type Tensor struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zero tensor of the given shape.
+func New(rows, cols int) *Tensor {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%d", rows, cols))
+	}
+	return &Tensor{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromData wraps data (not copied) as a rows×cols tensor.
+func FromData(rows, cols int, data []float64) *Tensor {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d != %dx%d", len(data), rows, cols))
+	}
+	return &Tensor{Rows: rows, Cols: cols, Data: data}
+}
+
+// Xavier returns a rows×cols tensor initialized with Glorot-uniform
+// values from the given source.
+func Xavier(rows, cols int, rng *rand.Rand) *Tensor {
+	t := New(rows, cols)
+	limit := math.Sqrt(6.0 / float64(rows+cols))
+	for i := range t.Data {
+		t.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+	return t
+}
+
+// At returns element (r, c).
+func (t *Tensor) At(r, c int) float64 { return t.Data[r*t.Cols+c] }
+
+// Set stores x at element (r, c).
+func (t *Tensor) Set(r, c int, x float64) { t.Data[r*t.Cols+c] = x }
+
+// Row returns a view of row r.
+func (t *Tensor) Row(r int) []float64 { return t.Data[r*t.Cols : (r+1)*t.Cols] }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	out := New(t.Rows, t.Cols)
+	copy(out.Data, t.Data)
+	return out
+}
+
+// AddInPlace adds o element-wise.
+func (t *Tensor) AddInPlace(o *Tensor) {
+	t.mustSameShape(o)
+	for i, x := range o.Data {
+		t.Data[i] += x
+	}
+}
+
+// Scale multiplies every element by s in place.
+func (t *Tensor) Scale(s float64) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+func (t *Tensor) mustSameShape(o *Tensor) {
+	if t.Rows != o.Rows || t.Cols != o.Cols {
+		panic(fmt.Sprintf("tensor: shape mismatch %dx%d vs %dx%d", t.Rows, t.Cols, o.Rows, o.Cols))
+	}
+}
+
+// MatMul returns t @ o.
+func (t *Tensor) MatMul(o *Tensor) *Tensor {
+	if t.Cols != o.Rows {
+		panic(fmt.Sprintf("tensor: matmul %dx%d @ %dx%d", t.Rows, t.Cols, o.Rows, o.Cols))
+	}
+	out := New(t.Rows, o.Cols)
+	// i-k-j order keeps the inner loop sequential over both operands.
+	for i := 0; i < t.Rows; i++ {
+		ti := t.Data[i*t.Cols : (i+1)*t.Cols]
+		oi := out.Data[i*o.Cols : (i+1)*o.Cols]
+		for k, a := range ti {
+			if a == 0 {
+				continue
+			}
+			ok := o.Data[k*o.Cols : (k+1)*o.Cols]
+			for j, b := range ok {
+				oi[j] += a * b
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns tᵀ.
+func (t *Tensor) Transpose() *Tensor {
+	out := New(t.Cols, t.Rows)
+	for i := 0; i < t.Rows; i++ {
+		for j := 0; j < t.Cols; j++ {
+			out.Data[j*t.Rows+i] = t.Data[i*t.Cols+j]
+		}
+	}
+	return out
+}
+
+// Norm returns the Frobenius norm.
+func (t *Tensor) Norm() float64 {
+	var s float64
+	for _, x := range t.Data {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}

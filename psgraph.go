@@ -1,0 +1,301 @@
+// Package psgraph is a from-scratch reproduction of "PSGraph: How Tencent
+// trains extremely large-scale graphs with Spark?" (Jiang et al., ICDE
+// 2020): a graph processing system that couples a Spark-like dataflow
+// engine with a distributed parameter server so that traditional graph
+// algorithms, graph embeddings and graph neural networks all train inside
+// one pipeline.
+//
+// This package is the public facade. It re-exports the core types, the
+// seven algorithms of the paper's evaluation, the companion algorithms
+// the paper names (label propagation, DeepWalk, Pregel-style vertex
+// programs), and workload generators for the synthetic stand-ins of
+// Tencent's proprietary datasets. The heavy lifting lives in internal
+// packages:
+//
+//	internal/dataflow  Spark-like RDD engine (executors, shuffle, OOM, lineage)
+//	internal/ps        parameter server (master, servers, PS agents, psFunc)
+//	internal/dfs       HDFS-like distributed file system
+//	internal/graphx    GraphX baseline (join-based graph iteration)
+//	internal/tensor    dense tensors + reverse-mode autograd ("PyTorch")
+//	internal/gnn       the shared GraphSage network definition
+//	internal/euler     Euler baseline for GNN training
+//	internal/gen       R-MAT / SBM workload generators
+//	internal/core      PSGraph proper: context + the paper's algorithms
+//
+// A minimal program mirrors Listing 1 of the paper:
+//
+//	ctx, _ := psgraph.New(psgraph.Config{NumExecutors: 4, NumServers: 2})
+//	defer ctx.Close()
+//	edges := psgraph.LoadEdges(ctx, "/data/edges.txt", 0)
+//	res, _ := psgraph.PageRank(ctx, edges, psgraph.PageRankConfig{})
+//	ranks, _ := res.Ranks.PullAll()
+package psgraph
+
+import (
+	"psgraph/internal/core"
+	"psgraph/internal/dataflow"
+	"psgraph/internal/gen"
+	"psgraph/internal/ps"
+)
+
+// Config sizes the simulated cluster (executors, parameter servers,
+// memory budgets).
+type Config = core.Config
+
+// Context bundles the DFS, the dataflow engine, the PS cluster and the
+// driver's PS agent.
+type Context = core.Context
+
+// New builds a PSGraph cluster in-process.
+func New(cfg Config) (*Context, error) { return core.NewContext(cfg) }
+
+// Edge is a directed, optionally weighted edge.
+type Edge = core.Edge
+
+// EdgeRDD is the distributed edge collection all algorithms consume.
+type EdgeRDD = dataflow.RDD[Edge]
+
+// LoadEdges reads "src dst [w]" lines from the cluster DFS.
+func LoadEdges(ctx *Context, path string, parts int) *EdgeRDD {
+	return core.LoadEdges(ctx, path, parts)
+}
+
+// ParallelizeEdges distributes an in-memory edge list.
+func ParallelizeEdges(ctx *Context, edges []Edge, parts int) *EdgeRDD {
+	return dataflow.Parallelize(ctx.Spark, edges, parts)
+}
+
+// NumVertices returns max(vertex id)+1.
+func NumVertices(edges *EdgeRDD) (int64, error) { return core.NumVertices(edges) }
+
+// DataFrame is a schema'd distributed dataset (Sec. III-C data
+// abstraction), used to weave graph jobs into relational pipelines.
+type DataFrame = dataflow.DataFrame
+
+// Row is one DataFrame record.
+type Row = dataflow.Row
+
+// LoadEdgeFrame reads an edge list as a (src, dst, w) Dataset.
+func LoadEdgeFrame(ctx *Context, path string, parts int) *DataFrame {
+	return core.LoadEdgeFrame(ctx, path, parts)
+}
+
+// EdgesOfFrame converts a (src, dst[, w]) Dataset to the edge RDD.
+func EdgesOfFrame(df *DataFrame) (*EdgeRDD, error) {
+	return core.EdgesOfFrame(df)
+}
+
+// VectorFrame materializes a PS vector as an (id, value) DataFrame.
+func VectorFrame(ctx *Context, v *ps.Vector, valueCol string, parts int) (*DataFrame, error) {
+	return core.VectorFrame(ctx, v, valueCol, parts)
+}
+
+// Traditional graph algorithms (Sec. IV-A..C, footnote 2).
+
+// PageRankConfig tunes Δ-rank PageRank.
+type PageRankConfig = core.PageRankConfig
+
+// PageRankResult reports converged ranks.
+type PageRankResult = core.PageRankResult
+
+// PageRank runs delta PageRank with ranks and Δ-ranks on the PS (BSP).
+func PageRank(ctx *Context, edges *EdgeRDD, cfg PageRankConfig) (*PageRankResult, error) {
+	return core.PageRank(ctx, edges, cfg)
+}
+
+// PageRankASP runs delta PageRank with asynchronous-parallel execution
+// (no barriers; Sec. II-D / III-A synchronization protocols).
+func PageRankASP(ctx *Context, edges *EdgeRDD, cfg PageRankConfig) (*PageRankResult, error) {
+	return core.PageRankASP(ctx, edges, cfg)
+}
+
+// NeighborModel is a PS-resident adjacency.
+type NeighborModel = core.NeighborModel
+
+// BuildNeighborModel pushes neighbor tables to the PS.
+func BuildNeighborModel(ctx *Context, edges *EdgeRDD, undirected bool, parts int) (*NeighborModel, error) {
+	return core.BuildNeighborModel(ctx, edges, undirected, parts)
+}
+
+// CommonNeighborConfig tunes batched pair scoring.
+type CommonNeighborConfig = core.CommonNeighborConfig
+
+// CommonNeighbor scores candidate pairs by common-neighbor count.
+func CommonNeighbor(ctx *Context, model *NeighborModel, pairs *EdgeRDD, cfg CommonNeighborConfig) (*dataflow.RDD[dataflow.KV[Edge, int64]], error) {
+	return core.CommonNeighbor(ctx, model, pairs, cfg)
+}
+
+// TriangleCountConfig tunes the triangle counter.
+type TriangleCountConfig = core.TriangleCountConfig
+
+// TriangleCount counts triangles against the PS-resident adjacency.
+func TriangleCount(ctx *Context, model *NeighborModel, edges *EdgeRDD, cfg TriangleCountConfig) (int64, error) {
+	return core.TriangleCount(ctx, model, edges, cfg)
+}
+
+// KCoreConfig tunes iterative k-core peeling.
+type KCoreConfig = core.KCoreConfig
+
+// KCoreResult reports the k-core.
+type KCoreResult = core.KCoreResult
+
+// KCore extracts the k-core with the degree vector on the PS.
+func KCore(ctx *Context, edges *EdgeRDD, cfg KCoreConfig) (*KCoreResult, error) {
+	return core.KCore(ctx, edges, cfg)
+}
+
+// KCoreDecomposeResult reports the full coreness decomposition.
+type KCoreDecomposeResult = core.KCoreDecomposeResult
+
+// KCoreDecompose computes the coreness of every vertex.
+func KCoreDecompose(ctx *Context, edges *EdgeRDD, cfg KCoreConfig) (*KCoreDecomposeResult, error) {
+	return core.KCoreDecompose(ctx, edges, cfg)
+}
+
+// FastUnfoldingConfig tunes Louvain community detection.
+type FastUnfoldingConfig = core.FastUnfoldingConfig
+
+// FastUnfoldingResult reports communities and modularity.
+type FastUnfoldingResult = core.FastUnfoldingResult
+
+// FastUnfolding detects communities with vertex2com/com2weight on the PS.
+func FastUnfolding(ctx *Context, edges *EdgeRDD, cfg FastUnfoldingConfig) (*FastUnfoldingResult, error) {
+	return core.FastUnfolding(ctx, edges, cfg)
+}
+
+// LabelPropagationConfig tunes the label-propagation community detector.
+type LabelPropagationConfig = core.LabelPropagationConfig
+
+// LabelPropagationResult reports the detected communities.
+type LabelPropagationResult = core.LabelPropagationResult
+
+// LabelPropagation detects communities with the vertex→label model on
+// the PS (Sec. II-B).
+func LabelPropagation(ctx *Context, edges *EdgeRDD, cfg LabelPropagationConfig) (*LabelPropagationResult, error) {
+	return core.LabelPropagation(ctx, edges, cfg)
+}
+
+// Vertex-centric programming model (Sec. II-C).
+
+// VertexProgram defines a Pregel-style vertex computation whose state and
+// message vectors live on the PS.
+type VertexProgram = core.VertexProgram
+
+// VertexCentricConfig bounds a vertex-centric run.
+type VertexCentricConfig = core.VertexCentricConfig
+
+// VertexCentricResult reports converged vertex states.
+type VertexCentricResult = core.VertexCentricResult
+
+// Combiner selects how concurrent messages merge.
+type Combiner = core.Combiner
+
+// Message combiners.
+const (
+	CombineSum = core.CombineSum
+	CombineMin = core.CombineMin
+	CombineMax = core.CombineMax
+)
+
+// RunVertexCentric executes a vertex program until quiescence.
+func RunVertexCentric(ctx *Context, edges *EdgeRDD, prog VertexProgram, cfg VertexCentricConfig) (*VertexCentricResult, error) {
+	return core.RunVertexCentric(ctx, edges, prog, cfg)
+}
+
+// Graph embedding (Sec. IV-D).
+
+// LineConfig tunes the LINE trainer.
+type LineConfig = core.LineConfig
+
+// LineResult exposes trained embeddings.
+type LineResult = core.LineResult
+
+// Line trains LINE embeddings with column-partitioned models and
+// server-side dot products.
+func Line(ctx *Context, edges *EdgeRDD, cfg LineConfig) (*LineResult, error) {
+	return core.Line(ctx, edges, cfg)
+}
+
+// DeepWalkConfig tunes the random-walk skip-gram trainer.
+type DeepWalkConfig = core.DeepWalkConfig
+
+// DeepWalk trains skip-gram embeddings over truncated random walks
+// (Sec. II-B, ref [11]), reusing LINE's server-side psFunc machinery.
+func DeepWalk(ctx *Context, edges *EdgeRDD, cfg DeepWalkConfig) (*LineResult, error) {
+	return core.DeepWalk(ctx, edges, cfg)
+}
+
+// EvaluateEmbeddings scores embedding quality via a vertex-classification
+// probe (train a softmax classifier on the embeddings; report held-out
+// accuracy).
+func EvaluateEmbeddings(embs map[int64][]float64, labels map[int64]int, classes int, trainFrac float64, seed int64) (float64, error) {
+	return core.EvaluateEmbeddings(embs, labels, classes, trainFrac, seed)
+}
+
+// Graph neural networks (Sec. IV-E).
+
+// GraphSageConfig tunes the GNN trainer.
+type GraphSageConfig = core.GraphSageConfig
+
+// GraphSageData is the preprocessed adjacency/features state.
+type GraphSageData = core.GraphSageData
+
+// GraphSageResult reports accuracies and epoch times.
+type GraphSageResult = core.GraphSageResult
+
+// GraphSagePreprocess runs the Spark preprocessing pipeline.
+func GraphSagePreprocess(ctx *Context, edgesPath, featsPath string, parts int) (*GraphSageData, error) {
+	return core.GraphSagePreprocess(ctx, edgesPath, featsPath, parts)
+}
+
+// GraphSage trains the 2-layer GraphSage classifier with weights on the PS.
+func GraphSage(ctx *Context, data *GraphSageData, cfg GraphSageConfig) (*GraphSageResult, error) {
+	return core.GraphSage(ctx, data, cfg)
+}
+
+// Workload generation (synthetic stand-ins for the paper's datasets).
+
+// RMATConfig parameterizes the power-law graph generator.
+type RMATConfig = gen.RMATConfig
+
+// SBMConfig parameterizes the planted-community generator.
+type SBMConfig = gen.SBMConfig
+
+// GenerateRMAT synthesizes a power-law edge list.
+func GenerateRMAT(cfg RMATConfig) []Edge {
+	return convertEdges(gen.RMAT(cfg))
+}
+
+// GenerateSBM synthesizes a planted-community graph and its labels.
+func GenerateSBM(cfg SBMConfig) ([]Edge, []int) {
+	raw, labels := gen.SBM(cfg)
+	return convertEdges(raw), labels
+}
+
+// GenerateFeatures synthesizes class-correlated vertex features.
+func GenerateFeatures(labels []int, classes, dim int, noise float64, seed int64) [][]float64 {
+	return gen.Features(labels, classes, dim, noise, seed)
+}
+
+// WriteEdges stores an edge list on the cluster DFS in the text format
+// LoadEdges reads.
+func WriteEdges(ctx *Context, path string, edges []Edge, weighted bool) error {
+	raw := make([]gen.Edge, len(edges))
+	for i, e := range edges {
+		raw[i] = gen.Edge{Src: e.Src, Dst: e.Dst, W: e.W}
+	}
+	return gen.WriteEdgesText(ctx.FS, path, raw, weighted)
+}
+
+// WriteFeatures stores "id label f0,f1,..." lines on the cluster DFS.
+func WriteFeatures(ctx *Context, path string, labels []int, feats [][]float64) error {
+	return gen.WriteFeaturesText(ctx.FS, path, labels, feats)
+}
+
+func convertEdges(raw []gen.Edge) []Edge {
+	out := make([]Edge, len(raw))
+	for i, e := range raw {
+		out[i] = Edge{Src: e.Src, Dst: e.Dst, W: e.W}
+	}
+	return out
+}
