@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	psbench [-scale small|medium] [-exp all|fig6|line|table1|table2|ablation]
+//	psbench [-scale small|medium] [-exp all|fig6|line|table1|table2|ablation|wire] [-wireout BENCH_ps_wire.json]
 package main
 
 import (
@@ -19,7 +19,8 @@ import (
 func main() {
 	log.SetFlags(0)
 	scaleName := flag.String("scale", "small", "dataset/resource scale preset (small|medium)")
-	exp := flag.String("exp", "all", "experiment to run (all|fig6|line|table1|table2|ablation)")
+	exp := flag.String("exp", "all", "experiment to run (all|fig6|line|table1|table2|ablation|wire)")
+	wireOut := flag.String("wireout", "BENCH_ps_wire.json", "where -exp wire (or all) writes its JSON report")
 	flag.Parse()
 
 	scale, err := bench.ScaleByName(*scaleName)
@@ -36,7 +37,7 @@ func main() {
 	ok := true
 	switch *exp {
 	case "all":
-		ok = runFig6(scale) && runLine(scale) && runTable1(scale) && runTable2(scale) && runAblation(scale)
+		ok = runFig6(scale) && runLine(scale) && runTable1(scale) && runTable2(scale) && runAblation(scale) && runWire(scale, *wireOut)
 	case "fig6":
 		ok = runFig6(scale)
 	case "line":
@@ -47,6 +48,8 @@ func main() {
 		ok = runTable2(scale)
 	case "ablation":
 		ok = runAblation(scale)
+	case "wire":
+		ok = runWire(scale, *wireOut)
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}
@@ -157,6 +160,39 @@ func runTable2(s bench.Scale) bool {
 		res.ExecutorFailure.Round(1e6), 100*(res.ExecutorFailure.Seconds()/res.Baseline.Seconds()-1),
 		res.PSFailure.Round(1e6), 100*(res.PSFailure.Seconds()/res.Baseline.Seconds()-1))
 	return true
+}
+
+// runWire times the PS pull/push hot path under the binary wire codec
+// and the gob baseline, prints per-phase wall time and comm bytes, and
+// records the report as JSON.
+func runWire(s bench.Scale, outPath string) bool {
+	fmt.Println("== Wire protocol: binary codec vs gob on the PS pull/push hot path ==")
+	cfg := bench.DefaultWireConfig(s)
+	rep, err := bench.RunWireBench(cfg)
+	if err != nil {
+		log.Printf("  wire bench FAILED: %v", err)
+		return false
+	}
+	fmt.Printf("  %d-element dense vector, %dx%d embedding, %d servers, %d iters/phase\n",
+		rep.Elements, rep.EmbRows, rep.EmbDim, rep.Servers, rep.Iters)
+	fmt.Printf("  %-14s %-7s %10s %12s %12s %10s\n", "phase", "format", "wall", "sent", "recv", "MB/s")
+	for _, p := range rep.Phases {
+		fmt.Printf("  %-14s %-7s %9.3fs %11.2fMB %11.2fMB %10.1f\n",
+			p.Name, p.Format, p.Seconds,
+			float64(p.SentBytes)/(1<<20), float64(p.RecvBytes)/(1<<20), p.MBPerSec)
+	}
+	fmt.Printf("  total: binary %.3fs vs gob %.3fs — %.2fx speedup; request volume %.2fMB vs %.2fMB\n",
+		rep.BinarySecs, rep.GobSecs, rep.Speedup,
+		float64(rep.BinarySent)/(1<<20), float64(rep.GobSent)/(1<<20))
+	if outPath != "" {
+		if err := rep.WriteJSON(outPath); err != nil {
+			log.Printf("  writing %s FAILED: %v", outPath, err)
+			return false
+		}
+		fmt.Printf("  report written to %s\n", outPath)
+	}
+	fmt.Println()
+	return rep.Speedup >= 2
 }
 
 func runAblation(s bench.Scale) bool {

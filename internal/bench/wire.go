@@ -1,0 +1,195 @@
+package bench
+
+// Wire-protocol microbenchmark: times the PS pull/push hot path under
+// the binary codec and under the gob baseline through the identical
+// call path, reporting per-phase wall time and client-observed comm
+// bytes. psbench -exp wire prints the table and records it in
+// BENCH_ps_wire.json so the perf trajectory is tracked across PRs.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"psgraph/internal/ps"
+)
+
+// WirePhase is one timed phase of the wire microbenchmark under one
+// codec format.
+type WirePhase struct {
+	Name    string  `json:"name"`   // e.g. "dense-pull"
+	Format  string  `json:"format"` // "binary" or "gob"
+	Iters   int     `json:"iters"`
+	Seconds float64 `json:"seconds"`
+	// SentBytes / RecvBytes are the client's comm counters for the
+	// phase: request payloads out, response payloads in.
+	SentBytes int64   `json:"sent_bytes"`
+	RecvBytes int64   `json:"recv_bytes"`
+	MBPerSec  float64 `json:"mb_per_sec"`
+}
+
+// WireReport is the full wire microbenchmark result.
+type WireReport struct {
+	Elements   int         `json:"elements"`
+	EmbRows    int         `json:"emb_rows"`
+	EmbDim     int         `json:"emb_dim"`
+	Servers    int         `json:"servers"`
+	Iters      int         `json:"iters"`
+	Phases     []WirePhase `json:"phases"`
+	BinarySecs float64     `json:"binary_seconds_total"`
+	GobSecs    float64     `json:"gob_seconds_total"`
+	// Speedup is total gob time / total binary time over all phases.
+	Speedup float64 `json:"speedup"`
+	// BinarySent / GobSent compare on-wire request volume.
+	BinarySent int64 `json:"binary_sent_bytes"`
+	GobSent    int64 `json:"gob_sent_bytes"`
+}
+
+// WireConfig sizes the wire microbenchmark.
+type WireConfig struct {
+	Elements int // dense vector length and pull/push width
+	EmbRows  int // embedding rows per push/pull
+	EmbDim   int
+	Servers  int
+	Iters    int // timed repetitions per phase
+}
+
+// DefaultWireConfig sizes the microbench for a scale preset.
+func DefaultWireConfig(s Scale) WireConfig {
+	elems := 100_000
+	if s.Name == "medium" {
+		elems = 1_000_000
+	}
+	return WireConfig{Elements: elems, EmbRows: 10_000, EmbDim: 16, Servers: s.Servers, Iters: 5}
+}
+
+// RunWireBench measures the pull/push phases under both wire formats.
+// The gob phases run first so the binary (default) format is always
+// restored, even on error.
+func RunWireBench(cfg WireConfig) (*WireReport, error) {
+	defer ps.SetBinaryWire(true)
+	rep := &WireReport{
+		Elements: cfg.Elements, EmbRows: cfg.EmbRows, EmbDim: cfg.EmbDim,
+		Servers: cfg.Servers, Iters: cfg.Iters,
+	}
+	for _, format := range []string{"gob", "binary"} {
+		ps.SetBinaryWire(format == "binary")
+		phases, err := runWireFormat(format, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("wire bench (%s): %w", format, err)
+		}
+		for _, p := range phases {
+			rep.Phases = append(rep.Phases, p)
+			switch format {
+			case "binary":
+				rep.BinarySecs += p.Seconds
+				rep.BinarySent += p.SentBytes
+			case "gob":
+				rep.GobSecs += p.Seconds
+				rep.GobSent += p.SentBytes
+			}
+		}
+	}
+	if rep.BinarySecs > 0 {
+		rep.Speedup = rep.GobSecs / rep.BinarySecs
+	}
+	return rep, nil
+}
+
+// runWireFormat times every phase under the currently selected format.
+func runWireFormat(format string, cfg WireConfig) ([]WirePhase, error) {
+	cluster, err := ps.NewCluster(ps.ClusterConfig{NumServers: cfg.Servers, NamePrefix: "wire-" + format})
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+	cl := cluster.NewClient()
+
+	v, err := cl.CreateDenseVector(ps.DenseVectorSpec{Name: "wv", Size: int64(cfg.Elements)})
+	if err != nil {
+		return nil, err
+	}
+	e, err := cl.CreateEmbedding(ps.EmbeddingSpec{Name: "we", Dim: cfg.EmbDim})
+	if err != nil {
+		return nil, err
+	}
+	// Values get full mantissas (as trained model weights do): gob's
+	// trailing-zero float trimming makes integer-valued payloads an
+	// unrepresentatively favorable case for the baseline.
+	idx := make([]int64, cfg.Elements)
+	vals := make([]float64, cfg.Elements)
+	for i := range idx {
+		idx[i] = int64(i)
+		vals[i] = float64(i)*0.7 + 1.0/3.0
+	}
+	vecs := make(map[int64][]float64, cfg.EmbRows)
+	ids := make([]int64, cfg.EmbRows)
+	for r := 0; r < cfg.EmbRows; r++ {
+		row := make([]float64, cfg.EmbDim)
+		for d := range row {
+			row[d] = float64(r)*0.31 + float64(d)*0.017
+		}
+		vecs[int64(r)] = row
+		ids[r] = int64(r)
+	}
+	// Warm both models so pulls have real data to move.
+	if err := v.PushAdd(idx, vals); err != nil {
+		return nil, err
+	}
+	if err := e.PushAdd(vecs); err != nil {
+		return nil, err
+	}
+
+	phase := func(name string, payload int64, op func() error) (WirePhase, error) {
+		cl.ResetComm()
+		start := time.Now()
+		for i := 0; i < cfg.Iters; i++ {
+			if err := op(); err != nil {
+				return WirePhase{}, fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		sec := time.Since(start).Seconds()
+		sent, recv := cl.Comm()
+		p := WirePhase{
+			Name: name, Format: format, Iters: cfg.Iters, Seconds: sec,
+			SentBytes: sent, RecvBytes: recv,
+		}
+		if sec > 0 {
+			p.MBPerSec = float64(payload*int64(cfg.Iters)) / sec / (1 << 20)
+		}
+		return p, nil
+	}
+
+	densePayload := int64(8 * cfg.Elements)
+	embPayload := int64(8 * cfg.EmbRows * cfg.EmbDim)
+	specs := []struct {
+		name    string
+		payload int64
+		op      func() error
+	}{
+		{"dense-push", 2 * densePayload, func() error { return v.PushAdd(idx, vals) }},
+		{"dense-pull", 2 * densePayload, func() error { _, err := v.Pull(idx); return err }},
+		{"dense-pullall", densePayload, func() error { _, err := v.PullAll(); return err }},
+		{"emb-push", embPayload, func() error { return e.PushAdd(vecs) }},
+		{"emb-pull", embPayload, func() error { _, err := e.Pull(ids); return err }},
+	}
+	out := make([]WirePhase, 0, len(specs))
+	for _, s := range specs {
+		p, err := phase(s.name, s.payload, s.op)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// WriteJSON records the report at path.
+func (r *WireReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

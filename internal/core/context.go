@@ -45,7 +45,8 @@ type Config struct {
 	// amortize it; per-key access patterns pay it in full.
 	NetLatency time.Duration
 	// UseTCP runs all executor↔PS traffic over real localhost TCP sockets
-	// (gob-framed) instead of the in-process transport. Slower; useful to
+	// (length-prefixed binary frames) instead of the in-process transport.
+	// Slower; useful to
 	// validate that nothing depends on shared memory. NetLatency is
 	// ignored in this mode (the loopback stack provides its own).
 	UseTCP bool

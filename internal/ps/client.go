@@ -3,6 +3,8 @@ package ps
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,7 +30,16 @@ type Client struct {
 
 	// RetryTimeout bounds how long a call waits for a recovering server.
 	RetryTimeout time.Duration
+
+	// MaxFanOut bounds how many per-partition requests one operation has
+	// in flight at once. Zero selects the package default (4×GOMAXPROCS).
+	MaxFanOut int
 }
+
+// defaultMaxFanOut is the fan-out bound when Client.MaxFanOut is zero:
+// enough in-flight requests to hide per-partition RTTs without spawning a
+// goroutine per partition on thousand-partition models.
+var defaultMaxFanOut = 4 * runtime.GOMAXPROCS(0)
 
 // Comm reports the cumulative request/response payload bytes this agent
 // has exchanged with the master and servers — the communication-volume
@@ -53,7 +64,9 @@ func NewClient(tr rpc.Transport, masterAddr string) *Client {
 	}
 }
 
-// call performs one RPC with retry-on-unreachable semantics.
+// call performs one RPC with retry-on-unreachable semantics. The final
+// backoff sleep is clamped to the remaining RetryTimeout so the call
+// never waits past its deadline.
 func (c *Client) call(addr, method string, body []byte) ([]byte, error) {
 	deadline := time.Now().Add(c.RetryTimeout)
 	backoff := 5 * time.Millisecond
@@ -64,8 +77,15 @@ func (c *Client) call(addr, method string, body []byte) ([]byte, error) {
 			c.recvBytes.Add(int64(len(resp)))
 			return resp, nil
 		}
-		if !errors.Is(err, rpc.ErrUnreachable) || time.Now().After(deadline) {
+		if !errors.Is(err, rpc.ErrUnreachable) {
 			return nil, err
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, err
+		}
+		if backoff > remaining {
+			backoff = remaining
 		}
 		time.Sleep(backoff)
 		if backoff < 200*time.Millisecond {
@@ -74,14 +94,64 @@ func (c *Client) call(addr, method string, body []byte) ([]byte, error) {
 	}
 }
 
+// invoke encodes req (when non-nil), performs the RPC, and decodes the
+// response into resp (when non-nil). The encode buffer and the response
+// buffer are returned to the wire pool — decoded messages never alias
+// them — so steady-state pull/push traffic reuses framing memory.
+func (c *Client) invoke(addr, method string, req, resp any) error {
+	var body []byte
+	if req != nil {
+		body = enc(req)
+	}
+	out, err := c.call(addr, method, body)
+	putBuf(body)
+	if err != nil {
+		return err
+	}
+	if resp != nil {
+		err = dec(out, resp)
+	}
+	putBuf(out)
+	return err
+}
+
+// staleLayoutErr reports whether err is a server telling us it does not
+// hold the model/partition we asked for — the signature of a cached
+// layout that went stale when the master moved a partition during
+// failover.
+func staleLayoutErr(err error) bool {
+	var re *rpc.RemoteError
+	return errors.As(err, &re) && strings.Contains(re.Msg, "not on this server")
+}
+
+// invalidate drops the cached layout of model.
+func (c *Client) invalidate(model string) {
+	c.mu.Lock()
+	delete(c.cache, model)
+	c.mu.Unlock()
+}
+
+// partInvoke is invoke for per-partition data-plane calls, plus the
+// failover path: when the addressed server no longer holds the partition,
+// the cached ModelMeta is dropped, refetched from the master, and the
+// call retried once against the partition's new owner.
+func (c *Client) partInvoke(model string, part int, server, method string, req, resp any) error {
+	err := c.invoke(server, method, req, resp)
+	if err == nil || !staleLayoutErr(err) {
+		return err
+	}
+	c.invalidate(model)
+	meta, merr := c.GetModel(model)
+	if merr != nil || part >= len(meta.Parts) || meta.Parts[part].Server == server {
+		return err
+	}
+	return c.invoke(meta.Parts[part].Server, method, req, resp)
+}
+
 // CreateModel registers a new model with the master and returns its meta.
 func (c *Client) CreateModel(meta ModelMeta) (ModelMeta, error) {
-	resp, err := c.call(c.masterAddr, "CreateModel", enc(createModelReq{Meta: meta}))
-	if err != nil {
-		return ModelMeta{}, err
-	}
 	var out getModelResp
-	if err := dec(resp, &out); err != nil {
+	if err := c.invoke(c.masterAddr, "CreateModel", createModelReq{Meta: meta}, &out); err != nil {
 		return ModelMeta{}, err
 	}
 	c.mu.Lock()
@@ -98,12 +168,8 @@ func (c *Client) GetModel(name string) (ModelMeta, error) {
 	if ok {
 		return meta, nil
 	}
-	resp, err := c.call(c.masterAddr, "GetModel", enc(getModelReq{Name: name}))
-	if err != nil {
-		return ModelMeta{}, err
-	}
 	var out getModelResp
-	if err := dec(resp, &out); err != nil {
+	if err := c.invoke(c.masterAddr, "GetModel", getModelReq{Name: name}, &out); err != nil {
 		return ModelMeta{}, err
 	}
 	c.mu.Lock()
@@ -114,24 +180,19 @@ func (c *Client) GetModel(name string) (ModelMeta, error) {
 
 // DeleteModel removes a model from the servers and the master.
 func (c *Client) DeleteModel(name string) error {
-	c.mu.Lock()
-	delete(c.cache, name)
-	c.mu.Unlock()
-	_, err := c.call(c.masterAddr, "DeleteModel", enc(deleteModelReq{Name: name}))
-	return err
+	c.invalidate(name)
+	return c.invoke(c.masterAddr, "DeleteModel", deleteModelReq{Name: name}, nil)
 }
 
 // Barrier blocks until expect workers have reached (tag, epoch). This is
 // the BSP synchronization primitive; ASP algorithms simply never call it.
 func (c *Client) Barrier(tag string, epoch, expect int) error {
-	_, err := c.call(c.masterAddr, "Barrier", enc(barrierReq{Tag: tag, Epoch: epoch, Expect: expect}))
-	return err
+	return c.invoke(c.masterAddr, "Barrier", barrierReq{Tag: tag, Epoch: epoch, Expect: expect}, nil)
 }
 
 // Checkpoint snapshots every partition of the model to the DFS.
 func (c *Client) Checkpoint(model string) error {
-	_, err := c.call(c.masterAddr, "Checkpoint", enc(deleteModelReq{Name: model}))
-	return err
+	return c.invoke(c.masterAddr, "Checkpoint", deleteModelReq{Name: model}, nil)
 }
 
 // RecoveryCount returns the number of server-recovery events the master
@@ -146,30 +207,63 @@ func (c *Client) RecoveryCount() (int64, error) {
 	if err := dec(resp, &n); err != nil {
 		return 0, err
 	}
+	putBuf(resp)
 	return n, nil
 }
 
 // RestoreModel rolls every partition of the model back to its latest
 // checkpoint, discarding updates that raced with a recovery.
 func (c *Client) RestoreModel(model string) error {
-	_, err := c.call(c.masterAddr, "RestoreModel", enc(deleteModelReq{Name: model}))
-	return err
+	return c.invoke(c.masterAddr, "RestoreModel", deleteModelReq{Name: model}, nil)
 }
 
-// fanOut runs fn for every partition concurrently and returns the first
-// error.
-func fanOut(parts []Partition, fn func(i int, p Partition) error) error {
-	var wg sync.WaitGroup
-	errs := make([]error, len(parts))
-	for i := range parts {
-		wg.Add(1)
-		go func(i int) {
+// fanOut runs fn for every partition through a bounded worker pool and
+// returns the first error. Workers claim partition indices in order;
+// each fn writes only results for its own index, so ordering is
+// preserved regardless of completion order. On the first failure the
+// remaining unclaimed partitions are skipped (first-error-wins).
+func (c *Client) fanOut(parts []Partition, fn func(i int, p Partition) error) error {
+	n := len(parts)
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return fn(0, parts[0])
+	}
+	workers := n
+	bound := c.MaxFanOut
+	if bound <= 0 {
+		bound = defaultMaxFanOut
+	}
+	if workers > bound {
+		workers = bound
+	}
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		once     sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
 			defer wg.Done()
-			errs[i] = fn(i, parts[i])
-		}(i)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i, parts[i]); err != nil {
+					once.Do(func() { firstErr = err })
+					failed.Store(true)
+					return
+				}
+			}
+		}()
 	}
 	wg.Wait()
-	return errors.Join(errs...)
+	return firstErr
 }
 
 // ---------------------------------------------------------------------------
@@ -218,13 +312,9 @@ func (c *Client) Vector(name string) (*Vector, error) {
 // PullAll assembles the full vector from every partition.
 func (v *Vector) PullAll() ([]float64, error) {
 	out := make([]float64, v.Meta.Size)
-	err := fanOut(v.Meta.Parts, func(i int, p Partition) error {
-		resp, err := v.c.call(p.Server, "VecPull", enc(vecPullReq{Model: v.Meta.Name, Part: i}))
-		if err != nil {
-			return err
-		}
+	err := v.c.fanOut(v.Meta.Parts, func(i int, p Partition) error {
 		var r vecPullResp
-		if err := dec(resp, &r); err != nil {
+		if err := v.c.partInvoke(v.Meta.Name, i, p.Server, "VecPull", vecPullReq{Model: v.Meta.Name, Part: i}, &r); err != nil {
 			return err
 		}
 		copy(out[r.Lo:], r.Values)
@@ -236,35 +326,51 @@ func (v *Vector) PullAll() ([]float64, error) {
 	return out, nil
 }
 
+// vecPartFor returns a partition-lookup function for a dense vector
+// that checks the previously matched range first: pull/push index
+// streams have strong partition locality (often fully sorted), which
+// turns the per-index lookup into one compare instead of a scan.
+func (v *Vector) vecPartFor() func(idx int64) int {
+	last := 0
+	return func(idx int64) int {
+		if p := &v.Meta.Parts[last]; idx >= p.Lo && idx < p.Hi {
+			return last
+		}
+		last = v.Meta.PartitionFor(idx)
+		return last
+	}
+}
+
 // Pull fetches the given indices, returned in the same order.
 func (v *Vector) Pull(indices []int64) ([]float64, error) {
-	byPart := make(map[int][]int64)
-	pos := make(map[int][]int) // original positions
+	nparts := len(v.Meta.Parts)
+	byPart := make([][]int64, nparts)
+	pos := make([][]int, nparts) // original positions
+	est := len(indices)/nparts + 1
+	partFor := v.vecPartFor()
 	for i, idx := range indices {
-		p := v.Meta.PartitionFor(idx)
+		p := partFor(idx)
+		if byPart[p] == nil {
+			byPart[p] = make([]int64, 0, est)
+			pos[p] = make([]int, 0, est)
+		}
 		byPart[p] = append(byPart[p], idx)
 		pos[p] = append(pos[p], i)
 	}
 	out := make([]float64, len(indices))
-	var mu sync.Mutex
-	err := fanOut(v.Meta.Parts, func(i int, p Partition) error {
+	err := v.c.fanOut(v.Meta.Parts, func(i int, p Partition) error {
 		idxs := byPart[i]
 		if len(idxs) == 0 {
 			return nil
 		}
-		resp, err := v.c.call(p.Server, "VecPull", enc(vecPullReq{Model: v.Meta.Name, Part: i, Indices: idxs}))
-		if err != nil {
-			return err
-		}
 		var r vecPullResp
-		if err := dec(resp, &r); err != nil {
+		if err := v.c.partInvoke(v.Meta.Name, i, p.Server, "VecPull", vecPullReq{Model: v.Meta.Name, Part: i, Indices: idxs}, &r); err != nil {
 			return err
 		}
-		mu.Lock()
+		// Each partition writes disjoint slots of out, so no lock is needed.
 		for j, orig := range pos[i] {
 			out[orig] = r.Values[j]
 		}
-		mu.Unlock()
 		return nil
 	})
 	if err != nil {
@@ -274,20 +380,26 @@ func (v *Vector) Pull(indices []int64) ([]float64, error) {
 }
 
 func (v *Vector) push(indices []int64, values []float64, op vecOp) error {
-	byPartIdx := make(map[int][]int64)
-	byPartVal := make(map[int][]float64)
+	nparts := len(v.Meta.Parts)
+	byPartIdx := make([][]int64, nparts)
+	byPartVal := make([][]float64, nparts)
+	est := len(indices)/nparts + 1
+	partFor := v.vecPartFor()
 	for i, idx := range indices {
-		p := v.Meta.PartitionFor(idx)
+		p := partFor(idx)
+		if byPartIdx[p] == nil {
+			byPartIdx[p] = make([]int64, 0, est)
+			byPartVal[p] = make([]float64, 0, est)
+		}
 		byPartIdx[p] = append(byPartIdx[p], idx)
 		byPartVal[p] = append(byPartVal[p], values[i])
 	}
-	return fanOut(v.Meta.Parts, func(i int, p Partition) error {
+	return v.c.fanOut(v.Meta.Parts, func(i int, p Partition) error {
 		if len(byPartIdx[i]) == 0 {
 			return nil
 		}
 		req := vecPushReq{Model: v.Meta.Name, Part: i, Indices: byPartIdx[i], Values: byPartVal[i], Op: op}
-		_, err := v.c.call(p.Server, "VecPush", enc(req))
-		return err
+		return v.c.partInvoke(v.Meta.Name, i, p.Server, "VecPush", req, nil)
 	})
 }
 
@@ -317,10 +429,9 @@ func (v *Vector) SetAll(values []float64) error {
 	if int64(len(values)) != v.Meta.Size {
 		return fmt.Errorf("ps: SetAll size %d != model size %d", len(values), v.Meta.Size)
 	}
-	return fanOut(v.Meta.Parts, func(i int, p Partition) error {
+	return v.c.fanOut(v.Meta.Parts, func(i int, p Partition) error {
 		req := vecPushReq{Model: v.Meta.Name, Part: i, Values: values[p.Lo:p.Hi], Op: vecSet}
-		_, err := v.c.call(p.Server, "VecPush", enc(req))
-		return err
+		return v.c.partInvoke(v.Meta.Name, i, p.Server, "VecPush", req, nil)
 	})
 }
 
@@ -358,7 +469,7 @@ func (c *Client) CreateSparseVectorWithScheme(name string, scheme Scheme, size i
 }
 
 func (s *SparseVec) pull(keys []int64) (map[int64]float64, error) {
-	byPart := make(map[int][]int64)
+	byPart := make([][]int64, len(s.Meta.Parts))
 	if keys != nil {
 		for _, k := range keys {
 			p := s.Meta.PartitionFor(k)
@@ -367,7 +478,7 @@ func (s *SparseVec) pull(keys []int64) (map[int64]float64, error) {
 	}
 	out := make(map[int64]float64)
 	var mu sync.Mutex
-	err := fanOut(s.Meta.Parts, func(i int, p Partition) error {
+	err := s.c.fanOut(s.Meta.Parts, func(i int, p Partition) error {
 		req := mapPullReq{Model: s.Meta.Name, Part: i}
 		if keys != nil {
 			req.Keys = byPart[i]
@@ -375,12 +486,8 @@ func (s *SparseVec) pull(keys []int64) (map[int64]float64, error) {
 				return nil
 			}
 		}
-		resp, err := s.c.call(p.Server, "MapPull", enc(req))
-		if err != nil {
-			return err
-		}
 		var r mapPullResp
-		if err := dec(resp, &r); err != nil {
+		if err := s.c.partInvoke(s.Meta.Name, i, p.Server, "MapPull", req, &r); err != nil {
 			return err
 		}
 		mu.Lock()
@@ -403,7 +510,7 @@ func (s *SparseVec) Pull(keys []int64) (map[int64]float64, error) { return s.pul
 func (s *SparseVec) PullAll() (map[int64]float64, error) { return s.pull(nil) }
 
 func (s *SparseVec) push(m map[int64]float64, set bool) error {
-	byPart := make(map[int]map[int64]float64)
+	byPart := make([]map[int64]float64, len(s.Meta.Parts))
 	for k, v := range m {
 		p := s.Meta.PartitionFor(k)
 		if byPart[p] == nil {
@@ -411,13 +518,12 @@ func (s *SparseVec) push(m map[int64]float64, set bool) error {
 		}
 		byPart[p][k] = v
 	}
-	return fanOut(s.Meta.Parts, func(i int, p Partition) error {
+	return s.c.fanOut(s.Meta.Parts, func(i int, p Partition) error {
 		if len(byPart[i]) == 0 {
 			return nil
 		}
 		req := mapPushReq{Model: s.Meta.Name, Part: i, M: byPart[i], Set: set}
-		_, err := s.c.call(p.Server, "MapPush", enc(req))
-		return err
+		return s.c.partInvoke(s.Meta.Name, i, p.Server, "MapPush", req, nil)
 	})
 }
 
@@ -485,13 +591,9 @@ func (e *Emb) Pull(ids []int64) (map[int64][]float64, error) {
 		for _, id := range ids {
 			out[id] = make([]float64, e.Meta.Dim)
 		}
-		err := fanOut(e.Meta.Parts, func(i int, p Partition) error {
-			resp, err := e.c.call(p.Server, "EmbPull", enc(embPullReq{Model: e.Meta.Name, Part: i, IDs: ids}))
-			if err != nil {
-				return err
-			}
+		err := e.c.fanOut(e.Meta.Parts, func(i int, p Partition) error {
 			var r embPullResp
-			if err := dec(resp, &r); err != nil {
+			if err := e.c.partInvoke(e.Meta.Name, i, p.Server, "EmbPull", embPullReq{Model: e.Meta.Name, Part: i, IDs: ids}, &r); err != nil {
 				return err
 			}
 			mu.Lock()
@@ -506,21 +608,17 @@ func (e *Emb) Pull(ids []int64) (map[int64][]float64, error) {
 		}
 		return out, nil
 	}
-	byPart := make(map[int][]int64)
+	byPart := make([][]int64, len(e.Meta.Parts))
 	for _, id := range ids {
 		pi := e.Meta.PartitionFor(id)
 		byPart[pi] = append(byPart[pi], id)
 	}
-	err := fanOut(e.Meta.Parts, func(i int, p Partition) error {
+	err := e.c.fanOut(e.Meta.Parts, func(i int, p Partition) error {
 		if len(byPart[i]) == 0 {
 			return nil
 		}
-		resp, err := e.c.call(p.Server, "EmbPull", enc(embPullReq{Model: e.Meta.Name, Part: i, IDs: byPart[i]}))
-		if err != nil {
-			return err
-		}
 		var r embPullResp
-		if err := dec(resp, &r); err != nil {
+		if err := e.c.partInvoke(e.Meta.Name, i, p.Server, "EmbPull", embPullReq{Model: e.Meta.Name, Part: i, IDs: byPart[i]}, &r); err != nil {
 			return err
 		}
 		mu.Lock()
@@ -538,17 +636,16 @@ func (e *Emb) Pull(ids []int64) (map[int64][]float64, error) {
 
 func (e *Emb) push(vecs map[int64][]float64, grad, set bool) error {
 	if e.Meta.Kind == ColumnEmbedding {
-		return fanOut(e.Meta.Parts, func(i int, p Partition) error {
+		return e.c.fanOut(e.Meta.Parts, func(i int, p Partition) error {
 			slice := make(map[int64][]float64, len(vecs))
 			for id, v := range vecs {
 				slice[id] = v[p.Col0:p.Col1]
 			}
 			req := embPushReq{Model: e.Meta.Name, Part: i, Vecs: slice, Grad: grad, Set: set}
-			_, err := e.c.call(p.Server, "EmbPush", enc(req))
-			return err
+			return e.c.partInvoke(e.Meta.Name, i, p.Server, "EmbPush", req, nil)
 		})
 	}
-	byPart := make(map[int]map[int64][]float64)
+	byPart := make([]map[int64][]float64, len(e.Meta.Parts))
 	for id, v := range vecs {
 		pi := e.Meta.PartitionFor(id)
 		if byPart[pi] == nil {
@@ -556,13 +653,12 @@ func (e *Emb) push(vecs map[int64][]float64, grad, set bool) error {
 		}
 		byPart[pi][id] = v
 	}
-	return fanOut(e.Meta.Parts, func(i int, p Partition) error {
+	return e.c.fanOut(e.Meta.Parts, func(i int, p Partition) error {
 		if len(byPart[i]) == 0 {
 			return nil
 		}
 		req := embPushReq{Model: e.Meta.Name, Part: i, Vecs: byPart[i], Grad: grad, Set: set}
-		_, err := e.c.call(p.Server, "EmbPush", enc(req))
-		return err
+		return e.c.partInvoke(e.Meta.Name, i, p.Server, "EmbPush", req, nil)
 	})
 }
 
@@ -613,7 +709,7 @@ func (c *Client) Neighbor(name string) (*Nbr, error) {
 // Push appends neighbor lists (concatenating with any existing entries,
 // so different executors can push disjoint chunks of the same vertex).
 func (n *Nbr) Push(tables map[int64][]int64) error {
-	byPart := make(map[int]map[int64][]int64)
+	byPart := make([]map[int64][]int64, len(n.Meta.Parts))
 	for id, ns := range tables {
 		pi := n.Meta.PartitionFor(id)
 		if byPart[pi] == nil {
@@ -621,36 +717,31 @@ func (n *Nbr) Push(tables map[int64][]int64) error {
 		}
 		byPart[pi][id] = ns
 	}
-	return fanOut(n.Meta.Parts, func(i int, p Partition) error {
+	return n.c.fanOut(n.Meta.Parts, func(i int, p Partition) error {
 		if len(byPart[i]) == 0 {
 			return nil
 		}
 		req := nbrPushReq{Model: n.Meta.Name, Part: i, Tables: byPart[i]}
-		_, err := n.c.call(p.Server, "NbrPush", enc(req))
-		return err
+		return n.c.partInvoke(n.Meta.Name, i, p.Server, "NbrPush", req, nil)
 	})
 }
 
 // Pull fetches neighbor tables for the given ids; vertices with no
 // neighbors are omitted.
 func (n *Nbr) Pull(ids []int64) (map[int64][]int64, error) {
-	byPart := make(map[int][]int64)
+	byPart := make([][]int64, len(n.Meta.Parts))
 	for _, id := range ids {
 		pi := n.Meta.PartitionFor(id)
 		byPart[pi] = append(byPart[pi], id)
 	}
 	out := make(map[int64][]int64, len(ids))
 	var mu sync.Mutex
-	err := fanOut(n.Meta.Parts, func(i int, p Partition) error {
+	err := n.c.fanOut(n.Meta.Parts, func(i int, p Partition) error {
 		if len(byPart[i]) == 0 {
 			return nil
 		}
-		resp, err := n.c.call(p.Server, "NbrPull", enc(nbrPullReq{Model: n.Meta.Name, Part: i, IDs: byPart[i]}))
-		if err != nil {
-			return err
-		}
 		var r nbrPullResp
-		if err := dec(resp, &r); err != nil {
+		if err := n.c.partInvoke(n.Meta.Name, i, p.Server, "NbrPull", nbrPullReq{Model: n.Meta.Name, Part: i, IDs: byPart[i]}, &r); err != nil {
 			return err
 		}
 		mu.Lock()
@@ -708,13 +799,9 @@ func (m *Mat) PullAll() ([]float64, error) {
 	rows := int(m.Meta.Size)
 	cols := m.Meta.Dim
 	out := make([]float64, rows*cols)
-	err := fanOut(m.Meta.Parts, func(i int, p Partition) error {
-		resp, err := m.c.call(p.Server, "MatPull", enc(matPullReq{Model: m.Meta.Name, Part: i}))
-		if err != nil {
-			return err
-		}
+	err := m.c.fanOut(m.Meta.Parts, func(i int, p Partition) error {
 		var r matPullResp
-		if err := dec(resp, &r); err != nil {
+		if err := m.c.partInvoke(m.Meta.Name, i, p.Server, "MatPull", matPullReq{Model: m.Meta.Name, Part: i}, &r); err != nil {
 			return err
 		}
 		w := r.Col1 - r.Col0
@@ -735,15 +822,14 @@ func (m *Mat) push(data []float64, grad, set bool) error {
 	if len(data) != rows*cols {
 		return fmt.Errorf("ps: matrix push size %d != %dx%d", len(data), rows, cols)
 	}
-	return fanOut(m.Meta.Parts, func(i int, p Partition) error {
+	return m.c.fanOut(m.Meta.Parts, func(i int, p Partition) error {
 		w := p.Col1 - p.Col0
 		slice := make([]float64, rows*w)
 		for row := 0; row < rows; row++ {
 			copy(slice[row*w:(row+1)*w], data[row*cols+p.Col0:row*cols+p.Col1])
 		}
 		req := matPushReq{Model: m.Meta.Name, Part: i, Data: slice, Grad: grad, Set: set}
-		_, err := m.c.call(p.Server, "MatPush", enc(req))
-		return err
+		return m.c.partInvoke(m.Meta.Name, i, p.Server, "MatPush", req, nil)
 	})
 }
 
@@ -765,14 +851,10 @@ func (c *Client) CallFunc(model, fn string, argFor func(p Partition) []byte) ([]
 		return nil, err
 	}
 	out := make([][]byte, len(meta.Parts))
-	err = fanOut(meta.Parts, func(i int, p Partition) error {
+	err = c.fanOut(meta.Parts, func(i int, p Partition) error {
 		req := funcReq{Model: model, Part: i, Name: fn, Arg: argFor(p)}
-		resp, err := c.call(p.Server, "Func", enc(req))
-		if err != nil {
-			return err
-		}
 		var r funcResp
-		if err := dec(resp, &r); err != nil {
+		if err := c.partInvoke(model, i, p.Server, "Func", req, &r); err != nil {
 			return err
 		}
 		out[i] = r.Out

@@ -17,18 +17,45 @@ import (
 	"fmt"
 )
 
-// enc gob-encodes v, panicking on programmer error (unregistered types).
+// enc encodes v for the wire. Hot data-plane messages use the binary
+// codec of wire.go (pooled buffer; release with putBuf once the bytes
+// have left the process); everything else gob-encodes behind the tagGob
+// format byte. Panics on programmer error (gob-unencodable types).
 func enc(v any) []byte {
+	if binaryWire.Load() {
+		if b, ok := encBinary(v); ok {
+			return b
+		}
+	}
+	return encGob(v)
+}
+
+// encGob gob-encodes v behind the tagGob format byte.
+func encGob(v any) []byte {
 	var buf bytes.Buffer
+	buf.WriteByte(tagGob)
 	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
 		panic(fmt.Sprintf("ps: encode %T: %v", v, err))
 	}
 	return buf.Bytes()
 }
 
-// dec gob-decodes data into v.
+// dec decodes data into v, dispatching on the leading format tag. Both
+// formats are always accepted regardless of the binaryWire switch, so
+// peers running either codec interoperate. Decoded messages never alias
+// data: callers may recycle the buffer as soon as dec returns.
 func dec(data []byte, v any) error {
-	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+	if len(data) == 0 {
+		return fmt.Errorf("ps: decode %T: empty message", v)
+	}
+	switch data[0] {
+	case tagGob:
+		return gob.NewDecoder(bytes.NewReader(data[1:])).Decode(v)
+	case tagBin:
+		return decBinary(data[1:], v)
+	default:
+		return fmt.Errorf("ps: decode %T: unknown wire format tag 0x%02x", v, data[0])
+	}
 }
 
 // Wire requests and responses. One struct pair per server method keeps the

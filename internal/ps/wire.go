@@ -1,0 +1,709 @@
+package ps
+
+// Hand-rolled binary wire codec for the PS hot path (pull/push and psFunc
+// traffic). The paper's whole advantage over GraphX rests on cheap,
+// frequent agent↔server messages (Sec. III-C, Fig. 6), so the data plane
+// cannot afford gob's per-message encoder setup and per-element type
+// dispatch. Every hot message is encoded as
+//
+//	[1B tag=tagBin][1B message id][fields...]
+//
+// with varint-encoded ids/lengths and little-endian bulk copies for
+// []float64 payloads. Cold control-plane messages (model create/get/
+// delete, barriers, checkpoints, stats) keep gob behind tag tagGob, so
+// both formats coexist on one connection and old-style messages still
+// decode. Slice and map fields encode nil-ness explicitly (length 0 =
+// nil, length n+1 = n elements): vecPullReq relies on nil Indices
+// meaning "the whole partition range", a distinction gob does not
+// round-trip.
+//
+// Encode buffers come from a sync.Pool; Client.invoke and the TCP
+// transport return them after the bytes leave the process, so steady-
+// state pull/push traffic runs allocation-free on the framing side.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Wire format tags (first byte of every message).
+const (
+	tagGob byte = 0x00 // gob payload follows (control plane)
+	tagBin byte = 0x01 // binary payload: [msg id][fields...]
+)
+
+// Binary message ids (second byte of tagBin messages).
+const (
+	msgVecPullReq byte = iota + 1
+	msgVecPullResp
+	msgVecPushReq
+	msgMapPullReq
+	msgMapPullResp
+	msgMapPushReq
+	msgEmbPullReq
+	msgEmbPullResp
+	msgEmbPushReq
+	msgNbrPullReq
+	msgNbrPullResp
+	msgNbrPushReq
+	msgMatPullReq
+	msgMatPullResp
+	msgMatPushReq
+	msgFuncReq
+	msgFuncResp
+)
+
+// binaryWire selects the hot-path format. On (the default) hot messages
+// use the binary codec; off forces everything through gob. The switch
+// exists so benchmarks and psbench can measure the gob baseline through
+// the identical call path.
+var binaryWire atomic.Bool
+
+func init() { binaryWire.Store(true) }
+
+// SetBinaryWire toggles the binary hot-path codec; pass false to fall
+// back to gob for every message. Intended for benchmarking the codec
+// against the gob baseline, not for production use.
+func SetBinaryWire(on bool) { binaryWire.Store(on) }
+
+// ---------------------------------------------------------------------------
+// Buffer pool.
+
+// maxPooledBuf bounds the capacity of buffers kept by the pool so one
+// giant PullAll does not pin its buffer forever.
+const maxPooledBuf = 4 << 20
+
+var bufPool sync.Pool
+
+// getBuf returns an empty buffer with pooled capacity.
+func getBuf() []byte {
+	if p, ok := bufPool.Get().(*[]byte); ok {
+		return (*p)[:0]
+	}
+	return make([]byte, 0, 512)
+}
+
+// putBuf recycles b. Safe on nil and on buffers that did not come from
+// the pool (e.g. gob-encoded control messages).
+func putBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBuf {
+		return
+	}
+	bufPool.Put(&b)
+}
+
+// ---------------------------------------------------------------------------
+// Append-style encoding primitives.
+
+// grow extends b by n bytes and returns the extended slice.
+func grow(b []byte, n int) []byte {
+	if cap(b)-len(b) < n {
+		nb := make([]byte, len(b), 2*cap(b)+n)
+		copy(nb, b)
+		b = nb
+	}
+	return b[: len(b)+n : cap(b)]
+}
+
+func appendStr(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// appendI64s encodes an id slice as delta-coded varints, preserving
+// nil-ness: length 0 = nil, length n+1 = n elements. Ids are stored as
+// the zigzag varint of v[i]-v[i-1]: pull/push index streams are close
+// to sorted, so most deltas fit one byte. Overflowing deltas wrap in
+// two's complement and un-wrap identically on decode.
+func appendI64s(b []byte, s []int64) []byte {
+	if s == nil {
+		return binary.AppendUvarint(b, 0)
+	}
+	b = binary.AppendUvarint(b, uint64(len(s))+1)
+	var prev int64
+	for _, v := range s {
+		b = binary.AppendVarint(b, v-prev)
+		prev = v
+	}
+	return b
+}
+
+// appendF64s encodes a float slice as a little-endian bulk copy,
+// preserving nil-ness like appendI64s.
+func appendF64s(b []byte, s []float64) []byte {
+	if s == nil {
+		return binary.AppendUvarint(b, 0)
+	}
+	b = binary.AppendUvarint(b, uint64(len(s))+1)
+	off := len(b)
+	b = grow(b, 8*len(s))
+	for i, v := range s {
+		binary.LittleEndian.PutUint64(b[off+8*i:], math.Float64bits(v))
+	}
+	return b
+}
+
+func appendBytes(b []byte, s []byte) []byte {
+	if s == nil {
+		return binary.AppendUvarint(b, 0)
+	}
+	b = binary.AppendUvarint(b, uint64(len(s))+1)
+	return append(b, s...)
+}
+
+func appendMapF64(b []byte, m map[int64]float64) []byte {
+	if m == nil {
+		return binary.AppendUvarint(b, 0)
+	}
+	b = binary.AppendUvarint(b, uint64(len(m))+1)
+	for k, v := range m {
+		b = binary.AppendVarint(b, k)
+		off := len(b)
+		b = grow(b, 8)
+		binary.LittleEndian.PutUint64(b[off:], math.Float64bits(v))
+	}
+	return b
+}
+
+func appendMapVecs(b []byte, m map[int64][]float64) []byte {
+	if m == nil {
+		return binary.AppendUvarint(b, 0)
+	}
+	b = binary.AppendUvarint(b, uint64(len(m))+1)
+	for k, v := range m {
+		b = binary.AppendVarint(b, k)
+		b = appendF64s(b, v)
+	}
+	return b
+}
+
+func appendMapI64s(b []byte, m map[int64][]int64) []byte {
+	if m == nil {
+		return binary.AppendUvarint(b, 0)
+	}
+	b = binary.AppendUvarint(b, uint64(len(m))+1)
+	for k, v := range m {
+		b = binary.AppendVarint(b, k)
+		b = appendI64s(b, v)
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// Decoding.
+
+// wreader is a cursor over a binary payload. The first primitive that
+// runs off the end latches err; subsequent reads return zero values, so
+// decoders can read a whole message and check err once.
+type wreader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *wreader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("ps: wire: truncated message (offset %d of %d)", r.off, len(r.b))
+	}
+}
+
+func (r *wreader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *wreader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *wreader) bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off >= len(r.b) {
+		r.fail()
+		return false
+	}
+	v := r.b[r.off] != 0
+	r.off++
+	return v
+}
+
+// take returns the next n raw bytes without copying.
+func (r *wreader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+
+func (r *wreader) str() string {
+	return string(r.take(int(r.uvarint())))
+}
+
+// sliceLen decodes the nil-encoding length prefix: (0, false) for nil,
+// (n, true) for n elements.
+func (r *wreader) sliceLen() (int, bool) {
+	n := r.uvarint()
+	if n == 0 {
+		return 0, false
+	}
+	// Even an empty payload cannot hold more elements than bytes; reject
+	// absurd lengths before allocating.
+	if n-1 > uint64(len(r.b)) {
+		r.fail()
+		return 0, false
+	}
+	return int(n - 1), true
+}
+
+// i64s decodes a delta-coded id slice (see appendI64s) with a local
+// cursor: on million-id pulls the per-element wrapper overhead of
+// r.varint is measurable.
+func (r *wreader) i64s() []int64 {
+	n, ok := r.sliceLen()
+	if !ok {
+		return nil
+	}
+	s := make([]int64, n)
+	b, off := r.b, r.off
+	var prev int64
+	for i := range s {
+		d, w := binary.Varint(b[off:])
+		if w <= 0 {
+			r.off = off
+			r.fail()
+			return nil
+		}
+		off += w
+		prev += d
+		s[i] = prev
+	}
+	r.off = off
+	return s
+}
+
+func (r *wreader) f64s() []float64 {
+	n, ok := r.sliceLen()
+	if !ok {
+		return nil
+	}
+	raw := r.take(8 * n)
+	if r.err != nil {
+		return nil
+	}
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return s
+}
+
+// bytes copies the payload out so the decoded message never aliases the
+// (pooled, transport-owned) wire buffer.
+func (r *wreader) bytes() []byte {
+	n, ok := r.sliceLen()
+	if !ok {
+		return nil
+	}
+	raw := r.take(n)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, raw)
+	return out
+}
+
+func (r *wreader) mapF64() map[int64]float64 {
+	n, ok := r.sliceLen()
+	if !ok {
+		return nil
+	}
+	m := make(map[int64]float64, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		k := r.varint()
+		raw := r.take(8)
+		if r.err != nil {
+			break
+		}
+		m[k] = math.Float64frombits(binary.LittleEndian.Uint64(raw))
+	}
+	if r.err != nil {
+		return nil
+	}
+	return m
+}
+
+func (r *wreader) mapVecs() map[int64][]float64 {
+	n, ok := r.sliceLen()
+	if !ok {
+		return nil
+	}
+	m := make(map[int64][]float64, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		k := r.varint()
+		m[k] = r.f64s()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return m
+}
+
+func (r *wreader) mapI64s() map[int64][]int64 {
+	n, ok := r.sliceLen()
+	if !ok {
+		return nil
+	}
+	m := make(map[int64][]int64, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		k := r.varint()
+		m[k] = r.i64s()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return m
+}
+
+// ---------------------------------------------------------------------------
+// Per-message encode/decode.
+
+// mapVecsHint bounds the encoded size of a map[int64][]float64.
+func mapVecsHint(m map[int64][]float64) int {
+	n := 10
+	for _, v := range m {
+		n += 21 + 8*len(v)
+	}
+	return n
+}
+
+// mapI64sHint bounds the encoded size of a map[int64][]int64.
+func mapI64sHint(m map[int64][]int64) int {
+	n := 10
+	for _, v := range m {
+		n += 21 + 10*len(v)
+	}
+	return n
+}
+
+// binSizeHint returns an upper bound on the encoded size of a hot
+// message (0 for control-plane types), so encBinary can size its buffer
+// once instead of re-growing through doubling copies on multi-megabyte
+// payloads.
+func binSizeHint(v any) int {
+	switch m := v.(type) {
+	case vecPullReq:
+		return 32 + len(m.Model) + 10*len(m.Indices)
+	case vecPullResp:
+		return 32 + 8*len(m.Values)
+	case vecPushReq:
+		return 48 + len(m.Model) + 10*len(m.Indices) + 8*len(m.Values)
+	case mapPullReq:
+		return 32 + len(m.Model) + 10*len(m.Keys)
+	case mapPullResp:
+		return 16 + 18*len(m.M)
+	case mapPushReq:
+		return 32 + len(m.Model) + 18*len(m.M)
+	case embPullReq:
+		return 32 + len(m.Model) + 10*len(m.IDs)
+	case embPullResp:
+		return 16 + mapVecsHint(m.Vecs)
+	case embPushReq:
+		return 32 + len(m.Model) + mapVecsHint(m.Vecs)
+	case nbrPullReq:
+		return 32 + len(m.Model) + 10*len(m.IDs)
+	case nbrPullResp:
+		return 16 + mapI64sHint(m.Tables)
+	case nbrPushReq:
+		return 32 + len(m.Model) + mapI64sHint(m.Tables)
+	case matPullReq:
+		return 32 + len(m.Model)
+	case matPullResp:
+		return 48 + 8*len(m.Data)
+	case matPushReq:
+		return 48 + len(m.Model) + 8*len(m.Data)
+	case funcReq:
+		return 48 + len(m.Model) + len(m.Name) + len(m.Arg)
+	case funcResp:
+		return 16 + len(m.Out)
+	}
+	return 0
+}
+
+// encBinary encodes a hot data-plane message into a pooled buffer.
+// Returns (nil, false) for types that stay on the gob control plane.
+func encBinary(v any) ([]byte, bool) {
+	b := getBuf()
+	if h := binSizeHint(v); cap(b) < h {
+		putBuf(b)
+		b = make([]byte, 0, h)
+	}
+	b = append(b, tagBin)
+	switch m := v.(type) {
+	case vecPullReq:
+		b = append(b, msgVecPullReq)
+		b = appendStr(b, m.Model)
+		b = binary.AppendVarint(b, int64(m.Part))
+		b = appendI64s(b, m.Indices)
+	case vecPullResp:
+		b = append(b, msgVecPullResp)
+		b = appendF64s(b, m.Values)
+		b = binary.AppendVarint(b, m.Lo)
+	case vecPushReq:
+		b = append(b, msgVecPushReq)
+		b = appendStr(b, m.Model)
+		b = binary.AppendVarint(b, int64(m.Part))
+		b = appendI64s(b, m.Indices)
+		b = appendF64s(b, m.Values)
+		b = binary.AppendVarint(b, int64(m.Op))
+	case mapPullReq:
+		b = append(b, msgMapPullReq)
+		b = appendStr(b, m.Model)
+		b = binary.AppendVarint(b, int64(m.Part))
+		b = appendI64s(b, m.Keys)
+	case mapPullResp:
+		b = append(b, msgMapPullResp)
+		b = appendMapF64(b, m.M)
+	case mapPushReq:
+		b = append(b, msgMapPushReq)
+		b = appendStr(b, m.Model)
+		b = binary.AppendVarint(b, int64(m.Part))
+		b = appendMapF64(b, m.M)
+		b = appendBool(b, m.Set)
+	case embPullReq:
+		b = append(b, msgEmbPullReq)
+		b = appendStr(b, m.Model)
+		b = binary.AppendVarint(b, int64(m.Part))
+		b = appendI64s(b, m.IDs)
+	case embPullResp:
+		b = append(b, msgEmbPullResp)
+		b = appendMapVecs(b, m.Vecs)
+	case embPushReq:
+		b = append(b, msgEmbPushReq)
+		b = appendStr(b, m.Model)
+		b = binary.AppendVarint(b, int64(m.Part))
+		b = appendMapVecs(b, m.Vecs)
+		b = appendBool(b, m.Grad)
+		b = appendBool(b, m.Set)
+	case nbrPullReq:
+		b = append(b, msgNbrPullReq)
+		b = appendStr(b, m.Model)
+		b = binary.AppendVarint(b, int64(m.Part))
+		b = appendI64s(b, m.IDs)
+	case nbrPullResp:
+		b = append(b, msgNbrPullResp)
+		b = appendMapI64s(b, m.Tables)
+	case nbrPushReq:
+		b = append(b, msgNbrPushReq)
+		b = appendStr(b, m.Model)
+		b = binary.AppendVarint(b, int64(m.Part))
+		b = appendMapI64s(b, m.Tables)
+	case matPullReq:
+		b = append(b, msgMatPullReq)
+		b = appendStr(b, m.Model)
+		b = binary.AppendVarint(b, int64(m.Part))
+	case matPullResp:
+		b = append(b, msgMatPullResp)
+		b = binary.AppendVarint(b, int64(m.Col0))
+		b = binary.AppendVarint(b, int64(m.Col1))
+		b = appendF64s(b, m.Data)
+	case matPushReq:
+		b = append(b, msgMatPushReq)
+		b = appendStr(b, m.Model)
+		b = binary.AppendVarint(b, int64(m.Part))
+		b = appendF64s(b, m.Data)
+		b = appendBool(b, m.Grad)
+		b = appendBool(b, m.Set)
+	case funcReq:
+		b = append(b, msgFuncReq)
+		b = appendStr(b, m.Model)
+		b = binary.AppendVarint(b, int64(m.Part))
+		b = appendStr(b, m.Name)
+		b = appendBytes(b, m.Arg)
+	case funcResp:
+		b = append(b, msgFuncResp)
+		b = appendBytes(b, m.Out)
+	default:
+		putBuf(b)
+		return nil, false
+	}
+	return b, true
+}
+
+// decBinary decodes a tagBin payload (tag byte already stripped) into v.
+// The message id must match the target type, and the payload must be
+// consumed exactly.
+func decBinary(data []byte, v any) error {
+	if len(data) == 0 {
+		return fmt.Errorf("ps: wire: empty binary message")
+	}
+	id := data[0]
+	r := wreader{b: data[1:]}
+	want := byte(0)
+	switch m := v.(type) {
+	case *vecPullReq:
+		want = msgVecPullReq
+		if id == want {
+			m.Model = r.str()
+			m.Part = int(r.varint())
+			m.Indices = r.i64s()
+		}
+	case *vecPullResp:
+		want = msgVecPullResp
+		if id == want {
+			m.Values = r.f64s()
+			m.Lo = r.varint()
+		}
+	case *vecPushReq:
+		want = msgVecPushReq
+		if id == want {
+			m.Model = r.str()
+			m.Part = int(r.varint())
+			m.Indices = r.i64s()
+			m.Values = r.f64s()
+			m.Op = vecOp(r.varint())
+		}
+	case *mapPullReq:
+		want = msgMapPullReq
+		if id == want {
+			m.Model = r.str()
+			m.Part = int(r.varint())
+			m.Keys = r.i64s()
+		}
+	case *mapPullResp:
+		want = msgMapPullResp
+		if id == want {
+			m.M = r.mapF64()
+		}
+	case *mapPushReq:
+		want = msgMapPushReq
+		if id == want {
+			m.Model = r.str()
+			m.Part = int(r.varint())
+			m.M = r.mapF64()
+			m.Set = r.bool()
+		}
+	case *embPullReq:
+		want = msgEmbPullReq
+		if id == want {
+			m.Model = r.str()
+			m.Part = int(r.varint())
+			m.IDs = r.i64s()
+		}
+	case *embPullResp:
+		want = msgEmbPullResp
+		if id == want {
+			m.Vecs = r.mapVecs()
+		}
+	case *embPushReq:
+		want = msgEmbPushReq
+		if id == want {
+			m.Model = r.str()
+			m.Part = int(r.varint())
+			m.Vecs = r.mapVecs()
+			m.Grad = r.bool()
+			m.Set = r.bool()
+		}
+	case *nbrPullReq:
+		want = msgNbrPullReq
+		if id == want {
+			m.Model = r.str()
+			m.Part = int(r.varint())
+			m.IDs = r.i64s()
+		}
+	case *nbrPullResp:
+		want = msgNbrPullResp
+		if id == want {
+			m.Tables = r.mapI64s()
+		}
+	case *nbrPushReq:
+		want = msgNbrPushReq
+		if id == want {
+			m.Model = r.str()
+			m.Part = int(r.varint())
+			m.Tables = r.mapI64s()
+		}
+	case *matPullReq:
+		want = msgMatPullReq
+		if id == want {
+			m.Model = r.str()
+			m.Part = int(r.varint())
+		}
+	case *matPullResp:
+		want = msgMatPullResp
+		if id == want {
+			m.Col0 = int(r.varint())
+			m.Col1 = int(r.varint())
+			m.Data = r.f64s()
+		}
+	case *matPushReq:
+		want = msgMatPushReq
+		if id == want {
+			m.Model = r.str()
+			m.Part = int(r.varint())
+			m.Data = r.f64s()
+			m.Grad = r.bool()
+			m.Set = r.bool()
+		}
+	case *funcReq:
+		want = msgFuncReq
+		if id == want {
+			m.Model = r.str()
+			m.Part = int(r.varint())
+			m.Name = r.str()
+			m.Arg = r.bytes()
+		}
+	case *funcResp:
+		want = msgFuncResp
+		if id == want {
+			m.Out = r.bytes()
+		}
+	default:
+		return fmt.Errorf("ps: wire: binary message id %d cannot decode into %T", id, v)
+	}
+	if id != want {
+		return fmt.Errorf("ps: wire: message id %d does not match target %T (want %d)", id, v, want)
+	}
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("ps: wire: %d trailing bytes after %T", len(r.b)-r.off, v)
+	}
+	return nil
+}

@@ -5,8 +5,8 @@
 // Two implementations are provided behind the same Transport interface:
 // an in-process transport used by the simulated cluster (every node lives
 // in one OS process, as the experiments run on a single machine), and a
-// TCP transport using encoding/gob framing that exercises a real network
-// stack. Both are safe for concurrent use.
+// TCP transport using length-prefixed binary framing that exercises a
+// real network stack. Both are safe for concurrent use.
 package rpc
 
 import (
@@ -19,7 +19,10 @@ import (
 
 // Handler processes one request addressed to an endpoint. The method name
 // selects the operation; body is an opaque, already-encoded payload.
-// Handlers must be safe for concurrent use.
+// Handlers must be safe for concurrent use. The body slice is only valid
+// until the handler returns (transports recycle frame buffers): handlers
+// must copy any bytes they retain. The returned response may alias body;
+// transports keep the request buffer alive until the response is sent.
 type Handler func(method string, body []byte) ([]byte, error)
 
 // Transport routes calls between named endpoints.

@@ -1,32 +1,98 @@
 package rpc
 
 import (
-	"encoding/gob"
+	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 )
 
-// tcpRequest is the on-wire request frame.
-type tcpRequest struct {
-	Method string
-	Body   []byte
+// The TCP transport frames every call with a 4-byte little-endian length
+// prefix followed by a flat binary header — no per-connection codec
+// state, no type descriptors on the wire:
+//
+//	request:  [u32 frameLen][uvarint methodLen][method bytes][body bytes]
+//	response: [u32 frameLen][status byte][if status!=0: uvarint errLen + err bytes][body bytes]
+//
+// frameLen counts everything after the prefix. Bodies are opaque: the ps
+// package's wire codec (or gob, for control-plane messages) already
+// encoded them. Frame buffers are pooled; the response body returned by
+// Call is a sub-slice of a pooled frame that the caller owns and may
+// recycle once decoded.
+
+const (
+	// maxFrame rejects absurd frame lengths before allocating (a corrupt
+	// or hostile peer could otherwise request a multi-GB buffer).
+	maxFrame = 1 << 30
+
+	statusOK  byte = 0
+	statusErr byte = 1
+)
+
+var framePool sync.Pool
+
+func getFrame(n int) []byte {
+	if p, ok := framePool.Get().(*[]byte); ok && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]byte, n)
 }
 
-// tcpResponse is the on-wire response frame.
-type tcpResponse struct {
-	Body []byte
-	Err  string
+func putFrame(b []byte) {
+	if cap(b) == 0 || cap(b) > 4<<20 {
+		return
+	}
+	framePool.Put(&b)
 }
 
-// tcpConn bundles a pooled connection with its persistent gob stream
-// state. Gob encoders transmit type definitions once per stream, so the
-// encoder/decoder pair must live as long as the connection.
+// tcpConn bundles a pooled connection with its buffered reader/writer.
 type tcpConn struct {
 	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+func newTCPConn(c net.Conn) *tcpConn {
+	return &tcpConn{conn: c, br: bufio.NewReader(c), bw: bufio.NewWriter(c)}
+}
+
+// writeFrame sends head (already laid out by the caller) followed by
+// body under one length prefix and flushes.
+func writeFrame(bw *bufio.Writer, head, body []byte) error {
+	var prefix [4]byte
+	binary.LittleEndian.PutUint32(prefix[:], uint32(len(head)+len(body)))
+	if _, err := bw.Write(prefix[:]); err != nil {
+		return err
+	}
+	if _, err := bw.Write(head); err != nil {
+		return err
+	}
+	if _, err := bw.Write(body); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// readFrame reads one length-prefixed frame into a pooled buffer. The
+// caller must putFrame it (or hand ownership of a sub-slice onward).
+func readFrame(br *bufio.Reader) ([]byte, error) {
+	var prefix [4]byte
+	if _, err := io.ReadFull(br, prefix[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(prefix[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("rpc: frame length %d exceeds limit", n)
+	}
+	frame := getFrame(int(n))
+	if _, err := io.ReadFull(br, frame); err != nil {
+		putFrame(frame)
+		return nil, err
+	}
+	return frame, nil
 }
 
 // TCP is a Transport whose endpoints are real TCP listeners on localhost.
@@ -104,19 +170,36 @@ func (t *TCP) serve(ln net.Listener, h Handler) {
 		}
 		go func(c net.Conn) {
 			defer c.Close()
-			dec := gob.NewDecoder(c)
-			enc := gob.NewEncoder(c)
+			tc := newTCPConn(c)
+			var head []byte
 			for {
-				var req tcpRequest
-				if err := dec.Decode(&req); err != nil {
+				frame, err := readFrame(tc.br)
+				if err != nil {
 					return
 				}
-				body, herr := h(req.Method, req.Body)
-				resp := tcpResponse{Body: body}
-				if herr != nil {
-					resp.Err = herr.Error()
+				mlen, n := binary.Uvarint(frame)
+				if n <= 0 || uint64(n)+mlen > uint64(len(frame)) {
+					putFrame(frame)
+					return
 				}
-				if err := enc.Encode(&resp); err != nil {
+				method := string(frame[n : n+int(mlen)])
+				body := frame[n+int(mlen):]
+				out, herr := h(method, body)
+				head = head[:0]
+				if herr == nil {
+					head = append(head, statusOK)
+				} else {
+					head = append(head, statusErr)
+					msg := herr.Error()
+					head = binary.AppendUvarint(head, uint64(len(msg)))
+					head = append(head, msg...)
+					out = nil
+				}
+				// The frame outlives the handler call: out may alias body
+				// (echo-style handlers), so recycle only after the write.
+				err = writeFrame(tc.bw, head, out)
+				putFrame(frame)
+				if err != nil {
 					return
 				}
 			}
@@ -147,7 +230,7 @@ func (t *TCP) getConn(addr string) (*tcpConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
 	}
-	return &tcpConn{conn: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}, nil
+	return newTCPConn(c), nil
 }
 
 func (t *TCP) putConn(addr string, c *tcpConn) {
@@ -165,26 +248,45 @@ func (t *TCP) putConn(addr string, c *tcpConn) {
 	}
 }
 
-// Call implements Transport.
+// Call implements Transport. The returned body is owned by the caller
+// (it is a sub-slice of a pooled frame no longer referenced here).
 func (t *TCP) Call(addr, method string, body []byte) ([]byte, error) {
 	c, err := t.getConn(addr)
 	if err != nil {
 		return nil, err
 	}
-	if err := c.enc.Encode(&tcpRequest{Method: method, Body: body}); err != nil {
+	head := getFrame(0)[:0]
+	head = binary.AppendUvarint(head, uint64(len(method)))
+	head = append(head, method...)
+	werr := writeFrame(c.bw, head, body)
+	putFrame(head)
+	if werr != nil {
 		c.conn.Close()
-		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, werr)
 	}
-	var resp tcpResponse
-	if err := c.dec.Decode(&resp); err != nil {
+	frame, err := readFrame(c.br)
+	if err != nil {
 		c.conn.Close()
 		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
 	}
 	t.putConn(addr, c)
-	if resp.Err != "" {
-		return nil, &RemoteError{Addr: addr, Method: method, Msg: resp.Err}
+	if len(frame) < 1 {
+		putFrame(frame)
+		return nil, fmt.Errorf("%w: %s: short response frame", ErrUnreachable, addr)
 	}
-	return resp.Body, nil
+	if frame[0] == statusErr {
+		elen, n := binary.Uvarint(frame[1:])
+		if n <= 0 || uint64(n)+elen > uint64(len(frame)-1) {
+			putFrame(frame)
+			return nil, fmt.Errorf("%w: %s: corrupt error frame", ErrUnreachable, addr)
+		}
+		msg := string(frame[1+n : 1+n+int(elen)])
+		putFrame(frame)
+		return nil, &RemoteError{Addr: addr, Method: method, Msg: msg}
+	}
+	// Ownership of the frame moves to the caller via the body sub-slice;
+	// it must not also return to the pool here.
+	return frame[1:], nil
 }
 
 // Close implements Transport.
