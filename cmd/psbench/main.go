@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	psbench [-scale small|medium] [-exp all|fig6|line|table1|table2|ablation|wire] [-wireout BENCH_ps_wire.json]
+//	psbench [-scale small|medium] [-exp all|fig6|line|table1|table2|ablation|wire|server] [-wireout BENCH_ps_wire.json] [-serverout BENCH_ps_server.json]
 package main
 
 import (
@@ -19,8 +19,9 @@ import (
 func main() {
 	log.SetFlags(0)
 	scaleName := flag.String("scale", "small", "dataset/resource scale preset (small|medium)")
-	exp := flag.String("exp", "all", "experiment to run (all|fig6|line|table1|table2|ablation|wire)")
+	exp := flag.String("exp", "all", "experiment to run (all|fig6|line|table1|table2|ablation|wire|server)")
 	wireOut := flag.String("wireout", "BENCH_ps_wire.json", "where -exp wire (or all) writes its JSON report")
+	serverOut := flag.String("serverout", "BENCH_ps_server.json", "where -exp server (or all) writes its JSON report")
 	flag.Parse()
 
 	scale, err := bench.ScaleByName(*scaleName)
@@ -37,7 +38,7 @@ func main() {
 	ok := true
 	switch *exp {
 	case "all":
-		ok = runFig6(scale) && runLine(scale) && runTable1(scale) && runTable2(scale) && runAblation(scale) && runWire(scale, *wireOut)
+		ok = runFig6(scale) && runLine(scale) && runTable1(scale) && runTable2(scale) && runAblation(scale) && runWire(scale, *wireOut) && runServer(scale, *serverOut)
 	case "fig6":
 		ok = runFig6(scale)
 	case "line":
@@ -50,6 +51,8 @@ func main() {
 		ok = runAblation(scale)
 	case "wire":
 		ok = runWire(scale, *wireOut)
+	case "server":
+		ok = runServer(scale, *serverOut)
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}
@@ -193,6 +196,38 @@ func runWire(s bench.Scale, outPath string) bool {
 	}
 	fmt.Println()
 	return rep.Speedup >= 2
+}
+
+// runServer measures concurrent pull/push throughput against a single
+// embedding partition, sharded engine vs the single-lock baseline, and
+// records the report as JSON. Passes when the engine is at least 2x on
+// the cold-pull phase (concurrent pulls materializing absent rows — the
+// path the old server ran under one exclusive partition lock).
+func runServer(s bench.Scale, outPath string) bool {
+	fmt.Println("== Server engines: sharded locking vs single partition lock ==")
+	cfg := bench.DefaultServerConfig(s)
+	rep, err := bench.RunServerBench(cfg)
+	if err != nil {
+		log.Printf("  server bench FAILED: %v", err)
+		return false
+	}
+	fmt.Printf("  %d clients x %d requests/phase, batch %d, dim %d, one partition, %d CPU(s)\n",
+		rep.Clients, rep.OpsEach, rep.Batch, rep.Dim, rep.CPUs)
+	fmt.Printf("  %-10s %-12s %10s %12s\n", "phase", "mode", "wall", "req/s")
+	for _, p := range rep.Phases {
+		fmt.Printf("  %-10s %-12s %9.3fs %12.0f\n", p.Name, p.Mode, p.Seconds, p.OpsSec)
+	}
+	fmt.Printf("  speedup: cold-pull %.2fx, warm-pull %.2fx, mixed %.2fx (sharded over single-lock)\n",
+		rep.ColdSpeedup, rep.WarmSpeedup, rep.MixedSpeedup)
+	if outPath != "" {
+		if err := rep.WriteJSON(outPath); err != nil {
+			log.Printf("  writing %s FAILED: %v", outPath, err)
+			return false
+		}
+		fmt.Printf("  report written to %s\n", outPath)
+	}
+	fmt.Println()
+	return rep.ColdSpeedup >= 2
 }
 
 func runAblation(s bench.Scale) bool {

@@ -1,0 +1,238 @@
+package bench
+
+// Server-contention benchmark: many agents hammer one embedding
+// partition concurrently, comparing the sharded per-kind engine against
+// the pre-refactor baseline (one mutex per partition, exclusive even for
+// pulls, per-row initializer allocations; emulated via
+// ps.SetEmbSingleLock). The cold phase is the pathology the engine
+// refactor targets: pulls of absent rows materialize them lazily, which
+// the old server did under the partition write lock. psbench -exp server
+// prints the table and records it in BENCH_ps_server.json so the
+// contention win is tracked across PRs.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"psgraph/internal/ps"
+)
+
+// ServerPhase is one timed phase of the contention benchmark under one
+// locking mode.
+type ServerPhase struct {
+	Name    string  `json:"name"` // "cold-pull", "warm-pull" or "mixed"
+	Mode    string  `json:"mode"` // "single-lock" or "sharded"
+	Clients int     `json:"clients"`
+	Ops     int     `json:"ops"` // total requests across all clients
+	Seconds float64 `json:"seconds"`
+	OpsSec  float64 `json:"ops_per_sec"`
+}
+
+// ServerReport is the full contention benchmark result.
+type ServerReport struct {
+	Clients int `json:"clients"`
+	Batch   int `json:"batch"`
+	Dim     int `json:"dim"`
+	OpsEach int `json:"ops_per_client"`
+	// CPUs records GOMAXPROCS: the sharded read path scales with cores,
+	// while the cold-path gains (no per-row generator/scratch garbage)
+	// show even on one.
+	CPUs   int           `json:"cpus"`
+	Phases []ServerPhase `json:"phases"`
+	// ColdSpeedup is sharded over single-lock throughput on the
+	// cold-pull phase — concurrent pulls that lazily materialize rows,
+	// the path the old server serialized under one write lock.
+	ColdSpeedup float64 `json:"cold_speedup"`
+	// WarmSpeedup is the same ratio for re-pulls of resident rows
+	// (exclusive lock vs sharded read locks).
+	WarmSpeedup float64 `json:"warm_speedup"`
+	// MixedSpeedup is the ratio for the 7:1 pull:push phase.
+	MixedSpeedup float64 `json:"mixed_speedup"`
+}
+
+// ServerConfig sizes the contention benchmark.
+type ServerConfig struct {
+	Clients int // concurrent agents, all hitting one partition
+	Batch   int // ids per pull/push request
+	Dim     int
+	OpsEach int // requests per client per phase
+}
+
+// DefaultServerConfig sizes the benchmark for a scale preset.
+func DefaultServerConfig(s Scale) ServerConfig {
+	cfg := ServerConfig{Clients: 8, Batch: 256, Dim: 16, OpsEach: 60}
+	if s.Name == "medium" {
+		cfg.OpsEach = 150
+	}
+	return cfg
+}
+
+// RunServerBench measures concurrent pull/push throughput against a
+// single embedding partition under both locking modes. The single-lock
+// mode runs first and the default (sharded) mode is always restored.
+func RunServerBench(cfg ServerConfig) (*ServerReport, error) {
+	defer ps.SetEmbSingleLock(false)
+	rep := &ServerReport{
+		Clients: cfg.Clients, Batch: cfg.Batch, Dim: cfg.Dim,
+		OpsEach: cfg.OpsEach, CPUs: runtime.GOMAXPROCS(0),
+	}
+	perMode := make(map[string]map[string]float64)
+	for _, mode := range []string{"single-lock", "sharded"} {
+		ps.SetEmbSingleLock(mode == "single-lock")
+		phases, err := runServerMode(mode, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("server bench (%s): %w", mode, err)
+		}
+		perMode[mode] = make(map[string]float64)
+		for _, p := range phases {
+			rep.Phases = append(rep.Phases, p)
+			perMode[mode][p.Name] = p.OpsSec
+		}
+	}
+	ratio := func(name string) float64 {
+		if v := perMode["single-lock"][name]; v > 0 {
+			return perMode["sharded"][name] / v
+		}
+		return 0
+	}
+	rep.ColdSpeedup = ratio("cold-pull")
+	rep.WarmSpeedup = ratio("warm-pull")
+	rep.MixedSpeedup = ratio("mixed")
+	return rep, nil
+}
+
+// runServerMode times the phases under the currently selected locking
+// mode: one server, one partition, cfg.Clients agents.
+func runServerMode(mode string, cfg ServerConfig) ([]ServerPhase, error) {
+	cluster, err := ps.NewCluster(ps.ClusterConfig{NumServers: 1, NamePrefix: "srv-" + mode})
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+	creator := cluster.NewClient()
+	// InitScale > 0 engages lazy materialization — the reason embedding
+	// pulls needed the write lock before the engine split.
+	if _, err := creator.CreateEmbedding(ps.EmbeddingSpec{
+		Name: "hot", Dim: cfg.Dim, InitScale: 0.1, Partitions: 1,
+	}); err != nil {
+		return nil, err
+	}
+
+	// Every client gets its own agent (as executors do). Cold batches
+	// are disjoint ascending id ranges so every pull materializes fresh
+	// rows; warm batches re-pull materialized ids across the whole set,
+	// so clients genuinely share (and contend on) rows.
+	resident := int64(cfg.Clients) * int64(cfg.OpsEach) * int64(cfg.Batch)
+	type worker struct {
+		emb  *ps.Emb
+		cold [][]int64
+		warm [][]int64
+		push map[int64][]float64
+	}
+	workers := make([]worker, cfg.Clients)
+	for w := range workers {
+		cl := cluster.NewClient()
+		emb, err := cl.Embedding("hot")
+		if err != nil {
+			return nil, err
+		}
+		next := int64(w) * int64(cfg.OpsEach) * int64(cfg.Batch)
+		cold := make([][]int64, cfg.OpsEach)
+		for b := range cold {
+			ids := make([]int64, cfg.Batch)
+			for i := range ids {
+				ids[i] = next
+				next++
+			}
+			cold[b] = ids
+		}
+		rng := rand.New(rand.NewSource(int64(w) + 1))
+		warm := make([][]int64, 16)
+		for b := range warm {
+			ids := make([]int64, cfg.Batch)
+			for i := range ids {
+				ids[i] = rng.Int63n(resident)
+			}
+			warm[b] = ids
+		}
+		push := make(map[int64][]float64, cfg.Batch/8)
+		for i := 0; i < cfg.Batch/8; i++ {
+			row := make([]float64, cfg.Dim)
+			for d := range row {
+				row[d] = 0.001
+			}
+			push[rng.Int63n(resident)] = row
+		}
+		workers[w] = worker{emb: emb, cold: cold, warm: warm, push: push}
+	}
+
+	run := func(name string, op func(w *worker, i int) error) (ServerPhase, error) {
+		var wg sync.WaitGroup
+		errs := make(chan error, cfg.Clients)
+		start := time.Now()
+		for w := range workers {
+			wg.Add(1)
+			go func(w *worker) {
+				defer wg.Done()
+				for i := 0; i < cfg.OpsEach; i++ {
+					if err := op(w, i); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(&workers[w])
+		}
+		wg.Wait()
+		sec := time.Since(start).Seconds()
+		close(errs)
+		for err := range errs {
+			return ServerPhase{}, fmt.Errorf("%s: %w", name, err)
+		}
+		ops := cfg.Clients * cfg.OpsEach
+		p := ServerPhase{Name: name, Mode: mode, Clients: cfg.Clients, Ops: ops, Seconds: sec}
+		if sec > 0 {
+			p.OpsSec = float64(ops) / sec
+		}
+		return p, nil
+	}
+
+	cold, err := run("cold-pull", func(w *worker, i int) error {
+		_, err := w.emb.Pull(w.cold[i])
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	warm, err := run("warm-pull", func(w *worker, i int) error {
+		_, err := w.emb.Pull(w.warm[i%len(w.warm)])
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	mixed, err := run("mixed", func(w *worker, i int) error {
+		if i%8 == 7 {
+			return w.emb.PushAdd(w.push)
+		}
+		_, err := w.emb.Pull(w.warm[i%len(w.warm)])
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []ServerPhase{cold, warm, mixed}, nil
+}
+
+// WriteJSON records the report at path.
+func (r *ServerReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

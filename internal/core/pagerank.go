@@ -1,9 +1,21 @@
 package core
 
 import (
+	"fmt"
+	"os"
+	"time"
+
 	"psgraph/internal/dataflow"
 	"psgraph/internal/ps"
 )
+
+var prTrace = os.Getenv("PSG_TRACE") != ""
+
+func trace(format string, args ...any) {
+	if prTrace {
+		fmt.Fprintf(os.Stderr, "[%d] "+format+"\n", append([]any{time.Now().UnixMicro()}, args...)...)
+	}
+}
 
 // PageRankConfig tunes the Δ-rank PageRank of Sec. IV-A.
 type PageRankConfig struct {
@@ -101,9 +113,13 @@ func PageRank(ctx *Context, edges *dataflow.RDD[Edge], cfg PageRankConfig) (*Pag
 	}
 
 	models := []string{ranksName, curName, nextName}
-	checkpointAll := func() error {
+	// The three vectors are one consistent unit: they are checkpointed
+	// through the master's fenced multi-model snapshot so a server
+	// recovery can never interleave with the writes and publish a mixed
+	// set (which the rollback below would then trust).
+	rollbackAll := func() error {
 		for _, m := range models {
-			if err := ctx.Agent.Checkpoint(m); err != nil {
+			if err := ctx.Agent.RestoreModel(m); err != nil {
 				return err
 			}
 		}
@@ -112,8 +128,17 @@ func PageRank(ctx *Context, edges *dataflow.RDD[Edge], cfg PageRankConfig) (*Pag
 	if cfg.CheckpointEvery > 0 {
 		// Checkpoint the initial state so a failure before the first
 		// periodic checkpoint restores iteration 0, not an empty model.
-		if err := checkpointAll(); err != nil {
-			return nil, err
+		// Retry while a server recovery is in flight: there must be a
+		// published iteration-0 set before any rollback can target it.
+		for {
+			raced, err := ctx.Agent.CheckpointModels(models, -1)
+			if err != nil {
+				return nil, err
+			}
+			if !raced {
+				break
+			}
+			time.Sleep(time.Millisecond)
 		}
 	}
 
@@ -125,6 +150,7 @@ func PageRank(ctx *Context, edges *dataflow.RDD[Edge], cfg PageRankConfig) (*Pag
 				return nil, err
 			}
 		}
+		trace("iter %d start recoveriesBefore=%d", it, recoveriesBefore)
 		err := nbrs.ForeachPartition(func(part int, tables []dataflow.KV[int64, []int64]) error {
 			if len(tables) == 0 {
 				return nil
@@ -190,18 +216,34 @@ func PageRank(ctx *Context, edges *dataflow.RDD[Edge], cfg PageRankConfig) (*Pag
 			if err != nil {
 				return nil, err
 			}
+			trace("iter %d end residual=%g recoveriesAfter=%d", it, residual, recoveriesAfter)
 			if recoveriesAfter != recoveriesBefore {
-				for _, m := range models {
-					if err := ctx.Agent.RestoreModel(m); err != nil {
-						return nil, err
-					}
+				trace("iter %d ROLLBACK", it)
+				if err := rollbackAll(); err != nil {
+					return nil, err
 				}
+				trace("iter %d rollback done", it)
 				continue
 			}
 			if (it+1)%cfg.CheckpointEvery == 0 {
-				if err := checkpointAll(); err != nil {
+				trace("iter %d checkpointAll start", it)
+				// Fence on the recovery count read above: if a recovery
+				// slipped in after that read (or a server dies while the
+				// snapshot is being taken), nothing is published and the
+				// iteration is rolled back and redone, exactly as if the
+				// recovery had been detected in-iteration.
+				raced, err := ctx.Agent.CheckpointModels(models, recoveriesAfter)
+				if err != nil {
 					return nil, err
 				}
+				if raced {
+					trace("iter %d checkpoint RACED, rolling back", it)
+					if err := rollbackAll(); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				trace("iter %d checkpointAll done", it)
 			}
 		}
 		if residual < cfg.Tolerance*float64(n) {

@@ -73,6 +73,9 @@ func commitDeltaFunc(s *ps.Store, model string, part int, arg []byte) ([]byte, e
 		return nil, err
 	}
 	// Consistent lock order across the three co-located partitions.
+	// Sorting by model name composes with the engines' internal order
+	// (sharded engines write-lock their shards in index order under one
+	// Lock() call), so cross-model locking stays deadlock-free.
 	type lockable struct {
 		name string
 		view *ps.PartView
@@ -220,7 +223,10 @@ func lineUpdateFunc(s *ps.Store, model string, part int, arg []byte) ([]byte, er
 }
 
 // lockPairOrdered locks two partitions in model-name order and returns
-// their row accessors with matching unlock functions.
+// their row accessors with matching unlock functions. Each Lock() call
+// write-locks all of that engine's shards (in shard-index order), so the
+// model-name ordering here is the only cross-engine discipline needed to
+// stay deadlock-free against concurrent psFuncs on other partitions.
 func lockPairOrdered(nameA string, a *ps.PartView, nameB string, b *ps.PartView) (rowsA func(int64) []float64, unlockA func(), rowsB func(int64) []float64, unlockB func()) {
 	if nameA <= nameB {
 		rowsA, unlockA = a.Lock()

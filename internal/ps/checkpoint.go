@@ -4,6 +4,11 @@ import "fmt"
 
 // ckptSnapshot is the serialized form of one partition, including
 // optimizer state so that training resumes exactly where it stopped.
+// The format predates the per-kind engines and is deliberately kept:
+// each engine fills only its own fields (engine.checkpointData), and
+// engineFromSnapshot routes the decoded snapshot back to the right
+// engine type, so checkpoints written before the engine split restore
+// unchanged.
 type ckptSnapshot struct {
 	Kind   Kind
 	Vec    []float64
@@ -29,41 +34,41 @@ func CheckpointPath(model string, part int) string {
 	return fmt.Sprintf("/ps/ckpt/%s/part-%05d", model, part)
 }
 
+// checkpointTmpPath returns the staging path of a partition checkpoint.
+// Prepared snapshots land here and become visible only on rename.
+func checkpointTmpPath(model string, part int) string {
+	return CheckpointPath(model, part) + ".tmp"
+}
+
 // checkpoint snapshots one partition to the DFS. The write lands in a
 // temporary file first and is renamed so a crash mid-write never corrupts
 // the previous checkpoint.
-func (s *Server) checkpoint(model string, idx int) error {
-	p, err := s.store.get(model, idx)
+func (s *Server) checkpoint(req ckptReq) error {
+	if err := s.ckptPrepare(req); err != nil {
+		return err
+	}
+	return s.fs.Rename(checkpointTmpPath(req.Model, req.Part), CheckpointPath(req.Model, req.Part))
+}
+
+// ckptPrepare writes one partition's snapshot to its staging path
+// without publishing it. The master's fenced multi-model checkpoint
+// prepares every partition of every model first and renames them all
+// afterwards, so a server failing mid-checkpoint can never leave a
+// half-new, half-old checkpoint set behind.
+func (s *Server) ckptPrepare(req ckptReq) error {
+	e, err := s.store.get(req.Model, req.Part)
 	if err != nil {
 		return err
 	}
-	p.mu.RLock()
-	snap := ckptSnapshot{
-		Kind: p.meta.Kind,
-		Vec:  p.vec, Lo: p.lo, Hi: p.hi,
-		M: p.m, Emb: p.emb, Nbr: p.nbr,
-		CsrIDs: p.csrIDs, CsrOff: p.csrOff, CsrAdj: p.csrAdj,
-		Mat: p.mat, Col0: p.col0, Col1: p.col1,
-		Step: p.step, Mom: p.mom, Vel: p.vel,
-		MatMom: p.matMom, MatVel: p.matVel,
-	}
-	data := enc(snap)
-	p.mu.RUnlock()
-
-	final := CheckpointPath(model, idx)
-	tmp := final + ".tmp"
-	if err := s.fs.WriteFile(tmp, data); err != nil {
-		return err
-	}
-	return s.fs.Rename(tmp, final)
+	return s.fs.WriteFile(checkpointTmpPath(req.Model, req.Part), e.checkpointData())
 }
 
 // restore loads one partition from its checkpoint, or recreates it empty
 // when no checkpoint exists yet (failure before the first checkpoint).
-func (s *Server) restore(meta ModelMeta, idx int) error {
-	path := CheckpointPath(meta.Name, idx)
+func (s *Server) restore(req restoreReq) error {
+	path := CheckpointPath(req.Meta.Name, req.Part)
 	if !s.fs.Exists(path) {
-		return s.createPart(meta, idx)
+		return s.createPart(createPartReq{Meta: req.Meta, Part: req.Part})
 	}
 	data, err := s.fs.ReadFile(path)
 	if err != nil {
@@ -73,31 +78,10 @@ func (s *Server) restore(meta ModelMeta, idx int) error {
 	if err := dec(data, &snap); err != nil {
 		return fmt.Errorf("ps: decode checkpoint %s: %w", path, err)
 	}
-	p := &partition{
-		meta: meta, idx: idx,
-		vec: snap.Vec, lo: snap.Lo, hi: snap.Hi,
-		m: snap.M, emb: snap.Emb, nbr: snap.Nbr,
-		csrIDs: snap.CsrIDs, csrOff: snap.CsrOff, csrAdj: snap.CsrAdj,
-		mat: snap.Mat, col0: snap.Col0, col1: snap.Col1,
-		step: snap.Step, mom: snap.Mom, vel: snap.Vel,
-		matMom: snap.MatMom, matVel: snap.MatVel,
+	e, err := engineFromSnapshot(req.Meta, req.Part, snap)
+	if err != nil {
+		return err
 	}
-	// Gob decodes empty maps as nil; normalize so handlers can assume
-	// non-nil storage for the partition's kind.
-	switch meta.Kind {
-	case SparseVector:
-		if p.m == nil {
-			p.m = make(map[int64]float64)
-		}
-	case Embedding, ColumnEmbedding:
-		if p.emb == nil {
-			p.emb = make(map[int64][]float64)
-		}
-	case Neighbor:
-		if p.nbr == nil && p.csrIDs == nil {
-			p.nbr = make(map[int64][]int64)
-		}
-	}
-	s.store.put(p)
+	s.store.put(e)
 	return nil
 }

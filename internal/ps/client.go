@@ -195,6 +195,20 @@ func (c *Client) Checkpoint(model string) error {
 	return c.invoke(c.masterAddr, "Checkpoint", deleteModelReq{Name: model}, nil)
 }
 
+// CheckpointModels snapshots a set of models as one atomic unit, fenced
+// on the recovery counter: when ifRecoveries >= 0 and a server recovery
+// has bumped the counter past it (or a server dies mid-checkpoint), the
+// master publishes nothing and raced=true is returned — the previous
+// consistent checkpoint set is still intact, so the caller can roll back
+// to it and redo the iteration.
+func (c *Client) CheckpointModels(models []string, ifRecoveries int64) (raced bool, err error) {
+	var resp ckptModelsResp
+	if err := c.invoke(c.masterAddr, "CheckpointModels", ckptModelsReq{Names: models, IfRecoveries: ifRecoveries}, &resp); err != nil {
+		return false, err
+	}
+	return resp.Raced, nil
+}
+
 // RecoveryCount returns the number of server-recovery events the master
 // has performed. Drivers of consistency-critical algorithms compare it
 // across an iteration to detect a mid-iteration restore.

@@ -84,6 +84,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		return nil, err
 	}
 	c.Master.SetRestartFunc(c.restartServer)
+	c.Master.SetFS(cfg.FS)
 	for i := 0; i < cfg.NumServers; i++ {
 		addr := fmt.Sprintf("%s-server-%d", cfg.NamePrefix, i)
 		srv := NewServer(addr, cfg.FS)

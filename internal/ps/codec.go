@@ -220,3 +220,18 @@ type barrierReq struct {
 type deleteModelReq struct {
 	Name string
 }
+
+// ckptModelsReq asks the master to checkpoint a set of models as one
+// atomic unit, fenced on the recovery counter (see Master.Handle
+// "CheckpointModels"). IfRecoveries < 0 disables the fence.
+type ckptModelsReq struct {
+	Names        []string
+	IfRecoveries int64
+}
+
+type ckptModelsResp struct {
+	// Raced reports that a server recovery overlapped the request (the
+	// fence failed, or a server became unreachable mid-checkpoint), so
+	// nothing was published; the caller should roll back and retry.
+	Raced bool
+}

@@ -1,0 +1,120 @@
+package ps
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// matEngine stores one DenseMatrix partition: the column range
+// [col0, col1) of every row, row-major, plus the server-side optimizer
+// state for gradient pushes (Adam/AdaGrad moments and the step counter
+// live here so executors stay stateless).
+type matEngine struct {
+	engineBase
+	mu         sync.RWMutex
+	col0, col1 int
+	mat        []float64
+	step       int
+	mom        []float64
+	vel        []float64
+}
+
+func newMatEngine(base engineBase, pm Partition) *matEngine {
+	return &matEngine{
+		engineBase: base,
+		col0:       pm.Col0, col1: pm.Col1,
+		mat: make([]float64, int(base.meta.Size)*(pm.Col1-pm.Col0)),
+	}
+}
+
+func restoreMatEngine(base engineBase, snap ckptSnapshot) *matEngine {
+	return &matEngine{
+		engineBase: base,
+		col0:       snap.Col0, col1: snap.Col1,
+		mat:  snap.Mat,
+		step: snap.Step, mom: snap.MatMom, vel: snap.MatVel,
+	}
+}
+
+func (e *matEngine) pull(matPullReq) (matPullResp, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]float64, len(e.mat))
+	copy(out, e.mat)
+	return matPullResp{Col0: e.col0, Col1: e.col1, Data: out}, nil
+}
+
+func (e *matEngine) push(req matPushReq) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(req.Data) != len(e.mat) {
+		return fmt.Errorf("ps: matrix push size %d != partition size %d", len(req.Data), len(e.mat))
+	}
+	switch {
+	case req.Set:
+		copy(e.mat, req.Data)
+	case req.Grad:
+		e.step++
+		e.applyGrad(req.Data)
+	default:
+		for i, v := range req.Data {
+			e.mat[i] += v
+		}
+	}
+	return nil
+}
+
+// applyGrad applies the model's optimizer to the whole partition.
+// Callers hold e.mu.
+func (e *matEngine) applyGrad(grad []float64) {
+	opt := e.meta.Opt
+	switch opt.Kind {
+	case OptNone:
+		for i, g := range grad {
+			e.mat[i] += g
+		}
+	case OptSGD:
+		for i, g := range grad {
+			e.mat[i] -= opt.LR * g
+		}
+	case OptAdaGrad:
+		if e.vel == nil {
+			e.vel = make([]float64, len(e.mat))
+		}
+		for i, g := range grad {
+			e.vel[i] += g * g
+			e.mat[i] -= opt.LR * g / (math.Sqrt(e.vel[i]) + opt.Eps)
+		}
+	case OptAdam:
+		if e.mom == nil {
+			e.mom = make([]float64, len(e.mat))
+			e.vel = make([]float64, len(e.mat))
+		}
+		b1c := 1 - math.Pow(opt.Beta1, float64(e.step))
+		b2c := 1 - math.Pow(opt.Beta2, float64(e.step))
+		for i, g := range grad {
+			e.mom[i] = opt.Beta1*e.mom[i] + (1-opt.Beta1)*g
+			e.vel[i] = opt.Beta2*e.vel[i] + (1-opt.Beta2)*g*g
+			e.mat[i] -= opt.LR * (e.mom[i] / b1c) / (math.Sqrt(e.vel[i]/b2c) + opt.Eps)
+		}
+	}
+}
+
+func (e *matEngine) cols() (int, int) { return e.col0, e.col1 }
+
+func (e *matEngine) checkpointData() []byte {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return enc(ckptSnapshot{
+		Kind: e.meta.Kind,
+		Mat:  e.mat, Col0: e.col0, Col1: e.col1,
+		Step: e.step, MatMom: e.mom, MatVel: e.vel,
+	})
+}
+
+func (e *matEngine) sizeBytes() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return int64(len(e.mat)) * 8
+}

@@ -1,0 +1,165 @@
+package ps
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// nbrState is the lifecycle of a Neighbor partition. Sec. III-A lists
+// CSR among the PS data structures: tables are built as an adjacency
+// map while executors push fragments, then sealed into compact,
+// read-only CSR for the traversal phase of CN/triangle/GraphSage.
+type nbrState int
+
+const (
+	// nbrBuilding accepts pushes into the adjacency map.
+	nbrBuilding nbrState = iota
+	// nbrSealed serves lookups from CSR; pushes are rejected.
+	nbrSealed
+)
+
+// nbrEngine stores one Neighbor partition as an explicit
+// build-map → sealed-CSR state machine.
+type nbrEngine struct {
+	engineBase
+	mu    sync.RWMutex
+	state nbrState
+	nbr   map[int64][]int64 // nbrBuilding only
+	// CSR form (nbrSealed): one sorted id array, offsets, and a single
+	// flat adjacency array. Compact and cache-friendly for the
+	// read-only phase.
+	csrIDs []int64
+	csrOff []int64
+	csrAdj []int64
+}
+
+func newNbrEngine(base engineBase) *nbrEngine {
+	return &nbrEngine{engineBase: base, nbr: make(map[int64][]int64)}
+}
+
+func restoreNbrEngine(base engineBase, snap ckptSnapshot) *nbrEngine {
+	e := &nbrEngine{
+		engineBase: base,
+		nbr:        snap.Nbr,
+		csrIDs:     snap.CsrIDs, csrOff: snap.CsrOff, csrAdj: snap.CsrAdj,
+	}
+	if e.csrIDs != nil {
+		e.state = nbrSealed
+		e.nbr = nil
+	} else if e.nbr == nil {
+		// Gob decodes empty maps as nil; normalize the build form.
+		e.nbr = make(map[int64][]int64)
+	}
+	return e
+}
+
+func (e *nbrEngine) pull(req nbrPullReq) (nbrPullResp, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make(map[int64][]int64, len(req.IDs))
+	if e.state == nbrSealed {
+		for _, id := range req.IDs {
+			if ns := e.csrLookup(id); ns != nil {
+				cp := make([]int64, len(ns))
+				copy(cp, ns)
+				out[id] = cp
+			}
+		}
+		return nbrPullResp{Tables: out}, nil
+	}
+	for _, id := range req.IDs {
+		if ns, ok := e.nbr[id]; ok {
+			cp := make([]int64, len(ns))
+			copy(cp, ns)
+			out[id] = cp
+		}
+	}
+	return nbrPullResp{Tables: out}, nil
+}
+
+func (e *nbrEngine) push(req nbrPushReq) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.state == nbrSealed {
+		return fmt.Errorf("ps: model %q partition %d is sealed (CSR); pushes are rejected", req.Model, req.Part)
+	}
+	for id, ns := range req.Tables {
+		e.nbr[id] = append(e.nbr[id], ns...)
+	}
+	return nil
+}
+
+// csrLookup returns the adjacency of id from the CSR form, or nil.
+// Callers hold e.mu.
+func (e *nbrEngine) csrLookup(id int64) []int64 {
+	n := len(e.csrIDs)
+	i := sort.Search(n, func(i int) bool { return e.csrIDs[i] >= id })
+	if i >= n || e.csrIDs[i] != id {
+		return nil
+	}
+	return e.csrAdj[e.csrOff[i]:e.csrOff[i+1]]
+}
+
+// lockMap acquires the write lock and exposes the build-form adjacency
+// map for psFuncs (PartView.NbrLock); nil once sealed.
+func (e *nbrEngine) lockMap() (m map[int64][]int64, unlock func()) {
+	e.mu.Lock()
+	return e.nbr, e.mu.Unlock
+}
+
+// seal transitions nbrBuilding → nbrSealed, converting the adjacency
+// map into CSR (sorted, deduplicated) and dropping it. Idempotent.
+// Returns the vertex count.
+func (e *nbrEngine) seal() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.state == nbrSealed {
+		return int64(len(e.csrIDs))
+	}
+	ids := make([]int64, 0, len(e.nbr))
+	var total int
+	for id, ns := range e.nbr {
+		ids = append(ids, id)
+		total += len(ns)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	e.csrIDs = ids
+	e.csrOff = make([]int64, len(ids)+1)
+	e.csrAdj = make([]int64, 0, total)
+	for i, id := range ids {
+		ns := e.nbr[id]
+		sort.Slice(ns, func(a, b int) bool { return ns[a] < ns[b] })
+		var prev int64 = -1 << 62
+		for _, x := range ns {
+			if x != prev {
+				e.csrAdj = append(e.csrAdj, x)
+				prev = x
+			}
+		}
+		e.csrOff[i+1] = int64(len(e.csrAdj))
+	}
+	e.nbr = nil
+	e.state = nbrSealed
+	return int64(len(ids))
+}
+
+func (e *nbrEngine) checkpointData() []byte {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return enc(ckptSnapshot{
+		Kind: e.meta.Kind, Nbr: e.nbr,
+		CsrIDs: e.csrIDs, CsrOff: e.csrOff, CsrAdj: e.csrAdj,
+	})
+}
+
+func (e *nbrEngine) sizeBytes() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var b int64
+	for _, ns := range e.nbr {
+		b += 8 + int64(len(ns))*8
+	}
+	b += int64(len(e.csrIDs))*8 + int64(len(e.csrOff))*8 + int64(len(e.csrAdj))*8
+	return b
+}

@@ -1,0 +1,76 @@
+package ps
+
+import "sync"
+
+// sparseEngine stores one SparseVector partition: a key→value map
+// behind a single RWMutex. Fast-unfolding's community models are small
+// and write-heavy, so per-key sharding is not worth the footprint.
+type sparseEngine struct {
+	engineBase
+	mu sync.RWMutex
+	m  map[int64]float64
+}
+
+func newSparseEngine(base engineBase) *sparseEngine {
+	return &sparseEngine{engineBase: base, m: make(map[int64]float64)}
+}
+
+func restoreSparseEngine(base engineBase, snap ckptSnapshot) *sparseEngine {
+	e := &sparseEngine{engineBase: base, m: snap.M}
+	// Gob decodes empty maps as nil; normalize so pushes can assume
+	// non-nil storage.
+	if e.m == nil {
+		e.m = make(map[int64]float64)
+	}
+	return e
+}
+
+func (e *sparseEngine) pull(req mapPullReq) (mapPullResp, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make(map[int64]float64)
+	if req.Keys == nil {
+		for k, v := range e.m {
+			out[k] = v
+		}
+	} else {
+		for _, k := range req.Keys {
+			if v, ok := e.m[k]; ok {
+				out[k] = v
+			}
+		}
+	}
+	return mapPullResp{M: out}, nil
+}
+
+func (e *sparseEngine) push(req mapPushReq) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for k, v := range req.M {
+		if req.Set {
+			e.m[k] = v
+		} else {
+			e.m[k] += v
+		}
+	}
+	return nil
+}
+
+// lockMap acquires the write lock and exposes the backing map for
+// psFuncs (PartView.MapLock).
+func (e *sparseEngine) lockMap() (m map[int64]float64, unlock func()) {
+	e.mu.Lock()
+	return e.m, e.mu.Unlock
+}
+
+func (e *sparseEngine) checkpointData() []byte {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return enc(ckptSnapshot{Kind: e.meta.Kind, M: e.m})
+}
+
+func (e *sparseEngine) sizeBytes() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return int64(len(e.m)) * 16
+}

@@ -1,0 +1,113 @@
+package ps
+
+import (
+	"fmt"
+	"sync"
+)
+
+// vecEngine stores one DenseVector partition: a contiguous float64
+// range [lo, hi) behind a single RWMutex (range pulls and pushes touch
+// the whole slice, so finer sharding buys nothing here).
+type vecEngine struct {
+	engineBase
+	mu     sync.RWMutex
+	lo, hi int64
+	vec    []float64
+}
+
+func newVecEngine(base engineBase, pm Partition) *vecEngine {
+	return &vecEngine{
+		engineBase: base,
+		lo:         pm.Lo, hi: pm.Hi,
+		vec: make([]float64, pm.Hi-pm.Lo),
+	}
+}
+
+func restoreVecEngine(base engineBase, snap ckptSnapshot) *vecEngine {
+	return &vecEngine{engineBase: base, lo: snap.Lo, hi: snap.Hi, vec: snap.Vec}
+}
+
+func (e *vecEngine) pull(req vecPullReq) (vecPullResp, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if req.Indices == nil {
+		out := make([]float64, len(e.vec))
+		copy(out, e.vec)
+		return vecPullResp{Values: out, Lo: e.lo}, nil
+	}
+	out := make([]float64, len(req.Indices))
+	for i, idx := range req.Indices {
+		if idx < e.lo || idx >= e.hi {
+			return vecPullResp{}, fmt.Errorf("ps: index %d outside partition [%d,%d)", idx, e.lo, e.hi)
+		}
+		out[i] = e.vec[idx-e.lo]
+	}
+	return vecPullResp{Values: out, Lo: e.lo}, nil
+}
+
+// push applies one combine request. The whole request is validated
+// before the first element is written, so a bad index or size mismatch
+// rejects the push without leaving a partially applied update behind.
+func (e *vecEngine) push(req vecPushReq) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if req.Indices == nil {
+		if len(req.Values) != len(e.vec) {
+			return fmt.Errorf("ps: full push size %d != partition size %d", len(req.Values), len(e.vec))
+		}
+	} else {
+		if len(req.Values) != len(req.Indices) {
+			return fmt.Errorf("ps: push has %d values for %d indices", len(req.Values), len(req.Indices))
+		}
+		for _, idx := range req.Indices {
+			if idx < e.lo || idx >= e.hi {
+				return fmt.Errorf("ps: index %d outside partition [%d,%d)", idx, e.lo, e.hi)
+			}
+		}
+	}
+	combine := func(slot *float64, v float64) {
+		switch req.Op {
+		case vecSet:
+			*slot = v
+		case vecMin:
+			if v < *slot {
+				*slot = v
+			}
+		case vecMax:
+			if v > *slot {
+				*slot = v
+			}
+		default:
+			*slot += v
+		}
+	}
+	if req.Indices == nil {
+		for i, v := range req.Values {
+			combine(&e.vec[i], v)
+		}
+		return nil
+	}
+	for i, idx := range req.Indices {
+		combine(&e.vec[idx-e.lo], req.Values[i])
+	}
+	return nil
+}
+
+// lockData acquires the write lock and exposes the backing slice for
+// psFuncs (PartView.VecLock).
+func (e *vecEngine) lockData() (data []float64, lo int64, unlock func()) {
+	e.mu.Lock()
+	return e.vec, e.lo, e.mu.Unlock
+}
+
+func (e *vecEngine) checkpointData() []byte {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return enc(ckptSnapshot{Kind: e.meta.Kind, Vec: e.vec, Lo: e.lo, Hi: e.hi})
+}
+
+func (e *vecEngine) sizeBytes() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return int64(len(e.vec)) * 8
+}

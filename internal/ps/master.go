@@ -3,11 +3,21 @@ package ps
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
+	"psgraph/internal/dfs"
 	"psgraph/internal/rpc"
 )
+
+var psTrace = os.Getenv("PSG_TRACE") != ""
+
+func mtrace(format string, args ...any) {
+	if psTrace {
+		fmt.Fprintf(os.Stderr, "[%d] master: "+format+"\n", append([]any{time.Now().UnixMicro()}, args...)...)
+	}
+}
 
 // Master is the control plane of the parameter server (Sec. III-B):
 // it allocates model partitions over servers, answers layout queries,
@@ -17,12 +27,20 @@ type Master struct {
 	Addr string
 
 	tr rpc.Transport
+	fs *dfs.FS
 
 	mu         sync.Mutex
 	servers    []string
 	models     map[string]ModelMeta
 	barriers   map[string]*barrier
 	recoveries int64
+
+	// recMu serializes server recovery against model checkpoints. A
+	// checkpoint that interleaves with a recovery can publish a mixed
+	// snapshot set (some partitions from before the restore, some after)
+	// which the consistent-recovery rollback would then trust; holding
+	// recMu across the whole of either operation makes that impossible.
+	recMu sync.Mutex
 
 	// restart recreates a server process at the given address after a
 	// failure, re-registering its RPC handler. Provided by the Cluster.
@@ -57,6 +75,16 @@ func NewMaster(addr string, tr rpc.Transport) *Master {
 func (m *Master) SetRestartFunc(f func(addr string) error) {
 	m.mu.Lock()
 	m.restart = f
+	m.mu.Unlock()
+}
+
+// SetFS hands the master the checkpoint DFS so fenced checkpoints can
+// publish (rename) prepared snapshots without going through a server
+// that may die mid-checkpoint. Without it, CheckpointModels falls back
+// to server-side single-shot checkpoints.
+func (m *Master) SetFS(fs *dfs.FS) {
+	m.mu.Lock()
+	m.fs = fs
 	m.mu.Unlock()
 }
 
@@ -115,6 +143,16 @@ func (m *Master) Handle(method string, body []byte) ([]byte, error) {
 			return nil, err
 		}
 		return nil, m.checkpointModel(req.Name)
+	case "CheckpointModels":
+		var req ckptModelsReq
+		if err := dec(body, &req); err != nil {
+			return nil, err
+		}
+		raced, err := m.checkpointModels(req.Names, req.IfRecoveries)
+		if err != nil {
+			return nil, err
+		}
+		return enc(ckptModelsResp{Raced: raced}), nil
 	case "RecoveryCount":
 		m.mu.Lock()
 		n := m.recoveries
@@ -214,19 +252,81 @@ func (m *Master) callWithRetry(addr, method string, body []byte) ([]byte, error)
 
 // checkpointModel asks every partition's server to snapshot.
 func (m *Master) checkpointModel(name string) error {
-	m.mu.Lock()
-	meta, ok := m.models[name]
-	m.mu.Unlock()
-	if !ok {
-		return fmt.Errorf("ps: model %q does not exist", name)
+	raced, err := m.checkpointModels([]string{name}, -1)
+	if err == nil && raced {
+		err = fmt.Errorf("ps: checkpoint %s: raced with a server recovery", name)
 	}
-	for i, p := range meta.Parts {
-		body := enc(ckptReq{Model: name, Part: i})
-		if _, err := m.callWithRetry(p.Server, "Checkpoint", body); err != nil {
-			return fmt.Errorf("ps: checkpoint %s partition %d: %w", name, i, err)
+	return err
+}
+
+// checkpointModels snapshots a set of models as one atomic unit. It
+// holds recMu for the duration, so it can never interleave with a server
+// recovery, and when fence >= 0 it refuses to run (returning raced=true,
+// with the previous checkpoint set untouched) if the recovery counter no
+// longer matches — closing the window where a recovery lands after the
+// driver's detection read but before its checkpoint writes.
+//
+// The snapshot itself is two-phase: every partition of every model first
+// stages its encoded state next to the live checkpoint (CkptPrepare),
+// and only when all stages succeed does the master publish them with
+// local DFS renames. Server calls are made without retry: a dead server
+// aborts the checkpoint fast (raced=true) instead of blocking on a
+// restart that recovery — excluded by recMu — could never deliver.
+func (m *Master) checkpointModels(names []string, fence int64) (raced bool, err error) {
+	m.recMu.Lock()
+	defer m.recMu.Unlock()
+	m.mu.Lock()
+	count := m.recoveries
+	fs := m.fs
+	metas := make([]ModelMeta, 0, len(names))
+	for _, name := range names {
+		meta, ok := m.models[name]
+		if !ok {
+			m.mu.Unlock()
+			return false, fmt.Errorf("ps: model %q does not exist", name)
+		}
+		metas = append(metas, meta)
+	}
+	m.mu.Unlock()
+	if fence >= 0 && count != fence {
+		mtrace("checkpoint %v fenced off: recoveries %d != %d", names, count, fence)
+		return true, nil
+	}
+	if fs == nil {
+		// Manually wired master without a DFS handle: single-shot
+		// server-side checkpoints, still serialized against recovery.
+		for _, meta := range metas {
+			for i, p := range meta.Parts {
+				if _, err := m.tr.Call(p.Server, "Checkpoint", enc(ckptReq{Model: meta.Name, Part: i})); err != nil {
+					if errors.Is(err, rpc.ErrUnreachable) {
+						return true, nil
+					}
+					return false, fmt.Errorf("ps: checkpoint %s partition %d: %w", meta.Name, i, err)
+				}
+			}
+		}
+		return false, nil
+	}
+	for _, meta := range metas {
+		for i, p := range meta.Parts {
+			if _, err := m.tr.Call(p.Server, "CkptPrepare", enc(ckptReq{Model: meta.Name, Part: i})); err != nil {
+				if errors.Is(err, rpc.ErrUnreachable) {
+					mtrace("checkpoint %v aborted: %s unreachable", names, p.Server)
+					return true, nil
+				}
+				return false, fmt.Errorf("ps: checkpoint %s partition %d: %w", meta.Name, i, err)
+			}
 		}
 	}
-	return nil
+	for _, meta := range metas {
+		for i := range meta.Parts {
+			if err := fs.Rename(checkpointTmpPath(meta.Name, i), CheckpointPath(meta.Name, i)); err != nil {
+				return false, fmt.Errorf("ps: publish checkpoint %s partition %d: %w", meta.Name, i, err)
+			}
+			mtrace("checkpointed %s/%d", meta.Name, i)
+		}
+	}
+	return false, nil
 }
 
 // restoreModel rolls every partition of the model back to its latest
@@ -332,18 +432,36 @@ func (m *Master) CheckServers() []string {
 	m.mu.Lock()
 	servers := append([]string(nil), m.servers...)
 	m.mu.Unlock()
-	var recovered []string
+	var dead []string
 	for _, addr := range servers {
-		if _, err := m.tr.Call(addr, "Ping", nil); err == nil {
-			continue
+		if _, err := m.tr.Call(addr, "Ping", nil); err != nil {
+			dead = append(dead, addr)
 		}
+	}
+	if len(dead) == 0 {
+		return nil
+	}
+	// Restoring partitions while a multi-model checkpoint is mid-flight
+	// would poison the snapshot set the rollback protocol trusts, so
+	// recovery and checkpoints exclude each other. The recovery counter
+	// is bumped under the same lock so the checkpoint fence observes an
+	// exact count.
+	m.recMu.Lock()
+	defer m.recMu.Unlock()
+	var recovered []string
+	for _, addr := range dead {
+		mtrace("server %s dead, recovering", addr)
 		if err := m.recoverServer(addr); err == nil {
 			recovered = append(recovered, addr)
+			mtrace("server %s recovered", addr)
+		} else {
+			mtrace("server %s recovery failed: %v", addr, err)
 		}
 	}
 	if len(recovered) > 0 {
 		m.mu.Lock()
 		m.recoveries++
+		mtrace("recoveries -> %d", m.recoveries)
 		m.mu.Unlock()
 	}
 	return recovered
@@ -373,6 +491,7 @@ func (m *Master) recoverServer(addr string) error {
 			if _, err := m.tr.Call(p.Server, "Restore", body); err != nil {
 				return fmt.Errorf("ps: restore %s/%d on %s: %w", meta.Name, i, p.Server, err)
 			}
+			mtrace("recover: restored %s/%d on %s", meta.Name, i, p.Server)
 		}
 	}
 	return nil

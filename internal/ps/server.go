@@ -2,86 +2,11 @@ package ps
 
 import (
 	"fmt"
-	"math"
-	"math/rand"
 	"sort"
 	"sync"
 
 	"psgraph/internal/dfs"
 )
-
-// partition is one shard of a model held by a server. Exactly one of the
-// storage fields is used, selected by meta.Kind.
-type partition struct {
-	mu   sync.RWMutex
-	meta ModelMeta
-	idx  int
-
-	vec    []float64 // DenseVector: indices [lo, hi)
-	lo, hi int64
-
-	m map[int64]float64 // SparseVector
-
-	emb map[int64][]float64 // Embedding / ColumnEmbedding (width = embWidth)
-
-	nbr map[int64][]int64 // Neighbor (build form)
-	// Sealed Neighbor partitions are converted to CSR (Sec. III-A lists
-	// CSR among the PS data structures): one sorted id array, offsets,
-	// and a single flat adjacency array. Compact and cache-friendly for
-	// the read-only phase of CN/triangle/GraphSage workloads.
-	csrIDs []int64
-	csrOff []int64
-	csrAdj []int64
-
-	mat        []float64 // DenseMatrix: rows x (col1-col0), row-major
-	col0, col1 int
-
-	// Server-side optimizer state (the paper implements Adam/AdaGrad on
-	// the PS via psFunc so executors stay stateless).
-	step   int
-	mom    map[int64][]float64
-	vel    map[int64][]float64
-	matMom []float64
-	matVel []float64
-}
-
-// embWidth is the per-key vector width stored in this partition.
-func (p *partition) embWidth() int {
-	if p.meta.Kind == ColumnEmbedding {
-		return p.col1 - p.col0
-	}
-	return p.meta.Dim
-}
-
-// initRow deterministically initializes the stored slice for id, honoring
-// InitScale. For ColumnEmbedding the full Dim-wide vector is generated and
-// sliced, so values do not depend on the partition layout.
-func (p *partition) initRow(id int64) []float64 {
-	w := p.embWidth()
-	if p.meta.InitScale == 0 {
-		return make([]float64, w)
-	}
-	rng := rand.New(rand.NewSource(id*2654435761 + 12345))
-	full := make([]float64, p.meta.Dim)
-	for i := range full {
-		full[i] = (rng.Float64()*2 - 1) * p.meta.InitScale
-	}
-	if p.meta.Kind == ColumnEmbedding {
-		out := make([]float64, w)
-		copy(out, full[p.col0:p.col1])
-		return out
-	}
-	return full
-}
-
-func (p *partition) row(id int64) []float64 {
-	v, ok := p.emb[id]
-	if !ok {
-		v = p.initRow(id)
-		p.emb[id] = v
-	}
-	return v
-}
 
 // PSFunc is a user-defined function executed server-side against one model
 // partition. The store argument gives access to co-located partitions of
@@ -110,114 +35,97 @@ func lookupFunc(name string) (PSFunc, bool) {
 	return f, ok
 }
 
-// Store is the partition container of one server, exposed to psFuncs.
-type Store struct {
-	mu    sync.RWMutex
-	parts map[string]map[int]*partition
-}
-
-func newStore() *Store {
-	return &Store{parts: make(map[string]map[int]*partition)}
-}
-
-func (s *Store) get(model string, idx int) (*partition, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	byIdx, ok := s.parts[model]
-	if !ok {
-		return nil, fmt.Errorf("ps: model %q not on this server", model)
-	}
-	p, ok := byIdx[idx]
-	if !ok {
-		return nil, fmt.Errorf("ps: model %q partition %d not on this server", model, idx)
-	}
-	return p, nil
-}
-
-func (s *Store) put(p *partition) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	byIdx, ok := s.parts[p.meta.Name]
-	if !ok {
-		byIdx = make(map[int]*partition)
-		s.parts[p.meta.Name] = byIdx
-	}
-	byIdx[p.idx] = p
-}
-
-func (s *Store) delete(model string) {
-	s.mu.Lock()
-	delete(s.parts, model)
-	s.mu.Unlock()
-}
-
 // Partition returns the typed view of a co-located partition for psFuncs.
 // See LINE's dot-product function for the canonical use.
 func (s *Store) Partition(model string, idx int) (*PartView, error) {
-	p, err := s.get(model, idx)
+	e, err := s.get(model, idx)
 	if err != nil {
 		return nil, err
 	}
-	return &PartView{p: p}, nil
+	return &PartView{eng: e}, nil
 }
 
-// PartView is the limited interface a psFunc gets to a partition.
-type PartView struct{ p *partition }
+// PartView is the limited interface a psFunc gets to a partition. The
+// typed lock methods fetch the matching engine; calling one against a
+// partition of another kind is a programmer error and panics.
+type PartView struct{ eng engine }
 
-// Row returns (and lazily initializes) the stored vector for id. The
-// caller must not retain the slice across calls. Only valid for Embedding
-// and ColumnEmbedding partitions.
-func (v *PartView) Row(id int64) []float64 {
-	v.p.mu.Lock()
-	defer v.p.mu.Unlock()
-	return v.p.row(id)
+func (v *PartView) emb() *embEngine {
+	e, ok := v.eng.(*embEngine)
+	if !ok {
+		panic(fmt.Sprintf("ps: PartView: %v partition is not an embedding", v.eng.modelMeta().Kind))
+	}
+	return e
 }
+
+// Row returns (and lazily initializes) the stored vector for id, locking
+// only the shard that owns it. The caller must not retain the slice
+// across calls. Only valid for Embedding and ColumnEmbedding partitions.
+func (v *PartView) Row(id int64) []float64 { return v.emb().row(id) }
 
 // Cols returns the column range stored by this partition.
-func (v *PartView) Cols() (int, int) { return v.p.col0, v.p.col1 }
+func (v *PartView) Cols() (int, int) {
+	switch e := v.eng.(type) {
+	case *embEngine:
+		return e.cols()
+	case *matEngine:
+		return e.cols()
+	}
+	return 0, 0
+}
 
 // Width returns the per-key stored vector width.
-func (v *PartView) Width() int { return v.p.embWidth() }
+func (v *PartView) Width() int { return v.emb().width() }
 
-// Lock acquires the partition write lock for a multi-row operation and
-// returns the unlock function together with a raw row accessor.
+// Lock write-locks every shard of an embedding partition for a multi-row
+// operation and returns the unlock function together with a raw row
+// accessor. Shards are acquired in index order; psFuncs locking several
+// co-located partitions must take them in a consistent (model-name)
+// order, as before.
 func (v *PartView) Lock() (rows func(id int64) []float64, unlock func()) {
-	v.p.mu.Lock()
-	return v.p.row, v.p.mu.Unlock
+	return v.emb().lockAll()
 }
 
 // VecLock acquires the write lock of a DenseVector partition and returns
 // its backing slice and range start. psFuncs touching several co-located
 // partitions must acquire VecLocks in a consistent (model-name) order.
 func (v *PartView) VecLock() (data []float64, lo int64, unlock func()) {
-	v.p.mu.Lock()
-	return v.p.vec, v.p.lo, v.p.mu.Unlock
+	e, ok := v.eng.(*vecEngine)
+	if !ok {
+		panic(fmt.Sprintf("ps: PartView: %v partition is not a DenseVector", v.eng.modelMeta().Kind))
+	}
+	return e.lockData()
 }
 
 // MapLock acquires the write lock of a SparseVector partition and returns
 // the backing map.
 func (v *PartView) MapLock() (m map[int64]float64, unlock func()) {
-	v.p.mu.Lock()
-	return v.p.m, v.p.mu.Unlock
+	e, ok := v.eng.(*sparseEngine)
+	if !ok {
+		panic(fmt.Sprintf("ps: PartView: %v partition is not a SparseVector", v.eng.modelMeta().Kind))
+	}
+	return e.lockMap()
 }
 
 // NbrLock acquires the write lock of a Neighbor partition and returns the
 // backing adjacency map (nil once the partition is sealed to CSR).
 func (v *PartView) NbrLock() (m map[int64][]int64, unlock func()) {
-	v.p.mu.Lock()
-	return v.p.nbr, v.p.mu.Unlock
+	e, ok := v.eng.(*nbrEngine)
+	if !ok {
+		panic(fmt.Sprintf("ps: PartView: %v partition is not a Neighbor table", v.eng.modelMeta().Kind))
+	}
+	return e.lockMap()
 }
 
 // SealCSR converts a Neighbor partition from its build-form map into
 // compact CSR storage (sorted, deduplicated) and returns the vertex
 // count. Subsequent pushes to the partition are rejected. Idempotent.
 func (v *PartView) SealCSR() int64 {
-	v.p.mu.Lock()
-	defer v.p.mu.Unlock()
-	if v.p.csrIDs != nil {
-		return int64(len(v.p.csrIDs))
+	e, ok := v.eng.(*nbrEngine)
+	if !ok {
+		panic(fmt.Sprintf("ps: PartView: %v partition is not a Neighbor table", v.eng.modelMeta().Kind))
 	}
-	return v.p.sealCSR()
+	return e.seal()
 }
 
 // Server holds model partitions in memory and serves pull/push/psFunc
@@ -234,545 +142,186 @@ func NewServer(addr string, fs *dfs.FS) *Server {
 	return &Server{Addr: addr, fs: fs, store: newStore()}
 }
 
-// Handle dispatches one RPC. It is the rpc.Handler of the server.
-func (s *Server) Handle(method string, body []byte) ([]byte, error) {
-	switch method {
-	case "Ping":
-		return nil, nil
-	case "CreatePart":
-		var req createPartReq
+// handler serves one RPC method against a server.
+type handler func(s *Server, body []byte) ([]byte, error)
+
+// handle adapts a typed request/response method into a handler: decode
+// once, dispatch, encode once.
+func handle[Req, Resp any](f func(*Server, Req) (Resp, error)) handler {
+	return func(s *Server, body []byte) ([]byte, error) {
+		var req Req
 		if err := dec(body, &req); err != nil {
 			return nil, err
 		}
-		return nil, s.createPart(req.Meta, req.Part)
-	case "VecPull":
-		var req vecPullReq
-		if err := dec(body, &req); err != nil {
-			return nil, err
-		}
-		resp, err := s.vecPull(req)
+		resp, err := f(s, req)
 		if err != nil {
 			return nil, err
 		}
 		return enc(resp), nil
-	case "VecPush":
-		var req vecPushReq
-		if err := dec(body, &req); err != nil {
-			return nil, err
-		}
-		return nil, s.vecPush(req)
-	case "MapPull":
-		var req mapPullReq
-		if err := dec(body, &req); err != nil {
-			return nil, err
-		}
-		resp, err := s.mapPull(req)
-		if err != nil {
-			return nil, err
-		}
-		return enc(resp), nil
-	case "MapPush":
-		var req mapPushReq
-		if err := dec(body, &req); err != nil {
-			return nil, err
-		}
-		return nil, s.mapPush(req)
-	case "EmbPull":
-		var req embPullReq
-		if err := dec(body, &req); err != nil {
-			return nil, err
-		}
-		resp, err := s.embPull(req)
-		if err != nil {
-			return nil, err
-		}
-		return enc(resp), nil
-	case "EmbPush":
-		var req embPushReq
-		if err := dec(body, &req); err != nil {
-			return nil, err
-		}
-		return nil, s.embPush(req)
-	case "NbrPull":
-		var req nbrPullReq
-		if err := dec(body, &req); err != nil {
-			return nil, err
-		}
-		resp, err := s.nbrPull(req)
-		if err != nil {
-			return nil, err
-		}
-		return enc(resp), nil
-	case "NbrPush":
-		var req nbrPushReq
-		if err := dec(body, &req); err != nil {
-			return nil, err
-		}
-		return nil, s.nbrPush(req)
-	case "MatPull":
-		var req matPullReq
-		if err := dec(body, &req); err != nil {
-			return nil, err
-		}
-		resp, err := s.matPull(req)
-		if err != nil {
-			return nil, err
-		}
-		return enc(resp), nil
-	case "MatPush":
-		var req matPushReq
-		if err := dec(body, &req); err != nil {
-			return nil, err
-		}
-		return nil, s.matPush(req)
-	case "Func":
-		var req funcReq
-		if err := dec(body, &req); err != nil {
-			return nil, err
-		}
-		f, ok := lookupFunc(req.Name)
-		if !ok {
-			return nil, fmt.Errorf("ps: psFunc %q not registered", req.Name)
-		}
-		out, err := f(s.store, req.Model, req.Part, req.Arg)
-		if err != nil {
-			return nil, err
-		}
-		return enc(funcResp{Out: out}), nil
-	case "Checkpoint":
-		var req ckptReq
-		if err := dec(body, &req); err != nil {
-			return nil, err
-		}
-		return nil, s.checkpoint(req.Model, req.Part)
-	case "Restore":
-		var req restoreReq
-		if err := dec(body, &req); err != nil {
-			return nil, err
-		}
-		return nil, s.restore(req.Meta, req.Part)
-	case "Stats":
-		return enc(s.stats()), nil
-	case "DeleteModel":
-		var req deleteModelReq
-		if err := dec(body, &req); err != nil {
-			return nil, err
-		}
-		s.store.delete(req.Name)
-		return nil, nil
-	default:
-		return nil, fmt.Errorf("ps: server: unknown method %q", method)
 	}
 }
 
-func (s *Server) createPart(meta ModelMeta, idx int) error {
-	if idx < 0 || idx >= len(meta.Parts) {
-		return fmt.Errorf("ps: partition %d out of range for %s", idx, meta.Name)
+// handleNoResp adapts a request-only method (pushes, control writes)
+// into a handler with an empty response body.
+func handleNoResp[Req any](f func(*Server, Req) error) handler {
+	return func(s *Server, body []byte) ([]byte, error) {
+		var req Req
+		if err := dec(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, f(s, req)
 	}
-	pm := meta.Parts[idx]
-	p := &partition{meta: meta, idx: idx}
-	switch meta.Kind {
-	case DenseVector:
-		p.lo, p.hi = pm.Lo, pm.Hi
-		p.vec = make([]float64, pm.Hi-pm.Lo)
-	case SparseVector:
-		p.m = make(map[int64]float64)
-	case Embedding:
-		p.emb = make(map[int64][]float64)
-	case ColumnEmbedding:
-		p.col0, p.col1 = pm.Col0, pm.Col1
-		p.emb = make(map[int64][]float64)
-	case Neighbor:
-		p.nbr = make(map[int64][]int64)
-	case DenseMatrix:
-		p.col0, p.col1 = pm.Col0, pm.Col1
-		p.mat = make([]float64, int(meta.Size)*(pm.Col1-pm.Col0))
-	default:
-		return fmt.Errorf("ps: unknown kind %v", meta.Kind)
+}
+
+// serverHandlers is the method dispatch table of the server.
+var serverHandlers = map[string]handler{
+	"Ping":        func(*Server, []byte) ([]byte, error) { return nil, nil },
+	"CreatePart":  handleNoResp((*Server).createPart),
+	"VecPull":     handle((*Server).vecPull),
+	"VecPush":     handleNoResp((*Server).vecPush),
+	"MapPull":     handle((*Server).mapPull),
+	"MapPush":     handleNoResp((*Server).mapPush),
+	"EmbPull":     handle((*Server).embPull),
+	"EmbPush":     handleNoResp((*Server).embPush),
+	"NbrPull":     handle((*Server).nbrPull),
+	"NbrPush":     handleNoResp((*Server).nbrPush),
+	"MatPull":     handle((*Server).matPull),
+	"MatPush":     handleNoResp((*Server).matPush),
+	"Func":        handle((*Server).callFunc),
+	"Checkpoint":  handleNoResp((*Server).checkpoint),
+	"CkptPrepare": handleNoResp((*Server).ckptPrepare),
+	"Restore":     handleNoResp((*Server).restore),
+	"DeleteModel": handleNoResp((*Server).deleteModel),
+	"Stats":       func(s *Server, _ []byte) ([]byte, error) { return enc(s.stats()), nil },
+}
+
+// Handle dispatches one RPC. It is the rpc.Handler of the server.
+func (s *Server) Handle(method string, body []byte) ([]byte, error) {
+	h, ok := serverHandlers[method]
+	if !ok {
+		return nil, fmt.Errorf("ps: server: unknown method %q", method)
 	}
-	s.store.put(p)
+	return h(s, body)
+}
+
+func (s *Server) createPart(req createPartReq) error {
+	e, err := newEngine(req.Meta, req.Part)
+	if err != nil {
+		return err
+	}
+	s.store.put(e)
+	return nil
+}
+
+func (s *Server) deleteModel(req deleteModelReq) error {
+	s.store.delete(req.Name)
 	return nil
 }
 
 func (s *Server) vecPull(req vecPullReq) (vecPullResp, error) {
-	p, err := s.store.get(req.Model, req.Part)
+	e, err := getEngine[*vecEngine](s.store, req.Model, req.Part)
 	if err != nil {
 		return vecPullResp{}, err
 	}
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	if req.Indices == nil {
-		out := make([]float64, len(p.vec))
-		copy(out, p.vec)
-		return vecPullResp{Values: out, Lo: p.lo}, nil
-	}
-	out := make([]float64, len(req.Indices))
-	for i, idx := range req.Indices {
-		if idx < p.lo || idx >= p.hi {
-			return vecPullResp{}, fmt.Errorf("ps: index %d outside partition [%d,%d)", idx, p.lo, p.hi)
-		}
-		out[i] = p.vec[idx-p.lo]
-	}
-	return vecPullResp{Values: out, Lo: p.lo}, nil
+	return e.pull(req)
 }
 
 func (s *Server) vecPush(req vecPushReq) error {
-	p, err := s.store.get(req.Model, req.Part)
+	e, err := getEngine[*vecEngine](s.store, req.Model, req.Part)
 	if err != nil {
 		return err
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	combine := func(slot *float64, v float64) {
-		switch req.Op {
-		case vecSet:
-			*slot = v
-		case vecMin:
-			if v < *slot {
-				*slot = v
-			}
-		case vecMax:
-			if v > *slot {
-				*slot = v
-			}
-		default:
-			*slot += v
-		}
-	}
-	if req.Indices == nil {
-		if len(req.Values) != len(p.vec) {
-			return fmt.Errorf("ps: full push size %d != partition size %d", len(req.Values), len(p.vec))
-		}
-		for i, v := range req.Values {
-			combine(&p.vec[i], v)
-		}
-		return nil
-	}
-	for i, idx := range req.Indices {
-		if idx < p.lo || idx >= p.hi {
-			return fmt.Errorf("ps: index %d outside partition [%d,%d)", idx, p.lo, p.hi)
-		}
-		combine(&p.vec[idx-p.lo], req.Values[i])
-	}
-	return nil
+	return e.push(req)
 }
 
 func (s *Server) mapPull(req mapPullReq) (mapPullResp, error) {
-	p, err := s.store.get(req.Model, req.Part)
+	e, err := getEngine[*sparseEngine](s.store, req.Model, req.Part)
 	if err != nil {
 		return mapPullResp{}, err
 	}
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	out := make(map[int64]float64)
-	if req.Keys == nil {
-		for k, v := range p.m {
-			out[k] = v
-		}
-	} else {
-		for _, k := range req.Keys {
-			if v, ok := p.m[k]; ok {
-				out[k] = v
-			}
-		}
-	}
-	return mapPullResp{M: out}, nil
+	return e.pull(req)
 }
 
 func (s *Server) mapPush(req mapPushReq) error {
-	p, err := s.store.get(req.Model, req.Part)
+	e, err := getEngine[*sparseEngine](s.store, req.Model, req.Part)
 	if err != nil {
 		return err
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for k, v := range req.M {
-		if req.Set {
-			p.m[k] = v
-		} else {
-			p.m[k] += v
-		}
-	}
-	return nil
+	return e.push(req)
 }
 
 func (s *Server) embPull(req embPullReq) (embPullResp, error) {
-	p, err := s.store.get(req.Model, req.Part)
+	e, err := getEngine[*embEngine](s.store, req.Model, req.Part)
 	if err != nil {
 		return embPullResp{}, err
 	}
-	p.mu.Lock() // write lock: pulls may lazily materialize rows
-	defer p.mu.Unlock()
-	out := make(map[int64][]float64, len(req.IDs))
-	for _, id := range req.IDs {
-		src := p.row(id)
-		cp := make([]float64, len(src))
-		copy(cp, src)
-		out[id] = cp
-	}
-	return embPullResp{Vecs: out}, nil
+	return e.pull(req)
 }
 
 func (s *Server) embPush(req embPushReq) error {
-	p, err := s.store.get(req.Model, req.Part)
+	e, err := getEngine[*embEngine](s.store, req.Model, req.Part)
 	if err != nil {
 		return err
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if req.Grad {
-		p.step++
-	}
-	for id, vals := range req.Vecs {
-		row := p.row(id)
-		if len(vals) != len(row) {
-			return fmt.Errorf("ps: push width %d != row width %d", len(vals), len(row))
-		}
-		switch {
-		case req.Set:
-			copy(row, vals)
-		case req.Grad:
-			p.applyGrad(id, row, vals)
-		default:
-			for i, v := range vals {
-				row[i] += v
-			}
-		}
-	}
-	return nil
-}
-
-// applyGrad applies the model's optimizer to one row, updating per-key
-// moment state.
-func (p *partition) applyGrad(id int64, row, grad []float64) {
-	opt := p.meta.Opt
-	switch opt.Kind {
-	case OptNone:
-		for i, g := range grad {
-			row[i] += g
-		}
-	case OptSGD:
-		for i, g := range grad {
-			row[i] -= opt.LR * g
-		}
-	case OptAdaGrad:
-		if p.vel == nil {
-			p.vel = make(map[int64][]float64)
-		}
-		acc, ok := p.vel[id]
-		if !ok {
-			acc = make([]float64, len(row))
-			p.vel[id] = acc
-		}
-		for i, g := range grad {
-			acc[i] += g * g
-			row[i] -= opt.LR * g / (math.Sqrt(acc[i]) + opt.Eps)
-		}
-	case OptAdam:
-		if p.mom == nil {
-			p.mom = make(map[int64][]float64)
-			p.vel = make(map[int64][]float64)
-		}
-		m, ok := p.mom[id]
-		if !ok {
-			m = make([]float64, len(row))
-			p.mom[id] = m
-		}
-		v, ok := p.vel[id]
-		if !ok {
-			v = make([]float64, len(row))
-			p.vel[id] = v
-		}
-		b1c := 1 - math.Pow(opt.Beta1, float64(p.step))
-		b2c := 1 - math.Pow(opt.Beta2, float64(p.step))
-		for i, g := range grad {
-			m[i] = opt.Beta1*m[i] + (1-opt.Beta1)*g
-			v[i] = opt.Beta2*v[i] + (1-opt.Beta2)*g*g
-			row[i] -= opt.LR * (m[i] / b1c) / (math.Sqrt(v[i]/b2c) + opt.Eps)
-		}
-	}
-}
-
-// csrLookup returns the adjacency of id from the CSR form, or nil.
-func (p *partition) csrLookup(id int64) []int64 {
-	n := len(p.csrIDs)
-	i := sort.Search(n, func(i int) bool { return p.csrIDs[i] >= id })
-	if i >= n || p.csrIDs[i] != id {
-		return nil
-	}
-	return p.csrAdj[p.csrOff[i]:p.csrOff[i+1]]
-}
-
-// sealCSR converts the build-form adjacency map into CSR, sorting and
-// deduplicating every list, and drops the map. Returns the vertex count.
-func (p *partition) sealCSR() int64 {
-	ids := make([]int64, 0, len(p.nbr))
-	var total int
-	for id, ns := range p.nbr {
-		ids = append(ids, id)
-		total += len(ns)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	p.csrIDs = ids
-	p.csrOff = make([]int64, len(ids)+1)
-	p.csrAdj = make([]int64, 0, total)
-	for i, id := range ids {
-		ns := p.nbr[id]
-		sort.Slice(ns, func(a, b int) bool { return ns[a] < ns[b] })
-		var prev int64 = -1 << 62
-		for _, x := range ns {
-			if x != prev {
-				p.csrAdj = append(p.csrAdj, x)
-				prev = x
-			}
-		}
-		p.csrOff[i+1] = int64(len(p.csrAdj))
-	}
-	p.nbr = nil
-	return int64(len(ids))
+	return e.push(req)
 }
 
 func (s *Server) nbrPull(req nbrPullReq) (nbrPullResp, error) {
-	p, err := s.store.get(req.Model, req.Part)
+	e, err := getEngine[*nbrEngine](s.store, req.Model, req.Part)
 	if err != nil {
 		return nbrPullResp{}, err
 	}
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	out := make(map[int64][]int64, len(req.IDs))
-	if p.csrIDs != nil {
-		for _, id := range req.IDs {
-			if ns := p.csrLookup(id); ns != nil {
-				cp := make([]int64, len(ns))
-				copy(cp, ns)
-				out[id] = cp
-			}
-		}
-		return nbrPullResp{Tables: out}, nil
-	}
-	for _, id := range req.IDs {
-		if ns, ok := p.nbr[id]; ok {
-			cp := make([]int64, len(ns))
-			copy(cp, ns)
-			out[id] = cp
-		}
-	}
-	return nbrPullResp{Tables: out}, nil
+	return e.pull(req)
 }
 
 func (s *Server) nbrPush(req nbrPushReq) error {
-	p, err := s.store.get(req.Model, req.Part)
+	e, err := getEngine[*nbrEngine](s.store, req.Model, req.Part)
 	if err != nil {
 		return err
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.csrIDs != nil {
-		return fmt.Errorf("ps: model %q partition %d is sealed (CSR); pushes are rejected", req.Model, req.Part)
-	}
-	for id, ns := range req.Tables {
-		p.nbr[id] = append(p.nbr[id], ns...)
-	}
-	return nil
+	return e.push(req)
 }
 
 func (s *Server) matPull(req matPullReq) (matPullResp, error) {
-	p, err := s.store.get(req.Model, req.Part)
+	e, err := getEngine[*matEngine](s.store, req.Model, req.Part)
 	if err != nil {
 		return matPullResp{}, err
 	}
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	out := make([]float64, len(p.mat))
-	copy(out, p.mat)
-	return matPullResp{Col0: p.col0, Col1: p.col1, Data: out}, nil
+	return e.pull(req)
 }
 
 func (s *Server) matPush(req matPushReq) error {
-	p, err := s.store.get(req.Model, req.Part)
+	e, err := getEngine[*matEngine](s.store, req.Model, req.Part)
 	if err != nil {
 		return err
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if len(req.Data) != len(p.mat) {
-		return fmt.Errorf("ps: matrix push size %d != partition size %d", len(req.Data), len(p.mat))
-	}
-	switch {
-	case req.Set:
-		copy(p.mat, req.Data)
-	case req.Grad:
-		p.step++
-		p.applyMatGrad(req.Data)
-	default:
-		for i, v := range req.Data {
-			p.mat[i] += v
-		}
-	}
-	return nil
+	return e.push(req)
 }
 
-func (p *partition) applyMatGrad(grad []float64) {
-	opt := p.meta.Opt
-	switch opt.Kind {
-	case OptNone:
-		for i, g := range grad {
-			p.mat[i] += g
-		}
-	case OptSGD:
-		for i, g := range grad {
-			p.mat[i] -= opt.LR * g
-		}
-	case OptAdaGrad:
-		if p.matVel == nil {
-			p.matVel = make([]float64, len(p.mat))
-		}
-		for i, g := range grad {
-			p.matVel[i] += g * g
-			p.mat[i] -= opt.LR * g / (math.Sqrt(p.matVel[i]) + opt.Eps)
-		}
-	case OptAdam:
-		if p.matMom == nil {
-			p.matMom = make([]float64, len(p.mat))
-			p.matVel = make([]float64, len(p.mat))
-		}
-		b1c := 1 - math.Pow(opt.Beta1, float64(p.step))
-		b2c := 1 - math.Pow(opt.Beta2, float64(p.step))
-		for i, g := range grad {
-			p.matMom[i] = opt.Beta1*p.matMom[i] + (1-opt.Beta1)*g
-			p.matVel[i] = opt.Beta2*p.matVel[i] + (1-opt.Beta2)*g*g
-			p.mat[i] -= opt.LR * (p.matMom[i] / b1c) / (math.Sqrt(p.matVel[i]/b2c) + opt.Eps)
-		}
+func (s *Server) callFunc(req funcReq) (funcResp, error) {
+	f, ok := lookupFunc(req.Name)
+	if !ok {
+		return funcResp{}, fmt.Errorf("ps: psFunc %q not registered", req.Name)
 	}
+	out, err := f(s.store, req.Model, req.Part, req.Arg)
+	if err != nil {
+		return funcResp{}, err
+	}
+	return funcResp{Out: out}, nil
 }
 
-// stats walks the partitions and reports approximate resident bytes —
-// the server-side counterpart of the executor memory accounting, used to
+// stats walks the engines and reports approximate resident bytes — the
+// server-side counterpart of the executor memory accounting, used to
 // compare model footprints against the paper's server sizing.
 func (s *Server) stats() statsResp {
 	s.store.mu.RLock()
 	defer s.store.mu.RUnlock()
 	var resp statsResp
-	seen := map[string]bool{}
 	for model, parts := range s.store.parts {
-		if !seen[model] {
-			seen[model] = true
-			resp.Models = append(resp.Models, model)
-		}
-		for _, p := range parts {
+		resp.Models = append(resp.Models, model)
+		for _, e := range parts {
 			resp.Partitions++
-			p.mu.RLock()
-			resp.Bytes += int64(len(p.vec)) * 8
-			resp.Bytes += int64(len(p.m)) * 16
-			for _, row := range p.emb {
-				resp.Bytes += 8 + int64(len(row))*8
-			}
-			for _, ns := range p.nbr {
-				resp.Bytes += 8 + int64(len(ns))*8
-			}
-			resp.Bytes += int64(len(p.csrIDs))*8 + int64(len(p.csrOff))*8 + int64(len(p.csrAdj))*8
-			resp.Bytes += int64(len(p.mat)) * 8
-			p.mu.RUnlock()
+			resp.Bytes += e.sizeBytes()
 		}
 	}
 	sort.Strings(resp.Models)
