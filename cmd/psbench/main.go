@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	psbench [-scale small|medium] [-exp all|fig6|line|table1|table2|ablation|wire|server] [-wireout BENCH_ps_wire.json] [-serverout BENCH_ps_server.json]
+//	psbench [-scale small|medium] [-exp all|fig6|line|table1|table2|ablation|wire|server|dataflow] [-wireout BENCH_ps_wire.json] [-serverout BENCH_ps_server.json] [-dataflowout BENCH_dataflow.json]
 package main
 
 import (
@@ -19,9 +19,10 @@ import (
 func main() {
 	log.SetFlags(0)
 	scaleName := flag.String("scale", "small", "dataset/resource scale preset (small|medium)")
-	exp := flag.String("exp", "all", "experiment to run (all|fig6|line|table1|table2|ablation|wire|server)")
+	exp := flag.String("exp", "all", "experiment to run (all|fig6|line|table1|table2|ablation|wire|server|dataflow)")
 	wireOut := flag.String("wireout", "BENCH_ps_wire.json", "where -exp wire (or all) writes its JSON report")
 	serverOut := flag.String("serverout", "BENCH_ps_server.json", "where -exp server (or all) writes its JSON report")
+	dataflowOut := flag.String("dataflowout", "BENCH_dataflow.json", "where -exp dataflow (or all) writes its JSON report")
 	flag.Parse()
 
 	scale, err := bench.ScaleByName(*scaleName)
@@ -38,7 +39,7 @@ func main() {
 	ok := true
 	switch *exp {
 	case "all":
-		ok = runFig6(scale) && runLine(scale) && runTable1(scale) && runTable2(scale) && runAblation(scale) && runWire(scale, *wireOut) && runServer(scale, *serverOut)
+		ok = runFig6(scale) && runLine(scale) && runTable1(scale) && runTable2(scale) && runAblation(scale) && runWire(scale, *wireOut) && runServer(scale, *serverOut) && runDataflow(scale, *dataflowOut)
 	case "fig6":
 		ok = runFig6(scale)
 	case "line":
@@ -53,6 +54,8 @@ func main() {
 		ok = runWire(scale, *wireOut)
 	case "server":
 		ok = runServer(scale, *serverOut)
+	case "dataflow":
+		ok = runDataflow(scale, *dataflowOut)
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}
@@ -228,6 +231,44 @@ func runServer(s bench.Scale, outPath string) bool {
 	}
 	fmt.Println()
 	return rep.ColdSpeedup >= 2
+}
+
+// runDataflow times shuffle-heavy RDD workloads under the binary
+// streaming shuffle codec vs the gob baseline, and a narrow chain under
+// fused vs materializing evaluation, then records the report as JSON.
+// Passes when the binary shuffle is at least 2x and fusion allocates
+// strictly less than the materializing path.
+func runDataflow(s bench.Scale, outPath string) bool {
+	fmt.Println("== Dataflow engine: binary streaming shuffle vs gob, fused vs materialized narrow stages ==")
+	cfg := bench.DefaultDataflowConfig(s)
+	rep, err := bench.RunDataflowBench(cfg)
+	if err != nil {
+		log.Printf("  dataflow bench FAILED: %v", err)
+		return false
+	}
+	fmt.Printf("  %d rows over %d keys, %d partitions, %d executors, %d iters/phase\n",
+		rep.Rows, rep.Keys, rep.Parts, rep.Executors, rep.Iters)
+	fmt.Printf("  %-12s %-8s %10s %12s %12s %10s\n", "phase", "mode", "wall", "shuffled", "allocated", "MB/s")
+	for _, p := range rep.Phases {
+		fmt.Printf("  %-12s %-8s %9.3fs %11.2fMB %11.2fMB %10.1f\n",
+			p.Name, p.Mode, p.Seconds,
+			float64(p.ShuffleBytes)/(1<<20), float64(p.AllocBytes)/(1<<20), p.MBPerSec)
+	}
+	fmt.Printf("  shuffle: binary %.3fs vs gob %.3fs — %.2fx speedup; file volume %.2fMB vs %.2fMB\n",
+		rep.BinarySecs, rep.GobSecs, rep.Speedup,
+		float64(rep.BinaryBytes)/(1<<20), float64(rep.GobBytes)/(1<<20))
+	fmt.Printf("  fusion:  fused %.3fs / %.2fMB allocated vs unfused %.3fs / %.2fMB — %.2fx fewer allocations\n",
+		rep.FusedSecs, float64(rep.FusedAllocs)/(1<<20),
+		rep.UnfusedSecs, float64(rep.UnfusedAllocs)/(1<<20), rep.AllocReduction)
+	if outPath != "" {
+		if err := rep.WriteJSON(outPath); err != nil {
+			log.Printf("  writing %s FAILED: %v", outPath, err)
+			return false
+		}
+		fmt.Printf("  report written to %s\n", outPath)
+	}
+	fmt.Println()
+	return rep.Speedup >= 2 && rep.UnfusedAllocs > rep.FusedAllocs
 }
 
 func runAblation(s bench.Scale) bool {

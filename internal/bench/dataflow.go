@@ -1,0 +1,238 @@
+package bench
+
+// Dataflow engine microbenchmark: times shuffle-heavy RDD workloads
+// under the binary streaming shuffle codec and under the gob baseline
+// through the identical call path, plus a narrow-transformation chain
+// under fused and materializing evaluation to measure the allocation
+// win of whole-stage pipelining. psbench -exp dataflow prints the table
+// and records it in BENCH_dataflow.json.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"psgraph/internal/dataflow"
+	"psgraph/internal/dfs"
+)
+
+// DataflowPhase is one timed workload under one shuffle format or
+// evaluation mode.
+type DataflowPhase struct {
+	Name    string  `json:"name"` // e.g. "reducebykey"
+	Mode    string  `json:"mode"` // "binary"/"gob" or "fused"/"unfused"
+	Iters   int     `json:"iters"`
+	Seconds float64 `json:"seconds"`
+	// ShuffleBytes is what the map side handed to the DFS (0 for the
+	// narrow-chain phases, which have no shuffle).
+	ShuffleBytes int64 `json:"shuffle_bytes"`
+	// AllocBytes is the Go heap allocation delta over the phase.
+	AllocBytes int64   `json:"alloc_bytes"`
+	MBPerSec   float64 `json:"mb_per_sec"`
+}
+
+// DataflowReport is the full dataflow microbenchmark result.
+type DataflowReport struct {
+	Rows      int             `json:"rows"`
+	Keys      int             `json:"keys"`
+	Parts     int             `json:"parts"`
+	Executors int             `json:"executors"`
+	Iters     int             `json:"iters"`
+	Phases    []DataflowPhase `json:"phases"`
+
+	// Shuffle codec comparison over the shuffle phases.
+	BinarySecs  float64 `json:"binary_seconds_total"`
+	GobSecs     float64 `json:"gob_seconds_total"`
+	Speedup     float64 `json:"speedup"` // gob / binary wall time
+	BinaryBytes int64   `json:"binary_shuffle_bytes"`
+	GobBytes    int64   `json:"gob_shuffle_bytes"`
+
+	// Fusion comparison over the narrow-chain phase.
+	FusedSecs      float64 `json:"fused_seconds"`
+	UnfusedSecs    float64 `json:"unfused_seconds"`
+	FusedAllocs    int64   `json:"fused_alloc_bytes"`
+	UnfusedAllocs  int64   `json:"unfused_alloc_bytes"`
+	AllocReduction float64 `json:"alloc_reduction"` // unfused / fused allocations
+}
+
+// DataflowConfig sizes the dataflow microbenchmark.
+type DataflowConfig struct {
+	Rows      int // elements fed into each shuffle workload
+	Keys      int // distinct keys (mostly-unique keeps combining cheap)
+	Parts     int // map- and reduce-side partitions
+	Executors int
+	Iters     int // timed repetitions per phase
+}
+
+// DefaultDataflowConfig sizes the microbench for a scale preset.
+func DefaultDataflowConfig(s Scale) DataflowConfig {
+	rows := 400_000
+	if s.Name == "medium" {
+		rows = 2_000_000
+	}
+	return DataflowConfig{
+		Rows: rows, Keys: rows * 4 / 5,
+		Parts: s.Parts, Executors: s.Executors, Iters: 3,
+	}
+}
+
+// RunDataflowBench measures the shuffle workloads under both formats and
+// the narrow chain under both evaluation modes. Gob and unfused run
+// first so the fast-path defaults are always restored, even on error.
+func RunDataflowBench(cfg DataflowConfig) (*DataflowReport, error) {
+	defer dataflow.SetBinaryShuffle(true)
+	defer dataflow.SetFusion(true)
+	rep := &DataflowReport{
+		Rows: cfg.Rows, Keys: cfg.Keys, Parts: cfg.Parts,
+		Executors: cfg.Executors, Iters: cfg.Iters,
+	}
+
+	kvs := make([]dataflow.KV[int64, float64], cfg.Rows)
+	for i := range kvs {
+		// Full mantissas, like real aggregation inputs: gob trims
+		// trailing-zero floats, which would flatter the baseline.
+		kvs[i] = dataflow.KV[int64, float64]{K: int64(i % cfg.Keys), V: float64(i)*0.7 + 1.0/3.0}
+	}
+
+	for _, mode := range []string{"gob", "binary"} {
+		dataflow.SetBinaryShuffle(mode == "binary")
+		phases, err := runShufflePhases(mode, cfg, kvs)
+		if err != nil {
+			return nil, fmt.Errorf("dataflow bench (%s): %w", mode, err)
+		}
+		for _, p := range phases {
+			rep.Phases = append(rep.Phases, p)
+			switch mode {
+			case "binary":
+				rep.BinarySecs += p.Seconds
+				rep.BinaryBytes += p.ShuffleBytes
+			case "gob":
+				rep.GobSecs += p.Seconds
+				rep.GobBytes += p.ShuffleBytes
+			}
+		}
+	}
+	if rep.BinarySecs > 0 {
+		rep.Speedup = rep.GobSecs / rep.BinarySecs
+	}
+
+	for _, mode := range []string{"unfused", "fused"} {
+		dataflow.SetFusion(mode == "fused")
+		p, err := runNarrowChain(mode, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("dataflow bench (%s): %w", mode, err)
+		}
+		rep.Phases = append(rep.Phases, p)
+		switch mode {
+		case "fused":
+			rep.FusedSecs, rep.FusedAllocs = p.Seconds, p.AllocBytes
+		case "unfused":
+			rep.UnfusedSecs, rep.UnfusedAllocs = p.Seconds, p.AllocBytes
+		}
+	}
+	if rep.FusedAllocs > 0 {
+		rep.AllocReduction = float64(rep.UnfusedAllocs) / float64(rep.FusedAllocs)
+	}
+	return rep, nil
+}
+
+// timedPhase runs op Iters times against fresh contexts, tracking wall
+// time, shuffle bytes and heap allocation delta.
+func timedPhase(name, mode string, iters, executors int, op func(ctx *dataflow.Context) error) (DataflowPhase, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var shuffled int64
+	for i := 0; i < iters; i++ {
+		// Fresh context per iteration: shuffle map sides are write-once.
+		ctx := dataflow.NewContext(dfs.NewDefault(), dataflow.Config{NumExecutors: executors})
+		if err := op(ctx); err != nil {
+			return DataflowPhase{}, fmt.Errorf("%s: %w", name, err)
+		}
+		shuffled += ctx.Stats().ShuffleBytes
+	}
+	sec := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	p := DataflowPhase{
+		Name: name, Mode: mode, Iters: iters, Seconds: sec,
+		ShuffleBytes: shuffled,
+		AllocBytes:   int64(after.TotalAlloc - before.TotalAlloc),
+	}
+	if sec > 0 {
+		p.MBPerSec = float64(shuffled) / sec / (1 << 20)
+	}
+	return p, nil
+}
+
+func runShufflePhases(mode string, cfg DataflowConfig, kvs []dataflow.KV[int64, float64]) ([]DataflowPhase, error) {
+	reduce, err := timedPhase("reducebykey", mode, cfg.Iters, cfg.Executors, func(ctx *dataflow.Context) error {
+		out := dataflow.ReduceByKey(
+			dataflow.Parallelize(ctx, kvs, cfg.Parts),
+			func(a, b float64) float64 { return a + b }, cfg.Parts)
+		n, err := out.Count()
+		if err != nil {
+			return err
+		}
+		if n != int64(cfg.Keys) {
+			return fmt.Errorf("reducebykey produced %d keys, want %d", n, cfg.Keys)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	shuffle, err := timedPhase("partitionby", mode, cfg.Iters, cfg.Executors, func(ctx *dataflow.Context) error {
+		out := dataflow.PartitionBy(dataflow.Parallelize(ctx, kvs, cfg.Parts), cfg.Parts)
+		n, err := out.Count()
+		if err != nil {
+			return err
+		}
+		if n != int64(len(kvs)) {
+			return fmt.Errorf("partitionby produced %d rows, want %d", n, len(kvs))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []DataflowPhase{reduce, shuffle}, nil
+}
+
+func runNarrowChain(mode string, cfg DataflowConfig) (DataflowPhase, error) {
+	data := make([]int64, cfg.Rows)
+	for i := range data {
+		data[i] = int64(i)
+	}
+	want := int64(0)
+	return timedPhase("narrowchain", mode, cfg.Iters, cfg.Executors, func(ctx *dataflow.Context) error {
+		chain := dataflow.Filter(
+			dataflow.Map(
+				dataflow.FlatMap(
+					dataflow.Map(dataflow.Parallelize(ctx, data, cfg.Parts),
+						func(x int64) int64 { return x * 3 }),
+					func(x int64) []int64 { return []int64{x, x + 1} }),
+				func(x int64) int64 { return x / 2 }),
+			func(x int64) bool { return x%5 != 0 })
+		n, err := chain.Count()
+		if err != nil {
+			return err
+		}
+		if want == 0 {
+			want = n
+		} else if n != want {
+			return fmt.Errorf("narrow chain produced %d rows, want %d", n, want)
+		}
+		return nil
+	})
+}
+
+// WriteJSON records the report at path.
+func (r *DataflowReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -169,15 +169,16 @@ func Line(ctx *Context, edges *dataflow.RDD[Edge], cfg LineConfig) (*LineResult,
 // lineStepPSFunc runs one SGD step with server-side dot products and
 // updates.
 func lineStepPSFunc(ctx *Context, embName, otherName string, pairs []linePair, labels []float64, lr float64) error {
-	arg := gobEnc(lineDotArg{Other: otherName, Pairs: pairs})
+	arg := encLineDotArg(lineDotArg{Other: otherName, Pairs: pairs})
 	outs, err := ctx.Agent.CallFunc(embName, "core.lineDot", func(p ps.Partition) []byte { return arg })
 	if err != nil {
 		return err
 	}
 	dots := make([]float64, len(pairs))
 	for _, o := range outs {
-		var partial []float64
-		if err := gobDec(o, &partial); err != nil {
+		r := ps.NewArgReader(o)
+		partial := r.F64s()
+		if err := r.Close(); err != nil {
 			return err
 		}
 		for i, d := range partial {
@@ -188,7 +189,7 @@ func lineStepPSFunc(ctx *Context, embName, otherName string, pairs []linePair, l
 	for i := range g {
 		g[i] = lr * (labels[i] - sigmoid(dots[i]))
 	}
-	upd := gobEnc(lineUpdateArg{Other: otherName, Pairs: pairs, G: g})
+	upd := encLineUpdateArg(lineUpdateArg{Other: otherName, Pairs: pairs, G: g})
 	_, err = ctx.Agent.CallFunc(embName, "core.lineUpdate", func(p ps.Partition) []byte { return upd })
 	return err
 }
@@ -254,10 +255,15 @@ func ensureVec(m map[int64][]float64, k int64, dim int) []float64 {
 func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
 
 // degreeSampler draws negative samples from the unigram^0.75 distribution
-// over destination vertices, the noise distribution of LINE/word2vec.
+// over destination vertices, the noise distribution of LINE/word2vec. It
+// uses Walker's alias method (Vose's construction), so each draw costs
+// O(1) — two uniforms and two array reads — instead of a binary search
+// over a cumulative-sum table. With NegSamples draws per edge this is the
+// single hottest loop on the executor side of LINE training.
 type degreeSampler struct {
-	ids []int64
-	cum []float64
+	ids   []int64
+	prob  []float64 // acceptance threshold for column i
+	alias []int32   // fallback column when the coin flip rejects
 }
 
 func newDegreeSampler(edges *dataflow.RDD[Edge], parts int) (*degreeSampler, error) {
@@ -271,24 +277,77 @@ func newDegreeSampler(edges *dataflow.RDD[Edge], parts int) (*degreeSampler, err
 		return nil, err
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].K < all[j].K })
-	s := &degreeSampler{ids: make([]int64, len(all)), cum: make([]float64, len(all))}
-	var acc float64
+	ids := make([]int64, len(all))
+	weights := make([]float64, len(all))
 	for i, kv := range all {
-		acc += math.Pow(float64(kv.V), 0.75)
-		s.ids[i] = kv.K
-		s.cum[i] = acc
+		ids[i] = kv.K
+		weights[i] = math.Pow(float64(kv.V), 0.75)
 	}
-	return s, nil
+	return newAliasSampler(ids, weights), nil
+}
+
+// newAliasSampler builds the alias table with Vose's O(n) construction:
+// scale weights to mean 1, then repeatedly pair an underfull column with
+// an overfull one so every column ends up holding exactly one unit —
+// partly its own mass, the rest pointing at its alias.
+func newAliasSampler(ids []int64, weights []float64) *degreeSampler {
+	n := len(ids)
+	s := &degreeSampler{ids: ids, prob: make([]float64, n), alias: make([]int32, n)}
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if n == 0 || total <= 0 {
+		for i := range s.prob {
+			s.prob[i] = 1
+			s.alias[i] = int32(i)
+		}
+		return s
+	}
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		l := small[len(small)-1]
+		small = small[:len(small)-1]
+		g := large[len(large)-1]
+		large = large[:len(large)-1]
+		s.prob[l] = scaled[l]
+		s.alias[l] = g
+		scaled[g] -= 1 - scaled[l]
+		if scaled[g] < 1 {
+			small = append(small, g)
+		} else {
+			large = append(large, g)
+		}
+	}
+	// Leftovers are exactly 1 up to rounding error; accept them outright.
+	for _, i := range large {
+		s.prob[i] = 1
+		s.alias[i] = i
+	}
+	for _, i := range small {
+		s.prob[i] = 1
+		s.alias[i] = i
+	}
+	return s
 }
 
 func (s *degreeSampler) sample(rng *rand.Rand) int64 {
 	if len(s.ids) == 0 {
 		return 0
 	}
-	x := rng.Float64() * s.cum[len(s.cum)-1]
-	i := sort.SearchFloat64s(s.cum, x)
-	if i >= len(s.ids) {
-		i = len(s.ids) - 1
+	i := rng.Intn(len(s.ids))
+	if rng.Float64() < s.prob[i] {
+		return s.ids[i]
 	}
-	return s.ids[i]
+	return s.ids[s.alias[i]]
 }

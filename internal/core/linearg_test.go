@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestLineDotArgRoundTrip(t *testing.T) {
+	in := lineDotArg{
+		Other: "line.ctx",
+		Pairs: []linePair{{U: 3, V: 9}, {U: 1, V: -4}, {U: 1 << 40, V: 0}},
+	}
+	out, err := decLineDotArg(encLineDotArg(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Other != in.Other || fmt.Sprint(out.Pairs) != fmt.Sprint(in.Pairs) {
+		t.Fatalf("round-trip: %+v", out)
+	}
+	empty, err := decLineDotArg(encLineDotArg(lineDotArg{Other: "m"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.Pairs) != 0 {
+		t.Fatalf("empty pairs round-trip: %+v", empty)
+	}
+}
+
+func TestLineUpdateArgRoundTrip(t *testing.T) {
+	in := lineUpdateArg{
+		Other: "line.emb",
+		Pairs: []linePair{{U: 7, V: 2}, {U: 5, V: 5}},
+		G:     []float64{0.025, -0.0125},
+	}
+	out, err := decLineUpdateArg(encLineUpdateArg(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Other != in.Other ||
+		fmt.Sprint(out.Pairs) != fmt.Sprint(in.Pairs) ||
+		fmt.Sprint(out.G) != fmt.Sprint(in.G) {
+		t.Fatalf("round-trip: %+v", out)
+	}
+}
+
+func TestLineArgDecodeRejectsGarbage(t *testing.T) {
+	if _, err := decLineDotArg([]byte{0xFF, 0xFF, 0xFF}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// A dot arg is not a valid update arg (missing G block).
+	dot := encLineDotArg(lineDotArg{Other: "m", Pairs: []linePair{{U: 1, V: 2}}})
+	if _, err := decLineUpdateArg(dot); err == nil {
+		t.Fatal("truncated update arg accepted")
+	}
+}

@@ -133,9 +133,74 @@ type lineDotArg struct {
 	Pairs []linePair
 }
 
+// The LINE psFunc payloads ride the PR-1 binary arg codec instead of
+// gob: pair ids as two delta-varint columns, coefficients as a
+// little-endian float block. These messages go out once per partition
+// per training step, so their encode cost sits squarely on the hot path.
+
+func splitPairs(pairs []linePair) (us, vs []int64) {
+	us = make([]int64, len(pairs))
+	vs = make([]int64, len(pairs))
+	for i, p := range pairs {
+		us[i], vs[i] = p.U, p.V
+	}
+	return us, vs
+}
+
+func joinPairs(us, vs []int64) ([]linePair, error) {
+	if len(us) != len(vs) {
+		return nil, fmt.Errorf("core: line arg: %d U ids vs %d V ids", len(us), len(vs))
+	}
+	pairs := make([]linePair, len(us))
+	for i := range pairs {
+		pairs[i] = linePair{U: us[i], V: vs[i]}
+	}
+	return pairs, nil
+}
+
+func encLineDotArg(a lineDotArg) []byte {
+	us, vs := splitPairs(a.Pairs)
+	b := ps.AppendArgStr(nil, a.Other)
+	b = ps.AppendArgI64s(b, us)
+	return ps.AppendArgI64s(b, vs)
+}
+
+func decLineDotArg(data []byte) (lineDotArg, error) {
+	r := ps.NewArgReader(data)
+	a := lineDotArg{Other: r.Str()}
+	us, vs := r.I64s(), r.I64s()
+	if err := r.Close(); err != nil {
+		return a, err
+	}
+	pairs, err := joinPairs(us, vs)
+	a.Pairs = pairs
+	return a, err
+}
+
+func encLineUpdateArg(a lineUpdateArg) []byte {
+	us, vs := splitPairs(a.Pairs)
+	b := ps.AppendArgStr(nil, a.Other)
+	b = ps.AppendArgI64s(b, us)
+	b = ps.AppendArgI64s(b, vs)
+	return ps.AppendArgF64s(b, a.G)
+}
+
+func decLineUpdateArg(data []byte) (lineUpdateArg, error) {
+	r := ps.NewArgReader(data)
+	a := lineUpdateArg{Other: r.Str()}
+	us, vs := r.I64s(), r.I64s()
+	a.G = r.F64s()
+	if err := r.Close(); err != nil {
+		return a, err
+	}
+	pairs, err := joinPairs(us, vs)
+	a.Pairs = pairs
+	return a, err
+}
+
 func lineDotFunc(s *ps.Store, model string, part int, arg []byte) ([]byte, error) {
-	var a lineDotArg
-	if err := gobDec(arg, &a); err != nil {
+	a, err := decLineDotArg(arg)
+	if err != nil {
 		return nil, err
 	}
 	embView, err := s.Partition(model, part)
@@ -154,7 +219,7 @@ func lineDotFunc(s *ps.Store, model string, part int, arg []byte) ([]byte, error
 			out[i] = d
 		}
 		unlock()
-		return gobEnc(out), nil
+		return ps.AppendArgF64s(nil, out), nil
 	}
 	otherView, err := s.Partition(a.Other, part)
 	if err != nil {
@@ -171,7 +236,7 @@ func lineDotFunc(s *ps.Store, model string, part int, arg []byte) ([]byte, error
 	}
 	unlockOther()
 	unlockEmb()
-	return gobEnc(out), nil
+	return ps.AppendArgF64s(nil, out), nil
 }
 
 // lineUpdateArg applies SGD on this partition's columns for every pair:
@@ -183,8 +248,8 @@ type lineUpdateArg struct {
 }
 
 func lineUpdateFunc(s *ps.Store, model string, part int, arg []byte) ([]byte, error) {
-	var a lineUpdateArg
-	if err := gobDec(arg, &a); err != nil {
+	a, err := decLineUpdateArg(arg)
+	if err != nil {
 		return nil, err
 	}
 	if len(a.G) != len(a.Pairs) {

@@ -80,11 +80,13 @@ type Context struct {
 	taskSeq    atomic.Int64
 	shuffleSeq atomic.Int64
 
-	statMu        sync.Mutex
-	shuffleBytes  int64 // bytes written to shuffle files
-	tasksRun      int64
-	tasksRetried  int64
-	peakExecBytes int64
+	// Engine counters. These sit on hot paths (every bucket write bumps
+	// shuffleBytes, every Alloc checks the peak), so they are atomics
+	// rather than a shared mutex.
+	shuffleBytes  atomic.Int64 // bytes written to shuffle files
+	tasksRun      atomic.Int64
+	tasksRetried  atomic.Int64
+	peakExecBytes atomic.Int64
 }
 
 // NewContext creates an execution context backed by fs.
@@ -124,13 +126,11 @@ type Stats struct {
 
 // Stats returns a snapshot of the engine counters.
 func (c *Context) Stats() Stats {
-	c.statMu.Lock()
-	defer c.statMu.Unlock()
 	return Stats{
-		ShuffleBytes:  c.shuffleBytes,
-		TasksRun:      c.tasksRun,
-		TasksRetried:  c.tasksRetried,
-		PeakExecBytes: c.peakExecBytes,
+		ShuffleBytes:  c.shuffleBytes.Load(),
+		TasksRun:      c.tasksRun.Load(),
+		TasksRetried:  c.tasksRetried.Load(),
+		PeakExecBytes: c.peakExecBytes.Load(),
 	}
 }
 
@@ -240,11 +240,12 @@ func (c *Context) unpersist(execID int, n int64) {
 }
 
 func (c *Context) notePeak(n int64) {
-	c.statMu.Lock()
-	if n > c.peakExecBytes {
-		c.peakExecBytes = n
+	for {
+		cur := c.peakExecBytes.Load()
+		if n <= cur || c.peakExecBytes.CompareAndSwap(cur, n) {
+			return
+		}
 	}
-	c.statMu.Unlock()
 }
 
 // runTasks executes one task per index on the executor pool, retrying
@@ -306,9 +307,7 @@ func (c *Context) runTasks(n int, run func(t *Task, i int) error) error {
 					t := &Task{ctx: c, ex: e, gen: gen}
 					err := run(t, it.idx)
 					t.release()
-					c.statMu.Lock()
-					c.tasksRun++
-					c.statMu.Unlock()
+					c.tasksRun.Add(1)
 					if err == nil {
 						// Double-check the executor survived the task: a
 						// kill mid-task invalidates its results.
@@ -328,9 +327,7 @@ func (c *Context) runTasks(n int, run func(t *Task, i int) error) error {
 							fail(fmt.Errorf("dataflow: task %d exceeded %d retries", it.idx, c.cfg.MaxTaskRetries))
 							return
 						}
-						c.statMu.Lock()
-						c.tasksRetried++
-						c.statMu.Unlock()
+						c.tasksRetried.Add(1)
 						work <- item{idx: it.idx, retries: it.retries + 1}
 						continue
 					}

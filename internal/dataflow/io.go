@@ -16,55 +16,58 @@ func TextFile(ctx *Context, path string, parts int) *RDD[string] {
 	if parts <= 0 {
 		parts = ctx.cfg.DefaultParallelism
 	}
+	stream := func(t *Task, part int, emit func(string) error) error {
+		size, err := ctx.FS.Size(path)
+		if err != nil {
+			return err
+		}
+		start := size * int64(part) / int64(parts)
+		end := size * int64(part+1) / int64(parts)
+		// Hadoop split semantics: a line belongs to the split holding
+		// its first byte. Readers of non-first splits open one byte
+		// early and discard one line — if start coincides with a line
+		// start, the discarded "line" is exactly the preceding
+		// newline, so nothing is lost; otherwise the partial line is
+		// dropped (its owner is the previous split, which reads lines
+		// as long as they *start* before its end).
+		readFrom := start
+		if start > 0 {
+			readFrom = start - 1
+		}
+		f, err := ctx.FS.OpenRange(path, readFrom, size-readFrom)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		br := bufio.NewReaderSize(f, 1<<16)
+		pos := readFrom
+		if start > 0 {
+			skipped, err := br.ReadBytes('\n')
+			pos += int64(len(skipped))
+			if err != nil {
+				return nil // split begins inside the final line
+			}
+		}
+		for pos < end {
+			line, err := br.ReadBytes('\n')
+			pos += int64(len(line))
+			if len(line) > 0 {
+				if err := emit(strings.TrimRight(string(line), "\n")); err != nil {
+					return err
+				}
+			}
+			if err != nil {
+				break
+			}
+		}
+		return nil
+	}
 	return &RDD[string]{
-		ctx:   ctx,
-		parts: parts,
-		name:  "textFile(" + path + ")",
-		compute: func(t *Task, part int) ([]string, error) {
-			size, err := ctx.FS.Size(path)
-			if err != nil {
-				return nil, err
-			}
-			start := size * int64(part) / int64(parts)
-			end := size * int64(part+1) / int64(parts)
-			// Hadoop split semantics: a line belongs to the split holding
-			// its first byte. Readers of non-first splits open one byte
-			// early and discard one line — if start coincides with a line
-			// start, the discarded "line" is exactly the preceding
-			// newline, so nothing is lost; otherwise the partial line is
-			// dropped (its owner is the previous split, which reads lines
-			// as long as they *start* before its end).
-			readFrom := start
-			if start > 0 {
-				readFrom = start - 1
-			}
-			f, err := ctx.FS.OpenRange(path, readFrom, size-readFrom)
-			if err != nil {
-				return nil, err
-			}
-			defer f.Close()
-			br := bufio.NewReaderSize(f, 1<<16)
-			pos := readFrom
-			if start > 0 {
-				skipped, err := br.ReadBytes('\n')
-				pos += int64(len(skipped))
-				if err != nil {
-					return nil, nil // split begins inside the final line
-				}
-			}
-			var out []string
-			for pos < end {
-				line, err := br.ReadBytes('\n')
-				pos += int64(len(line))
-				if len(line) > 0 {
-					out = append(out, strings.TrimRight(string(line), "\n"))
-				}
-				if err != nil {
-					break
-				}
-			}
-			return out, nil
-		},
+		ctx:     ctx,
+		parts:   parts,
+		name:    "textFile(" + path + ")",
+		stream:  stream,
+		compute: func(t *Task, part int) ([]string, error) { return collectStream(t, part, stream) },
 	}
 }
 

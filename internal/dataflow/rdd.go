@@ -3,6 +3,7 @@ package dataflow
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // node is the untyped view of an RDD used for dependency preparation:
@@ -11,18 +12,44 @@ type node interface {
 	prepare() error
 }
 
+// fusionOn selects the fused narrow-stage evaluation path. Off forces
+// every narrow transformation to materialize its whole output slice (the
+// pre-fusion behavior), so benchmarks and golden tests can compare both
+// paths through the identical API. Not safe to flip while a job runs.
+var fusionOn atomic.Bool
+
+func init() { fusionOn.Store(true) }
+
+// SetFusion toggles narrow-stage fusion; pass false to materialize every
+// intermediate. Intended for benchmarking and testing the fused path
+// against the slice-materializing baseline.
+func SetFusion(on bool) { fusionOn.Store(on) }
+
 // RDD is a lazily evaluated, partitioned, immutable dataset. Narrow
 // transformations (Map, Filter, FlatMap) compose compute closures without
 // materializing data; wide transformations (GroupByKey, ReduceByKey, Join)
 // insert a shuffle. Actions (Collect, Count, Foreach) trigger execution on
 // the executor pool.
+//
+// Chains of narrow transformations evaluate through the fused stream
+// path: one per-element pass over the source partition with no
+// intermediate slices — the in-process analog of Spark's whole-stage
+// pipelining. Fusion breaks exactly where semantics require a
+// materialized partition: cache points (so Cache fills and is reused),
+// shuffle boundaries on the reduce side, and MapPartitions inputs.
+// Lineage is unchanged: a retried task simply re-runs the fused pass.
 type RDD[T any] struct {
 	ctx      *Context
 	parts    int
 	parents  []node
 	shuffles []*shuffleDep
 	compute  func(t *Task, part int) ([]T, error)
-	name     string
+	// stream pushes partition part's elements into emit one at a time
+	// without materializing the partition. Nil for RDDs that inherently
+	// materialize (shuffle reduce sides); such RDDs stream from their
+	// computed slice.
+	stream func(t *Task, part int, emit func(T) error) error
+	name   string
 
 	cacheMu  sync.Mutex
 	caching  bool
@@ -91,6 +118,46 @@ func (r *RDD[T]) materialize(t *Task, part int) ([]T, error) {
 	return out, nil
 }
 
+// streamPart pushes partition part's elements to emit, one at a time.
+// This is the fused evaluation entry point: when the RDD has a stream
+// path and is not involved with the cache, elements flow through the
+// whole narrow chain without intermediate slices. Cached or caching
+// RDDs fall back to materialize — a cache point is a fusion barrier, so
+// the cached slice is filled (and reused) exactly as before fusion.
+func (r *RDD[T]) streamPart(t *Task, part int, emit func(T) error) error {
+	r.cacheMu.Lock()
+	hit := r.cached != nil && r.cached[part] != nil
+	caching := r.caching
+	r.cacheMu.Unlock()
+	if r.stream == nil || hit || caching || !fusionOn.Load() {
+		in, err := r.materialize(t, part)
+		if err != nil {
+			return err
+		}
+		for _, x := range in {
+			if err := emit(x); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return r.stream(t, part, emit)
+}
+
+// collectStream drains a stream function into a slice; it is the
+// materializing fallback compute of fused RDDs.
+func collectStream[T any](t *Task, part int, stream func(*Task, int, func(T) error) error) ([]T, error) {
+	var out []T
+	err := stream(t, part, func(x T) error {
+		out = append(out, x)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Cache marks the RDD for in-memory persistence: each partition is kept on
 // the executor that first computes it and charged against its budget.
 func (r *RDD[T]) Cache() *RDD[T] {
@@ -141,84 +208,107 @@ func Parallelize[T any](ctx *Context, data []T, parts int) *RDD[T] {
 			copy(out, data[lo:hi])
 			return out, nil
 		},
+		stream: func(t *Task, part int, emit func(T) error) error {
+			lo := n * part / parts
+			hi := n * (part + 1) / parts
+			for _, x := range data[lo:hi] {
+				if err := emit(x); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
 	}
 }
 
 // Map applies f to every element.
 func Map[T, U any](r *RDD[T], f func(T) U) *RDD[U] {
+	stream := func(t *Task, part int, emit func(U) error) error {
+		return r.streamPart(t, part, func(x T) error {
+			return emit(f(x))
+		})
+	}
 	return &RDD[U]{
 		ctx:     r.ctx,
 		parts:   r.parts,
 		parents: []node{r},
 		name:    r.name + ".map",
-		compute: func(t *Task, part int) ([]U, error) {
-			in, err := r.materialize(t, part)
-			if err != nil {
-				return nil, err
-			}
-			out := make([]U, len(in))
-			for i, x := range in {
-				out[i] = f(x)
-			}
-			return out, nil
-		},
+		stream:  stream,
+		compute: func(t *Task, part int) ([]U, error) { return collectStream(t, part, stream) },
 	}
 }
 
 // Filter keeps the elements for which pred is true.
 func Filter[T any](r *RDD[T], pred func(T) bool) *RDD[T] {
+	stream := func(t *Task, part int, emit func(T) error) error {
+		return r.streamPart(t, part, func(x T) error {
+			if !pred(x) {
+				return nil
+			}
+			return emit(x)
+		})
+	}
 	return &RDD[T]{
 		ctx:     r.ctx,
 		parts:   r.parts,
 		parents: []node{r},
 		name:    r.name + ".filter",
-		compute: func(t *Task, part int) ([]T, error) {
-			in, err := r.materialize(t, part)
-			if err != nil {
-				return nil, err
-			}
-			var out []T
-			for _, x := range in {
-				if pred(x) {
-					out = append(out, x)
-				}
-			}
-			return out, nil
-		},
+		stream:  stream,
+		compute: func(t *Task, part int) ([]T, error) { return collectStream(t, part, stream) },
 	}
 }
 
 // FlatMap applies f to every element and concatenates the results.
 func FlatMap[T, U any](r *RDD[T], f func(T) []U) *RDD[U] {
+	stream := func(t *Task, part int, emit func(U) error) error {
+		return r.streamPart(t, part, func(x T) error {
+			for _, u := range f(x) {
+				if err := emit(u); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
 	return &RDD[U]{
 		ctx:     r.ctx,
 		parts:   r.parts,
 		parents: []node{r},
 		name:    r.name + ".flatMap",
-		compute: func(t *Task, part int) ([]U, error) {
-			in, err := r.materialize(t, part)
-			if err != nil {
-				return nil, err
-			}
-			var out []U
-			for _, x := range in {
-				out = append(out, f(x)...)
-			}
-			return out, nil
-		},
+		stream:  stream,
+		compute: func(t *Task, part int) ([]U, error) { return collectStream(t, part, stream) },
 	}
 }
 
 // MapPartitions transforms each partition as a whole. The index of the
-// partition is passed to f.
+// partition is passed to f. The input partition is necessarily
+// materialized (f sees a slice), but the inputs are gathered through the
+// fused path and the outputs stream onward element by element.
 func MapPartitions[T, U any](r *RDD[T], f func(part int, in []T) ([]U, error)) *RDD[U] {
+	stream := func(t *Task, part int, emit func(U) error) error {
+		in, err := collectStream(t, part, r.streamPart)
+		if err != nil {
+			return err
+		}
+		out, err := f(part, in)
+		if err != nil {
+			return err
+		}
+		for _, u := range out {
+			if err := emit(u); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	return &RDD[U]{
 		ctx:     r.ctx,
 		parts:   r.parts,
 		parents: []node{r},
 		name:    r.name + ".mapPartitions",
+		stream:  stream,
 		compute: func(t *Task, part int) ([]U, error) {
-			in, err := r.materialize(t, part)
+			in, err := collectStream(t, part, r.streamPart)
 			if err != nil {
 				return nil, err
 			}
@@ -234,7 +324,7 @@ func (r *RDD[T]) Collect() ([]T, error) {
 	}
 	results := make([][]T, r.parts)
 	err := r.ctx.runTasks(r.parts, func(t *Task, part int) error {
-		out, err := r.materialize(t, part)
+		out, err := collectStream(t, part, r.streamPart)
 		if err != nil {
 			return err
 		}
@@ -251,18 +341,23 @@ func (r *RDD[T]) Collect() ([]T, error) {
 	return all, nil
 }
 
-// Count returns the number of elements.
+// Count returns the number of elements. The fused path counts without
+// materializing the final partitions.
 func (r *RDD[T]) Count() (int64, error) {
 	if err := r.prepare(); err != nil {
 		return 0, err
 	}
 	counts := make([]int64, r.parts)
 	err := r.ctx.runTasks(r.parts, func(t *Task, part int) error {
-		out, err := r.materialize(t, part)
+		var n int64
+		err := r.streamPart(t, part, func(T) error {
+			n++
+			return nil
+		})
 		if err != nil {
 			return err
 		}
-		counts[part] = int64(len(out))
+		counts[part] = n
 		return nil
 	})
 	if err != nil {
@@ -275,16 +370,15 @@ func (r *RDD[T]) Count() (int64, error) {
 	return total, nil
 }
 
-// Foreach runs f over every element for its side effects. f must be safe
-// for concurrent use across partitions.
+// Foreach runs f over every element for its side effects, streaming
+// elements through the fused path. f must be safe for concurrent use
+// across partitions.
 func (r *RDD[T]) Foreach(f func(T) error) error {
-	return r.ForeachPartition(func(part int, in []T) error {
-		for _, x := range in {
-			if err := f(x); err != nil {
-				return err
-			}
-		}
-		return nil
+	if err := r.prepare(); err != nil {
+		return err
+	}
+	return r.ctx.runTasks(r.parts, func(t *Task, part int) error {
+		return r.streamPart(t, part, f)
 	})
 }
 
@@ -296,7 +390,7 @@ func (r *RDD[T]) ForeachPartition(f func(part int, in []T) error) error {
 		return err
 	}
 	return r.ctx.runTasks(r.parts, func(t *Task, part int) error {
-		in, err := r.materialize(t, part)
+		in, err := collectStream(t, part, r.streamPart)
 		if err != nil {
 			return err
 		}
@@ -304,20 +398,53 @@ func (r *RDD[T]) ForeachPartition(f func(part int, in []T) error) error {
 	})
 }
 
-// Reduce combines all elements with f. It returns an error if the RDD is
-// empty.
+// Reduce combines all elements with f. Each executor folds its partition
+// into one partial result as elements stream by; only the per-partition
+// partials travel to the driver, which combines them in partition order.
+// It returns an error if the RDD is empty.
 func (r *RDD[T]) Reduce(f func(a, b T) T) (T, error) {
 	var zero T
-	all, err := r.Collect()
+	if err := r.prepare(); err != nil {
+		return zero, err
+	}
+	partials := make([]T, r.parts)
+	nonEmpty := make([]bool, r.parts)
+	err := r.ctx.runTasks(r.parts, func(t *Task, part int) error {
+		var acc T
+		has := false
+		err := r.streamPart(t, part, func(x T) error {
+			if !has {
+				acc, has = x, true
+			} else {
+				acc = f(acc, x)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		// A retried task overwrites its own slot; distinct parts never
+		// share one.
+		partials[part], nonEmpty[part] = acc, has
+		return nil
+	})
 	if err != nil {
 		return zero, err
 	}
-	if len(all) == 0 {
-		return zero, fmt.Errorf("dataflow: reduce of empty RDD")
+	var acc T
+	has := false
+	for part, ok := range nonEmpty {
+		if !ok {
+			continue
+		}
+		if !has {
+			acc, has = partials[part], true
+		} else {
+			acc = f(acc, partials[part])
+		}
 	}
-	acc := all[0]
-	for _, x := range all[1:] {
-		acc = f(acc, x)
+	if !has {
+		return zero, fmt.Errorf("dataflow: reduce of empty RDD")
 	}
 	return acc, nil
 }
@@ -336,6 +463,12 @@ func Union[T any](a, b *RDD[T]) *RDD[T] {
 				return a.materialize(t, part)
 			}
 			return b.materialize(t, part-aParts)
+		},
+		stream: func(t *Task, part int, emit func(T) error) error {
+			if part < aParts {
+				return a.streamPart(t, part, emit)
+			}
+			return b.streamPart(t, part-aParts, emit)
 		},
 	}
 }

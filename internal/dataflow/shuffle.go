@@ -1,10 +1,12 @@
 package dataflow
 
 import (
-	"bytes"
+	"bufio"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"hash/maphash"
+	"io"
 	"sync"
 )
 
@@ -28,8 +30,8 @@ func hashPart[K comparable](k K, parts int) int {
 }
 
 // shuffleDep is one shuffle boundary: its map side runs once (guarded),
-// writing per-(mapPart, reducePart) gob files to the DFS; reduce tasks
-// read the files addressed to their partition.
+// streaming per-(mapPart, reducePart) record files to the DFS; reduce
+// tasks stream-decode the files addressed to their partition.
 type shuffleDep struct {
 	ctx         *Context
 	id          int64
@@ -49,25 +51,96 @@ func shufflePath(id int64, mapPart, reducePart int) string {
 	return fmt.Sprintf("/shuffle/%d/%05d-%05d", id, mapPart, reducePart)
 }
 
-func gobEncode[T any](v []T) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
+// countingWriter tracks bytes handed to the DFS so shuffleBytes reflects
+// what actually hit storage.
+type countingWriter struct {
+	w io.Writer
+	n int64
 }
 
-func gobDecode[T any](data []byte) ([]T, error) {
-	var out []T
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&out); err != nil {
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// bucketWriter streams one reduce partition's records of a map task to
+// the DFS. Binary buckets buffer records in a pooled chunk flushed at
+// shuffleChunk bytes; gob buckets stream through one encoder (which
+// amortizes type descriptors across the file). Either way the task is
+// charged one chunk of transient memory, not the whole encoded bucket.
+type bucketWriter[K comparable, V any] struct {
+	file  io.WriteCloser
+	cw    countingWriter
+	buf   []byte       // binary path: pending chunk
+	genc  *gob.Encoder // gob path
+	codec *shuffleCodec[K, V]
+}
+
+func newBucketWriter[K comparable, V any](ctx *Context, path string, codec *shuffleCodec[K, V]) (*bucketWriter[K, V], error) {
+	w := &bucketWriter[K, V]{file: ctx.FS.Create(path), codec: codec}
+	w.cw.w = w.file
+	fmtByte := shuffleFmtGob
+	if codec != nil {
+		fmtByte = shuffleFmtBin
+	}
+	if _, err := w.cw.Write([]byte{fmtByte}); err != nil {
 		return nil, err
 	}
-	return out, nil
+	if codec != nil {
+		w.buf = getShuffleBuf()
+	} else {
+		w.genc = gob.NewEncoder(&w.cw)
+	}
+	return w, nil
+}
+
+func (w *bucketWriter[K, V]) write(kv KV[K, V]) error {
+	if w.codec == nil {
+		return w.genc.Encode(kv)
+	}
+	w.buf = w.codec.enc(w.buf, kv)
+	if len(w.buf) >= shuffleChunk {
+		return w.flush()
+	}
+	return nil
+}
+
+func (w *bucketWriter[K, V]) flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	_, err := w.cw.Write(w.buf)
+	w.buf = w.buf[:0]
+	return err
+}
+
+// close flushes, publishes the file and returns the bytes written.
+func (w *bucketWriter[K, V]) close() (int64, error) {
+	if w.codec != nil {
+		if err := w.flush(); err != nil {
+			return w.cw.n, err
+		}
+		putShuffleBuf(w.buf)
+		w.buf = nil
+	}
+	return w.cw.n, w.file.Close()
+}
+
+// discard releases the chunk buffer without publishing the file (error
+// paths; the DFS file only becomes visible on Close).
+func (w *bucketWriter[K, V]) discard() {
+	if w.buf != nil {
+		putShuffleBuf(w.buf)
+		w.buf = nil
+	}
 }
 
 // writeShuffle creates the map side of a shuffle over parent, bucketing
-// elements by key hash. It returns the dep to attach to the reduce-side
-// RDD.
+// elements by key hash. Elements stream straight from the parent's fused
+// evaluation path into per-bucket chunked encoders, so neither the
+// parent's output nor any encoded bucket is ever held whole in memory.
+// It returns the dep to attach to the reduce-side RDD.
 func writeShuffle[K comparable, V any](parent *RDD[KV[K, V]], reduceParts int) *shuffleDep {
 	ctx := parent.ctx
 	dep := &shuffleDep{
@@ -80,66 +153,118 @@ func writeShuffle[K comparable, V any](parent *RDD[KV[K, V]], reduceParts int) *
 		if err := parent.prepare(); err != nil {
 			return err
 		}
+		var codec *shuffleCodec[K, V]
+		if binaryShuffle.Load() {
+			codec = codecFor[K, V]()
+		}
 		return ctx.runTasks(parent.parts, func(t *Task, part int) error {
-			in, err := parent.materialize(t, part)
-			if err != nil {
+			// Each open bucket holds at most one chunk of pending
+			// records — that chunk is the transient serialization memory.
+			charge := int64(reduceParts) * shuffleChunk
+			if err := t.Alloc(charge); err != nil {
 				return err
 			}
-			buckets := make([][]KV[K, V], reduceParts)
-			for _, kv := range in {
-				b := hashPart(kv.K, reduceParts)
-				buckets[b] = append(buckets[b], kv)
-			}
-			for rp, bucket := range buckets {
-				data, err := gobEncode(bucket)
+			defer t.Free(charge)
+			buckets := make([]*bucketWriter[K, V], reduceParts)
+			defer func() {
+				for _, b := range buckets {
+					if b != nil {
+						b.discard()
+					}
+				}
+			}()
+			for rp := range buckets {
+				w, err := newBucketWriter(ctx, shufflePath(dep.id, part, rp), codec)
 				if err != nil {
 					return err
 				}
-				// The serialization buffer is transient executor memory.
-				if err := t.Alloc(int64(len(data))); err != nil {
-					return err
-				}
-				if err := ctx.FS.WriteFile(shufflePath(dep.id, part, rp), data); err != nil {
-					return err
-				}
-				t.Free(int64(len(data)))
-				ctx.statMu.Lock()
-				ctx.shuffleBytes += int64(len(data))
-				ctx.statMu.Unlock()
+				buckets[rp] = w
 			}
+			err := parent.streamPart(t, part, func(kv KV[K, V]) error {
+				return buckets[hashPart(kv.K, reduceParts)].write(kv)
+			})
+			if err != nil {
+				return err
+			}
+			var written int64
+			for rp, b := range buckets {
+				n, err := b.close()
+				if err != nil {
+					return err
+				}
+				buckets[rp] = nil
+				written += n
+			}
+			ctx.shuffleBytes.Add(written)
 			return nil
 		})
 	}
 	return dep
 }
 
-// readShufflePart loads every map output addressed to reduce partition rp
-// and streams the decoded records to consume. Decoded bytes are charged to
-// the task as transient memory (the shuffle fetch buffer) and released
-// when the function returns.
+// readShufflePart streams every map output addressed to reduce partition
+// rp through a fixed-size read buffer, decoding records one at a time
+// into consume. Only the read buffer is charged to the task (the shuffle
+// fetch buffer), not the file contents: decoded records flow directly
+// into the consumer's table.
 func readShufflePart[K comparable, V any](t *Task, dep *shuffleDep, rp int, consume func(KV[K, V]) error) error {
-	var charged int64
-	defer func() { t.Free(charged) }()
+	codec := codecFor[K, V]()
+	if err := t.Alloc(shuffleChunk); err != nil {
+		return err
+	}
+	defer t.Free(shuffleChunk)
 	for mp := 0; mp < dep.mapParts; mp++ {
-		data, err := dep.ctx.FS.ReadFile(shufflePath(dep.id, mp, rp))
-		if err != nil {
+		if err := readShuffleFile(dep, mp, rp, codec, consume); err != nil {
 			return err
 		}
-		if err := t.Alloc(int64(len(data))); err != nil {
-			return err
-		}
-		charged += int64(len(data))
-		records, err := gobDecode[KV[K, V]](data)
-		if err != nil {
-			return err
-		}
-		for _, kv := range records {
+	}
+	return nil
+}
+
+func readShuffleFile[K comparable, V any](dep *shuffleDep, mp, rp int, codec *shuffleCodec[K, V], consume func(KV[K, V]) error) error {
+	f, err := dep.ctx.FS.Open(shufflePath(dep.id, mp, rp))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, shuffleChunk)
+	fmtByte, err := br.ReadByte()
+	if err != nil {
+		return fmt.Errorf("dataflow: shuffle %d file %d-%d: missing format byte: %w", dep.id, mp, rp, err)
+	}
+	switch fmtByte {
+	case shuffleFmtGob:
+		dec := gob.NewDecoder(br)
+		for {
+			var kv KV[K, V]
+			if err := dec.Decode(&kv); err != nil {
+				if errors.Is(err, io.EOF) {
+					return nil
+				}
+				return err
+			}
 			if err := consume(kv); err != nil {
 				return err
 			}
 		}
+	case shuffleFmtBin:
+		if codec == nil {
+			return fmt.Errorf("dataflow: shuffle %d file %d-%d is binary but no codec is registered for %T", dep.id, mp, rp, KV[K, V]{})
+		}
+		r := newBinReader(br)
+		for r.more() {
+			kv := codec.dec(r)
+			if err := r.Err(); err != nil {
+				return err
+			}
+			if err := consume(kv); err != nil {
+				return err
+			}
+		}
+		return r.Err()
+	default:
+		return fmt.Errorf("dataflow: shuffle %d file %d-%d: unknown format byte 0x%02x", dep.id, mp, rp, fmtByte)
 	}
-	return nil
 }
 
 // GroupByKey shuffles the dataset so that all values of a key land in one
@@ -160,11 +285,12 @@ func GroupByKey[K comparable, V any](r *RDD[KV[K, V]], parts int) *RDD[KV[K, []V
 		compute: func(t *Task, part int) ([]KV[K, []V], error) {
 			groups := make(map[K][]V)
 			var tableBytes int64
+			var sizer sizeSampler[V]
 			err := readShufflePart(t, dep, part, func(kv KV[K, V]) error {
 				groups[kv.K] = append(groups[kv.K], kv.V)
 				// Charge the grouped table as it grows; 1.5x the raw data
 				// models map + slice overhead.
-				grow := estimateBytes([]V{kv.V})*3/2 + 8
+				grow := sizer.estimate(kv.V)*3/2 + 8
 				tableBytes += grow
 				return t.Alloc(grow)
 			})
@@ -217,13 +343,14 @@ func ReduceByKey[K comparable, V any](r *RDD[KV[K, V]], f func(a, b V) V, parts 
 		compute: func(t *Task, part int) ([]KV[K, V], error) {
 			acc := make(map[K]V)
 			var tableBytes int64
+			var sizer sizeSampler[V]
 			err := readShufflePart(t, dep, part, func(kv KV[K, V]) error {
 				if cur, ok := acc[kv.K]; ok {
 					acc[kv.K] = f(cur, kv.V)
 					return nil
 				}
 				acc[kv.K] = kv.V
-				grow := estimateBytes([]V{kv.V}) + 16
+				grow := sizer.estimate(kv.V) + 16
 				tableBytes += grow
 				return t.Alloc(grow)
 			})
@@ -263,9 +390,10 @@ func Join[K comparable, V, W any](a *RDD[KV[K, V]], b *RDD[KV[K, W]], parts int)
 		compute: func(t *Task, part int) ([]KV[K, Pair[V, W]], error) {
 			build := make(map[K][]V)
 			var tableBytes int64
+			var sizer sizeSampler[V]
 			err := readShufflePart(t, depA, part, func(kv KV[K, V]) error {
 				build[kv.K] = append(build[kv.K], kv.V)
-				grow := estimateBytes([]V{kv.V})*3/2 + 8
+				grow := sizer.estimate(kv.V)*3/2 + 8
 				tableBytes += grow
 				return t.Alloc(grow)
 			})
@@ -324,9 +452,10 @@ func LeftJoin[K comparable, V, W any](a *RDD[KV[K, V]], b *RDD[KV[K, W]], parts 
 		compute: func(t *Task, part int) ([]KV[K, LeftOuter[V, W]], error) {
 			right := make(map[K][]W)
 			var tableBytes int64
+			var sizer sizeSampler[W]
 			err := readShufflePart(t, depB, part, func(kv KV[K, W]) error {
 				right[kv.K] = append(right[kv.K], kv.V)
-				grow := estimateBytes([]W{kv.V})*3/2 + 8
+				grow := sizer.estimate(kv.V)*3/2 + 8
 				tableBytes += grow
 				return t.Alloc(grow)
 			})

@@ -36,3 +36,34 @@ func estimateBytes[T any](items []T) int64 {
 	}
 	return per * int64(n)
 }
+
+// sizeSampler amortizes per-record footprint estimates on streaming
+// shuffle consumers. Charging memory record by record would gob-encode
+// every element; instead the first sampleN elements — and every
+// resampleEvery-th record after them, so the mean tracks the stream
+// rather than its (often unrepresentative) head — are measured
+// individually and the rest are charged the running mean. One sampler is
+// scoped to one task's table.
+type sizeSampler[T any] struct {
+	seen    int64
+	sampled int64
+	total   int64
+	per     int64
+}
+
+func (s *sizeSampler[T]) estimate(x T) int64 {
+	const (
+		sampleN       = 16
+		resampleEvery = 128
+	)
+	s.seen++
+	if s.sampled < sampleN || s.seen%resampleEvery == 0 {
+		s.sampled++
+		s.total += estimateBytes([]T{x})
+		// Charge an eighth over the sampled mean: the mean lags on
+		// streams whose records grow, and OOM detection must err toward
+		// charging what exact per-record accounting would have.
+		s.per = s.total/s.sampled + s.total/s.sampled/8 + 1
+	}
+	return s.per
+}

@@ -1,0 +1,27 @@
+package graphx
+
+import (
+	"encoding/binary"
+
+	"psgraph/internal/dataflow"
+)
+
+// Shuffle codecs for the element shapes the GraphX lowering moves every
+// iteration: edges keyed by src (the triplet-join build side) and
+// adjacency lists keyed by vertex (PageRank's links table). Without
+// these, each Pregel superstep pays gob reflection per edge.
+func init() {
+	dataflow.RegisterShuffleCodec("graphx.i64-edge",
+		func(b []byte, kv dataflow.KV[int64, Edge]) []byte {
+			b = binary.AppendVarint(b, kv.K)
+			b = binary.AppendVarint(b, kv.V.Src)
+			b = binary.AppendVarint(b, kv.V.Dst)
+			return dataflow.AppendF64(b, kv.V.W)
+		},
+		func(r *dataflow.BinReader) dataflow.KV[int64, Edge] {
+			return dataflow.KV[int64, Edge]{
+				K: r.Varint(),
+				V: Edge{Src: r.Varint(), Dst: r.Varint(), W: r.F64()},
+			}
+		})
+}

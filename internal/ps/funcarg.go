@@ -1,0 +1,57 @@
+package ps
+
+// Exported helpers over the PR-1 binary wire machinery (wire.go) so
+// psFunc implementations outside this package can encode their argument
+// and result payloads with the same varint / little-endian primitives
+// the data plane uses, instead of paying gob per call. A psFunc arg is
+// an opaque []byte on the wire (funcReq.Arg), so the format here is a
+// private contract between the caller and its registered function —
+// these helpers just make the fast encoding reusable.
+
+import "fmt"
+
+// AppendArgStr appends a length-prefixed string.
+func AppendArgStr(b []byte, s string) []byte { return appendStr(b, s) }
+
+// AppendArgI64s appends an int64 slice as delta-coded varints,
+// preserving nil-ness (see the wire-format comment in wire.go).
+func AppendArgI64s(b []byte, s []int64) []byte { return appendI64s(b, s) }
+
+// AppendArgF64s appends a float64 slice as a length-prefixed
+// little-endian bulk copy, preserving nil-ness.
+func AppendArgF64s(b []byte, s []float64) []byte { return appendF64s(b, s) }
+
+// ArgReader decodes payloads built with the AppendArg helpers. The
+// first failing read latches an error; check Err (or Close) once after
+// reading every field.
+type ArgReader struct {
+	r wreader
+}
+
+// NewArgReader returns a reader over data.
+func NewArgReader(data []byte) *ArgReader {
+	return &ArgReader{r: wreader{b: data}}
+}
+
+// Str reads a string written by AppendArgStr.
+func (a *ArgReader) Str() string { return a.r.str() }
+
+// I64s reads a slice written by AppendArgI64s.
+func (a *ArgReader) I64s() []int64 { return a.r.i64s() }
+
+// F64s reads a slice written by AppendArgF64s.
+func (a *ArgReader) F64s() []float64 { return a.r.f64s() }
+
+// Err returns the first decode error.
+func (a *ArgReader) Err() error { return a.r.err }
+
+// Close verifies the payload decoded cleanly and was consumed exactly.
+func (a *ArgReader) Close() error {
+	if a.r.err != nil {
+		return a.r.err
+	}
+	if a.r.off != len(a.r.b) {
+		return fmt.Errorf("ps: arg: %d trailing bytes", len(a.r.b)-a.r.off)
+	}
+	return nil
+}
