@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	psbench [-scale small|medium] [-exp all|fig6|line|table1|table2|ablation|wire|server|dataflow] [-wireout BENCH_ps_wire.json] [-serverout BENCH_ps_server.json] [-dataflowout BENCH_dataflow.json]
+//	psbench [-scale small|medium] [-exp all|fig6|line|table1|table2|ablation|wire|server|dataflow|chaos] [-wireout BENCH_ps_wire.json] [-serverout BENCH_ps_server.json] [-dataflowout BENCH_dataflow.json] [-chaosout BENCH_chaos.json] [-seed N]
 package main
 
 import (
@@ -14,15 +14,18 @@ import (
 	"os"
 
 	"psgraph/internal/bench"
+	"psgraph/internal/chaos"
 )
 
 func main() {
 	log.SetFlags(0)
 	scaleName := flag.String("scale", "small", "dataset/resource scale preset (small|medium)")
-	exp := flag.String("exp", "all", "experiment to run (all|fig6|line|table1|table2|ablation|wire|server|dataflow)")
+	exp := flag.String("exp", "all", "experiment to run (all|fig6|line|table1|table2|ablation|wire|server|dataflow|chaos)")
 	wireOut := flag.String("wireout", "BENCH_ps_wire.json", "where -exp wire (or all) writes its JSON report")
 	serverOut := flag.String("serverout", "BENCH_ps_server.json", "where -exp server (or all) writes its JSON report")
 	dataflowOut := flag.String("dataflowout", "BENCH_dataflow.json", "where -exp dataflow (or all) writes its JSON report")
+	chaosOut := flag.String("chaosout", "BENCH_chaos.json", "where -exp chaos (or all) writes its JSON report")
+	seed := flag.Int64("seed", 7, "chaos fault-schedule seed")
 	flag.Parse()
 
 	scale, err := bench.ScaleByName(*scaleName)
@@ -39,7 +42,7 @@ func main() {
 	ok := true
 	switch *exp {
 	case "all":
-		ok = runFig6(scale) && runLine(scale) && runTable1(scale) && runTable2(scale) && runAblation(scale) && runWire(scale, *wireOut) && runServer(scale, *serverOut) && runDataflow(scale, *dataflowOut)
+		ok = runFig6(scale) && runLine(scale) && runTable1(scale) && runTable2(scale) && runAblation(scale) && runWire(scale, *wireOut) && runServer(scale, *serverOut) && runDataflow(scale, *dataflowOut) && runChaos(scale, *seed, *chaosOut)
 	case "fig6":
 		ok = runFig6(scale)
 	case "line":
@@ -56,6 +59,8 @@ func main() {
 		ok = runServer(scale, *serverOut)
 	case "dataflow":
 		ok = runDataflow(scale, *dataflowOut)
+	case "chaos":
+		ok = runChaos(scale, *seed, *chaosOut)
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}
@@ -269,6 +274,33 @@ func runDataflow(s bench.Scale, outPath string) bool {
 	}
 	fmt.Println()
 	return rep.Speedup >= 2 && rep.UnfusedAllocs > rep.FusedAllocs
+}
+
+// runChaos drives the seeded fault-injection suite end-to-end: raw PS
+// pushes under response drops (exactly-once accounting plus its
+// dedup-disabled negative control), PageRank under server kills and
+// drops (golden-equal ranks), LINE under drops and stalls (convergence
+// band), a shuffle job under executor kills (exact output), and
+// checkpoint corruption (previous-generation fallback). Passes when
+// every phase holds; the per-phase report is recorded as JSON.
+func runChaos(s bench.Scale, seed int64, outPath string) bool {
+	fmt.Printf("== Chaos: fault injection across the PS + dataflow stack (seed %d) ==\n", seed)
+	rep := chaos.Run(chaos.Config{
+		Seed:  seed,
+		Short: s.Name == "small",
+		Log: func(format string, args ...any) {
+			fmt.Printf("  "+format+"\n", args...)
+		},
+	})
+	if outPath != "" {
+		if err := rep.WriteJSON(outPath); err != nil {
+			log.Printf("  writing %s FAILED: %v", outPath, err)
+			return false
+		}
+		fmt.Printf("  report written to %s\n", outPath)
+	}
+	fmt.Println()
+	return rep.Pass
 }
 
 func runAblation(s bench.Scale) bool {

@@ -1,0 +1,52 @@
+package chaos
+
+import "testing"
+
+// chaosSeed is the fixed seed of the test schedule: every fault
+// placement below reproduces from it.
+const chaosSeed = 7
+
+func testCfg(t *testing.T) Config {
+	return Config{Seed: chaosSeed, Short: testing.Short(), Log: t.Logf}
+}
+
+func runPhase(t *testing.T, ph func(Config) PhaseResult) {
+	t.Helper()
+	r := ph(testCfg(t))
+	t.Logf("%s: %s", r.Name, r.Detail)
+	if !r.Pass {
+		t.Fatalf("%s failed: %s", r.Name, r.Detail)
+	}
+}
+
+func TestExactlyOnceUnderResponseDrops(t *testing.T) { runPhase(t, ExactlyOnce) }
+
+func TestNegativeControlDoubleApplies(t *testing.T) { runPhase(t, NegativeControl) }
+
+func TestPageRankGoldenUnderKillsAndDrops(t *testing.T) { runPhase(t, PageRankGolden) }
+
+func TestLineStaysInConvergenceBand(t *testing.T) { runPhase(t, LineBand) }
+
+func TestShuffleGoldenUnderExecutorKills(t *testing.T) { runPhase(t, ShuffleGolden) }
+
+func TestCheckpointCorruptionFallsBack(t *testing.T) { runPhase(t, CheckpointCorruption) }
+
+// TestFullSuite exercises the aggregate Run entry point psbench uses.
+// The individual phase tests above already cover every phase, so the
+// duplicate work is skipped in -short mode.
+func TestFullSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("phases covered individually in short mode")
+	}
+	rep := Run(testCfg(t))
+	if len(rep.Phases) != 6 {
+		t.Fatalf("expected 6 phases, got %d", len(rep.Phases))
+	}
+	if !rep.Pass {
+		for _, p := range rep.Phases {
+			if !p.Pass {
+				t.Errorf("%s: %s", p.Name, p.Detail)
+			}
+		}
+	}
+}

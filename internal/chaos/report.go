@@ -1,0 +1,16 @@
+package chaos
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// WriteJSON records the report at path (host filesystem, for CI
+// artifacts and the psbench -chaosout flag).
+func (r *Report) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -50,6 +50,13 @@ type Config struct {
 	// validate that nothing depends on shared memory. NetLatency is
 	// ignored in this mode (the loopback stack provides its own).
 	UseTCP bool
+	// Transport overrides the PS transport entirely (e.g. an rpc.Faulty
+	// fault injector wrapping InProc or TCP). When set, UseTCP and
+	// NetLatency are ignored.
+	Transport rpc.Transport
+	// CheckpointInterval enables periodic PS model checkpoints from the
+	// master's monitor loop (requires MonitorInterval > 0).
+	CheckpointInterval time.Duration
 }
 
 // Context bundles everything an application needs: the DFS, the Spark
@@ -85,20 +92,23 @@ func NewContext(cfg Config) (*Context, error) {
 		DefaultParallelism: cfg.Partitions,
 		RestartDelay:       cfg.RestartDelay,
 	})
-	var tr rpc.Transport
-	if cfg.UseTCP {
-		tr = rpc.NewTCP()
-	} else {
-		inproc := rpc.NewInProc()
-		inproc.SetLatency(cfg.NetLatency)
-		tr = inproc
+	tr := cfg.Transport
+	if tr == nil {
+		if cfg.UseTCP {
+			tr = rpc.NewTCP()
+		} else {
+			inproc := rpc.NewInProc()
+			inproc.SetLatency(cfg.NetLatency)
+			tr = inproc
+		}
 	}
 	cluster, err := ps.NewCluster(ps.ClusterConfig{
-		NumServers:      cfg.NumServers,
-		FS:              fs,
-		Transport:       tr,
-		MonitorInterval: cfg.MonitorInterval,
-		RestartDelay:    cfg.RestartDelay,
+		NumServers:         cfg.NumServers,
+		FS:                 fs,
+		Transport:          tr,
+		MonitorInterval:    cfg.MonitorInterval,
+		RestartDelay:       cfg.RestartDelay,
+		CheckpointInterval: cfg.CheckpointInterval,
 	})
 	if err != nil {
 		return nil, err

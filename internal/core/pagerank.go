@@ -117,13 +117,11 @@ func PageRank(ctx *Context, edges *dataflow.RDD[Edge], cfg PageRankConfig) (*Pag
 	// through the master's fenced multi-model snapshot so a server
 	// recovery can never interleave with the writes and publish a mixed
 	// set (which the rollback below would then trust).
+	// RestoreModels restores the set as one unit and, when the latest
+	// snapshot generation turns out corrupt (torn write, bit rot), falls
+	// back to the previous fence's snapshot for every partition.
 	rollbackAll := func() error {
-		for _, m := range models {
-			if err := ctx.Agent.RestoreModel(m); err != nil {
-				return err
-			}
-		}
-		return nil
+		return ctx.Agent.RestoreModels(models)
 	}
 	if cfg.CheckpointEvery > 0 {
 		// Checkpoint the initial state so a failure before the first

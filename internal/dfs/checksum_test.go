@@ -1,0 +1,106 @@
+package dfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestSummedRoundTrip(t *testing.T) {
+	fs := NewDefault()
+	data := bytes.Repeat([]byte("psgraph checkpoint payload "), 1000)
+	if err := fs.WriteFileSummed("/ck/a", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFileSummed("/ck/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("payload mismatch: %d vs %d bytes", len(got), len(data))
+	}
+}
+
+func TestSummedDetectsBitFlip(t *testing.T) {
+	fs := NewDefault()
+	if err := fs.WriteFileSummed("/ck/b", []byte("some model weights")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.CorruptFile("/ck/b", 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFileSummed("/ck/b"); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupt read: want ErrChecksum, got %v", err)
+	}
+	// Plain ReadFile still serves the (corrupt) bytes — the checksum is
+	// opt-in per caller, and checkpoints are the callers that opt in.
+	if _, err := fs.ReadFile("/ck/b"); err != nil {
+		t.Fatalf("plain read of corrupt file: %v", err)
+	}
+}
+
+func TestSummedDetectsCorruptTrailer(t *testing.T) {
+	fs := NewDefault()
+	if err := fs.WriteFileSummed("/ck/c", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	sz, err := fs.Size("/ck/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the CRC itself.
+	if err := fs.CorruptFile("/ck/c", sz-6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFileSummed("/ck/c"); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupt trailer: want ErrChecksum, got %v", err)
+	}
+}
+
+func TestSummedRejectsUnsummedFile(t *testing.T) {
+	fs := NewDefault()
+	if err := fs.WriteFile("/plain", []byte("no trailer here")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFileSummed("/plain"); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("unsummed file: want ErrChecksum, got %v", err)
+	}
+	if err := fs.WriteFile("/tiny", []byte("ab")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFileSummed("/tiny"); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("short file: want ErrChecksum, got %v", err)
+	}
+}
+
+func TestCorruptFileErrors(t *testing.T) {
+	fs := NewDefault()
+	if err := fs.CorruptFile("/absent", 0); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("corrupt missing file: %v", err)
+	}
+	if err := fs.WriteFile("/e", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.CorruptFile("/e", 0); err == nil {
+		t.Fatal("corrupting an empty file succeeded")
+	}
+}
+
+// TestCorruptFileSurvivesRename: corruption applies to the stored
+// blocks, so a later Rename of the file still reads corrupt — matching
+// a real torn write that travels with the inode.
+func TestCorruptFileSurvivesRename(t *testing.T) {
+	fs := NewDefault()
+	if err := fs.WriteFileSummed("/old", []byte("payload payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.CorruptFile("/old", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/old", "/new"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFileSummed("/new"); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("renamed corrupt file: want ErrChecksum, got %v", err)
+	}
+}

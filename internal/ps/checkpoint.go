@@ -1,6 +1,12 @@
 package ps
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"psgraph/internal/dfs"
+)
 
 // ckptSnapshot is the serialized form of one partition, including
 // optimizer state so that training resumes exactly where it stopped.
@@ -29,6 +35,25 @@ type ckptSnapshot struct {
 	MatVel []float64
 }
 
+// ErrCorruptCheckpoint reports that a checkpoint file exists but failed
+// its CRC or did not decode — distinct from "no checkpoint", which
+// restores an empty partition, and grounds for falling back to the
+// previous checkpoint generation.
+var ErrCorruptCheckpoint = errors.New("ps: corrupt checkpoint")
+
+// corruptCheckpointMsg is matched against RemoteError text client-side
+// (errors.Is does not survive the wire).
+const corruptCheckpointMsg = "corrupt checkpoint"
+
+// isCorruptCheckpointErr classifies an error — local or remote — as a
+// checkpoint integrity failure.
+func isCorruptCheckpointErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, ErrCorruptCheckpoint) || strings.Contains(err.Error(), corruptCheckpointMsg)
+}
+
 // CheckpointPath returns the DFS path of a partition checkpoint.
 func CheckpointPath(model string, part int) string {
 	return fmt.Sprintf("/ps/ckpt/%s/part-%05d", model, part)
@@ -40,6 +65,28 @@ func checkpointTmpPath(model string, part int) string {
 	return CheckpointPath(model, part) + ".tmp"
 }
 
+// CheckpointPrevPath returns the previous-generation path of a partition
+// checkpoint: publishing rotates the old latest file here, so one
+// corrupted latest generation still leaves a consistent fallback.
+func CheckpointPrevPath(model string, part int) string {
+	return CheckpointPath(model, part) + ".prev"
+}
+
+// publishCheckpoint promotes a prepared staging file to the live
+// checkpoint path, rotating the previous latest file to the .prev
+// generation first. Both the server's standalone checkpoint and the
+// master's fenced publish loop go through this, so the two-generation
+// invariant holds everywhere.
+func publishCheckpoint(fs *dfs.FS, model string, part int) error {
+	final := CheckpointPath(model, part)
+	if fs.Exists(final) {
+		if err := fs.Rename(final, CheckpointPrevPath(model, part)); err != nil {
+			return err
+		}
+	}
+	return fs.Rename(checkpointTmpPath(model, part), final)
+}
+
 // checkpoint snapshots one partition to the DFS. The write lands in a
 // temporary file first and is renamed so a crash mid-write never corrupts
 // the previous checkpoint.
@@ -47,36 +94,49 @@ func (s *Server) checkpoint(req ckptReq) error {
 	if err := s.ckptPrepare(req); err != nil {
 		return err
 	}
-	return s.fs.Rename(checkpointTmpPath(req.Model, req.Part), CheckpointPath(req.Model, req.Part))
+	return publishCheckpoint(s.fs, req.Model, req.Part)
 }
 
 // ckptPrepare writes one partition's snapshot to its staging path
 // without publishing it. The master's fenced multi-model checkpoint
 // prepares every partition of every model first and renames them all
 // afterwards, so a server failing mid-checkpoint can never leave a
-// half-new, half-old checkpoint set behind.
+// half-new, half-old checkpoint set behind. Snapshots carry a CRC32-C
+// trailer; restore rejects torn or bit-flipped files instead of loading
+// garbage weights.
 func (s *Server) ckptPrepare(req ckptReq) error {
 	e, err := s.store.get(req.Model, req.Part)
 	if err != nil {
 		return err
 	}
-	return s.fs.WriteFile(checkpointTmpPath(req.Model, req.Part), e.checkpointData())
+	return s.fs.WriteFileSummed(checkpointTmpPath(req.Model, req.Part), e.checkpointData())
 }
 
 // restore loads one partition from its checkpoint, or recreates it empty
 // when no checkpoint exists yet (failure before the first checkpoint).
+// With req.Prev it loads the previous generation instead — and a missing
+// .prev file is then an error, not an empty partition, because the
+// fallback must never silently zero a model that had real state.
 func (s *Server) restore(req restoreReq) error {
 	path := CheckpointPath(req.Meta.Name, req.Part)
-	if !s.fs.Exists(path) {
+	if req.Prev {
+		path = CheckpointPrevPath(req.Meta.Name, req.Part)
+		if !s.fs.Exists(path) {
+			return fmt.Errorf("ps: no previous checkpoint generation at %s", path)
+		}
+	} else if !s.fs.Exists(path) {
 		return s.createPart(createPartReq{Meta: req.Meta, Part: req.Part})
 	}
-	data, err := s.fs.ReadFile(path)
+	data, err := s.fs.ReadFileSummed(path)
 	if err != nil {
+		if errors.Is(err, dfs.ErrChecksum) {
+			return fmt.Errorf("%w: %s: %v", ErrCorruptCheckpoint, path, err)
+		}
 		return err
 	}
 	var snap ckptSnapshot
 	if err := dec(data, &snap); err != nil {
-		return fmt.Errorf("ps: decode checkpoint %s: %w", path, err)
+		return fmt.Errorf("%w: decode %s: %v", ErrCorruptCheckpoint, path, err)
 	}
 	e, err := engineFromSnapshot(req.Meta, req.Part, snap)
 	if err != nil {

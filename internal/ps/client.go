@@ -22,11 +22,26 @@ type Client struct {
 	tr         rpc.Transport
 	masterAddr string
 
+	// id is this agent's process-unique identity in the exactly-once
+	// protocol; seq numbers its mutating calls. A sequence is drawn once
+	// per logical call, before the retry loop, so every retry of the same
+	// push carries the same (id, seq) and the server's dedup window can
+	// recognize it.
+	id  uint64
+	seq atomic.Uint64
+
 	mu    sync.RWMutex
 	cache map[string]ModelMeta
 
 	sentBytes atomic.Int64
 	recvBytes atomic.Int64
+
+	// mutSent counts logical mutating calls that succeeded against a
+	// server; mutRetried counts those that needed at least one retry. The
+	// chaos harness compares the sum of mutSent across agents with the
+	// servers' applied counters to prove exactly-once delivery.
+	mutSent    atomic.Int64
+	mutRetried atomic.Int64
 
 	// RetryTimeout bounds how long a call waits for a recovering server.
 	RetryTimeout time.Duration
@@ -59,21 +74,53 @@ func NewClient(tr rpc.Transport, masterAddr string) *Client {
 	return &Client{
 		tr:           tr,
 		masterAddr:   masterAddr,
+		id:           nextClientID.Add(1),
 		cache:        make(map[string]ModelMeta),
 		RetryTimeout: 30 * time.Second,
 	}
 }
 
-// call performs one RPC with retry-on-unreachable semantics. The final
-// backoff sleep is clamped to the remaining RetryTimeout so the call
-// never waits past its deadline.
+// MutationStats reports how many logical mutating calls this agent
+// completed against servers and how many of those needed a retry.
+func (c *Client) MutationStats() (sent, retried int64) {
+	return c.mutSent.Load(), c.mutRetried.Load()
+}
+
+// call performs one RPC with retry-on-unreachable semantics.
 func (c *Client) call(addr, method string, body []byte) ([]byte, error) {
+	return c.callC(nil, addr, method, body)
+}
+
+// callC is call with a cancel channel: when a sibling partition call of
+// the same fan-out fails, cancel closes and a caller parked in the retry
+// backoff gives up immediately instead of sleeping out its deadline.
+//
+// Mutating methods are wrapped in the dedup envelope here — once, before
+// the retry loop, so retries replay the same (clientID, seq) and a
+// server that already applied the mutation answers from its window. The
+// final backoff sleep is clamped to the remaining RetryTimeout so the
+// call never waits past its deadline.
+func (c *Client) callC(cancel <-chan struct{}, addr, method string, body []byte) ([]byte, error) {
+	guarded := dedupGuarded[method]
+	wire := body
+	if guarded && dedupEnabled.Load() {
+		wrapped := wrapDedup(c.id, c.seq.Add(1), body)
+		defer putBuf(wrapped)
+		wire = wrapped
+	}
 	deadline := time.Now().Add(c.RetryTimeout)
 	backoff := 5 * time.Millisecond
-	c.sentBytes.Add(int64(len(body)))
+	c.sentBytes.Add(int64(len(wire)))
+	retried := false
 	for {
-		resp, err := c.tr.Call(addr, method, body)
+		resp, err := c.tr.Call(addr, method, wire)
 		if err == nil {
+			if guarded && addr != c.masterAddr {
+				c.mutSent.Add(1)
+				if retried {
+					c.mutRetried.Add(1)
+				}
+			}
 			c.recvBytes.Add(int64(len(resp)))
 			return resp, nil
 		}
@@ -87,7 +134,12 @@ func (c *Client) call(addr, method string, body []byte) ([]byte, error) {
 		if backoff > remaining {
 			backoff = remaining
 		}
-		time.Sleep(backoff)
+		retried = true
+		select {
+		case <-cancel:
+			return nil, err
+		case <-time.After(backoff):
+		}
 		if backoff < 200*time.Millisecond {
 			backoff *= 2
 		}
@@ -99,11 +151,15 @@ func (c *Client) call(addr, method string, body []byte) ([]byte, error) {
 // buffer are returned to the wire pool — decoded messages never alias
 // them — so steady-state pull/push traffic reuses framing memory.
 func (c *Client) invoke(addr, method string, req, resp any) error {
+	return c.invokeC(nil, addr, method, req, resp)
+}
+
+func (c *Client) invokeC(cancel <-chan struct{}, addr, method string, req, resp any) error {
 	var body []byte
 	if req != nil {
 		body = enc(req)
 	}
-	out, err := c.call(addr, method, body)
+	out, err := c.callC(cancel, addr, method, body)
 	putBuf(body)
 	if err != nil {
 		return err
@@ -134,9 +190,10 @@ func (c *Client) invalidate(model string) {
 // partInvoke is invoke for per-partition data-plane calls, plus the
 // failover path: when the addressed server no longer holds the partition,
 // the cached ModelMeta is dropped, refetched from the master, and the
-// call retried once against the partition's new owner.
-func (c *Client) partInvoke(model string, part int, server, method string, req, resp any) error {
-	err := c.invoke(server, method, req, resp)
+// call retried once against the partition's new owner. cancel aborts a
+// retry backoff early when a sibling fan-out call already failed.
+func (c *Client) partInvoke(cancel <-chan struct{}, model string, part int, server, method string, req, resp any) error {
+	err := c.invokeC(cancel, server, method, req, resp)
 	if err == nil || !staleLayoutErr(err) {
 		return err
 	}
@@ -145,7 +202,7 @@ func (c *Client) partInvoke(model string, part int, server, method string, req, 
 	if merr != nil || part >= len(meta.Parts) || meta.Parts[part].Server == server {
 		return err
 	}
-	return c.invoke(meta.Parts[part].Server, method, req, resp)
+	return c.invokeC(cancel, meta.Parts[part].Server, method, req, resp)
 }
 
 // CreateModel registers a new model with the master and returns its meta.
@@ -231,18 +288,28 @@ func (c *Client) RestoreModel(model string) error {
 	return c.invoke(c.masterAddr, "RestoreModel", deleteModelReq{Name: model}, nil)
 }
 
+// RestoreModels rolls the named models back as one unit: every partition
+// from the latest checkpoint generation, or — when the latest is corrupt
+// — every partition from the previous generation, never a mix of fences.
+func (c *Client) RestoreModels(models []string) error {
+	return c.invoke(c.masterAddr, "RestoreModels", restoreModelsReq{Names: models}, nil)
+}
+
 // fanOut runs fn for every partition through a bounded worker pool and
 // returns the first error. Workers claim partition indices in order;
 // each fn writes only results for its own index, so ordering is
 // preserved regardless of completion order. On the first failure the
-// remaining unclaimed partitions are skipped (first-error-wins).
-func (c *Client) fanOut(parts []Partition, fn func(i int, p Partition) error) error {
+// remaining unclaimed partitions are skipped (first-error-wins) and the
+// cancel channel passed to fn closes, so siblings already parked in a
+// retry backoff exit early instead of sleeping out their full
+// RetryTimeout against a server that is simply down.
+func (c *Client) fanOut(parts []Partition, fn func(i int, p Partition, cancel <-chan struct{}) error) error {
 	n := len(parts)
 	if n == 0 {
 		return nil
 	}
 	if n == 1 {
-		return fn(0, parts[0])
+		return fn(0, parts[0], nil)
 	}
 	workers := n
 	bound := c.MaxFanOut
@@ -252,6 +319,7 @@ func (c *Client) fanOut(parts []Partition, fn func(i int, p Partition) error) er
 	if workers > bound {
 		workers = bound
 	}
+	cancelCh := make(chan struct{})
 	var (
 		next     atomic.Int64
 		failed   atomic.Bool
@@ -268,8 +336,11 @@ func (c *Client) fanOut(parts []Partition, fn func(i int, p Partition) error) er
 				if i >= n || failed.Load() {
 					return
 				}
-				if err := fn(i, parts[i]); err != nil {
-					once.Do(func() { firstErr = err })
+				if err := fn(i, parts[i], cancelCh); err != nil {
+					once.Do(func() {
+						firstErr = err
+						close(cancelCh)
+					})
 					failed.Store(true)
 					return
 				}
@@ -326,9 +397,9 @@ func (c *Client) Vector(name string) (*Vector, error) {
 // PullAll assembles the full vector from every partition.
 func (v *Vector) PullAll() ([]float64, error) {
 	out := make([]float64, v.Meta.Size)
-	err := v.c.fanOut(v.Meta.Parts, func(i int, p Partition) error {
+	err := v.c.fanOut(v.Meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
 		var r vecPullResp
-		if err := v.c.partInvoke(v.Meta.Name, i, p.Server, "VecPull", vecPullReq{Model: v.Meta.Name, Part: i}, &r); err != nil {
+		if err := v.c.partInvoke(cancel, v.Meta.Name, i, p.Server, "VecPull", vecPullReq{Model: v.Meta.Name, Part: i}, &r); err != nil {
 			return err
 		}
 		copy(out[r.Lo:], r.Values)
@@ -372,13 +443,13 @@ func (v *Vector) Pull(indices []int64) ([]float64, error) {
 		pos[p] = append(pos[p], i)
 	}
 	out := make([]float64, len(indices))
-	err := v.c.fanOut(v.Meta.Parts, func(i int, p Partition) error {
+	err := v.c.fanOut(v.Meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
 		idxs := byPart[i]
 		if len(idxs) == 0 {
 			return nil
 		}
 		var r vecPullResp
-		if err := v.c.partInvoke(v.Meta.Name, i, p.Server, "VecPull", vecPullReq{Model: v.Meta.Name, Part: i, Indices: idxs}, &r); err != nil {
+		if err := v.c.partInvoke(cancel, v.Meta.Name, i, p.Server, "VecPull", vecPullReq{Model: v.Meta.Name, Part: i, Indices: idxs}, &r); err != nil {
 			return err
 		}
 		// Each partition writes disjoint slots of out, so no lock is needed.
@@ -408,12 +479,12 @@ func (v *Vector) push(indices []int64, values []float64, op vecOp) error {
 		byPartIdx[p] = append(byPartIdx[p], idx)
 		byPartVal[p] = append(byPartVal[p], values[i])
 	}
-	return v.c.fanOut(v.Meta.Parts, func(i int, p Partition) error {
+	return v.c.fanOut(v.Meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
 		if len(byPartIdx[i]) == 0 {
 			return nil
 		}
 		req := vecPushReq{Model: v.Meta.Name, Part: i, Indices: byPartIdx[i], Values: byPartVal[i], Op: op}
-		return v.c.partInvoke(v.Meta.Name, i, p.Server, "VecPush", req, nil)
+		return v.c.partInvoke(cancel, v.Meta.Name, i, p.Server, "VecPush", req, nil)
 	})
 }
 
@@ -443,9 +514,9 @@ func (v *Vector) SetAll(values []float64) error {
 	if int64(len(values)) != v.Meta.Size {
 		return fmt.Errorf("ps: SetAll size %d != model size %d", len(values), v.Meta.Size)
 	}
-	return v.c.fanOut(v.Meta.Parts, func(i int, p Partition) error {
+	return v.c.fanOut(v.Meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
 		req := vecPushReq{Model: v.Meta.Name, Part: i, Values: values[p.Lo:p.Hi], Op: vecSet}
-		return v.c.partInvoke(v.Meta.Name, i, p.Server, "VecPush", req, nil)
+		return v.c.partInvoke(cancel, v.Meta.Name, i, p.Server, "VecPush", req, nil)
 	})
 }
 
@@ -492,7 +563,7 @@ func (s *SparseVec) pull(keys []int64) (map[int64]float64, error) {
 	}
 	out := make(map[int64]float64)
 	var mu sync.Mutex
-	err := s.c.fanOut(s.Meta.Parts, func(i int, p Partition) error {
+	err := s.c.fanOut(s.Meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
 		req := mapPullReq{Model: s.Meta.Name, Part: i}
 		if keys != nil {
 			req.Keys = byPart[i]
@@ -501,7 +572,7 @@ func (s *SparseVec) pull(keys []int64) (map[int64]float64, error) {
 			}
 		}
 		var r mapPullResp
-		if err := s.c.partInvoke(s.Meta.Name, i, p.Server, "MapPull", req, &r); err != nil {
+		if err := s.c.partInvoke(cancel, s.Meta.Name, i, p.Server, "MapPull", req, &r); err != nil {
 			return err
 		}
 		mu.Lock()
@@ -532,12 +603,12 @@ func (s *SparseVec) push(m map[int64]float64, set bool) error {
 		}
 		byPart[p][k] = v
 	}
-	return s.c.fanOut(s.Meta.Parts, func(i int, p Partition) error {
+	return s.c.fanOut(s.Meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
 		if len(byPart[i]) == 0 {
 			return nil
 		}
 		req := mapPushReq{Model: s.Meta.Name, Part: i, M: byPart[i], Set: set}
-		return s.c.partInvoke(s.Meta.Name, i, p.Server, "MapPush", req, nil)
+		return s.c.partInvoke(cancel, s.Meta.Name, i, p.Server, "MapPush", req, nil)
 	})
 }
 
@@ -605,9 +676,9 @@ func (e *Emb) Pull(ids []int64) (map[int64][]float64, error) {
 		for _, id := range ids {
 			out[id] = make([]float64, e.Meta.Dim)
 		}
-		err := e.c.fanOut(e.Meta.Parts, func(i int, p Partition) error {
+		err := e.c.fanOut(e.Meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
 			var r embPullResp
-			if err := e.c.partInvoke(e.Meta.Name, i, p.Server, "EmbPull", embPullReq{Model: e.Meta.Name, Part: i, IDs: ids}, &r); err != nil {
+			if err := e.c.partInvoke(cancel, e.Meta.Name, i, p.Server, "EmbPull", embPullReq{Model: e.Meta.Name, Part: i, IDs: ids}, &r); err != nil {
 				return err
 			}
 			mu.Lock()
@@ -627,12 +698,12 @@ func (e *Emb) Pull(ids []int64) (map[int64][]float64, error) {
 		pi := e.Meta.PartitionFor(id)
 		byPart[pi] = append(byPart[pi], id)
 	}
-	err := e.c.fanOut(e.Meta.Parts, func(i int, p Partition) error {
+	err := e.c.fanOut(e.Meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
 		if len(byPart[i]) == 0 {
 			return nil
 		}
 		var r embPullResp
-		if err := e.c.partInvoke(e.Meta.Name, i, p.Server, "EmbPull", embPullReq{Model: e.Meta.Name, Part: i, IDs: byPart[i]}, &r); err != nil {
+		if err := e.c.partInvoke(cancel, e.Meta.Name, i, p.Server, "EmbPull", embPullReq{Model: e.Meta.Name, Part: i, IDs: byPart[i]}, &r); err != nil {
 			return err
 		}
 		mu.Lock()
@@ -650,13 +721,13 @@ func (e *Emb) Pull(ids []int64) (map[int64][]float64, error) {
 
 func (e *Emb) push(vecs map[int64][]float64, grad, set bool) error {
 	if e.Meta.Kind == ColumnEmbedding {
-		return e.c.fanOut(e.Meta.Parts, func(i int, p Partition) error {
+		return e.c.fanOut(e.Meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
 			slice := make(map[int64][]float64, len(vecs))
 			for id, v := range vecs {
 				slice[id] = v[p.Col0:p.Col1]
 			}
 			req := embPushReq{Model: e.Meta.Name, Part: i, Vecs: slice, Grad: grad, Set: set}
-			return e.c.partInvoke(e.Meta.Name, i, p.Server, "EmbPush", req, nil)
+			return e.c.partInvoke(cancel, e.Meta.Name, i, p.Server, "EmbPush", req, nil)
 		})
 	}
 	byPart := make([]map[int64][]float64, len(e.Meta.Parts))
@@ -667,12 +738,12 @@ func (e *Emb) push(vecs map[int64][]float64, grad, set bool) error {
 		}
 		byPart[pi][id] = v
 	}
-	return e.c.fanOut(e.Meta.Parts, func(i int, p Partition) error {
+	return e.c.fanOut(e.Meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
 		if len(byPart[i]) == 0 {
 			return nil
 		}
 		req := embPushReq{Model: e.Meta.Name, Part: i, Vecs: byPart[i], Grad: grad, Set: set}
-		return e.c.partInvoke(e.Meta.Name, i, p.Server, "EmbPush", req, nil)
+		return e.c.partInvoke(cancel, e.Meta.Name, i, p.Server, "EmbPush", req, nil)
 	})
 }
 
@@ -731,12 +802,12 @@ func (n *Nbr) Push(tables map[int64][]int64) error {
 		}
 		byPart[pi][id] = ns
 	}
-	return n.c.fanOut(n.Meta.Parts, func(i int, p Partition) error {
+	return n.c.fanOut(n.Meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
 		if len(byPart[i]) == 0 {
 			return nil
 		}
 		req := nbrPushReq{Model: n.Meta.Name, Part: i, Tables: byPart[i]}
-		return n.c.partInvoke(n.Meta.Name, i, p.Server, "NbrPush", req, nil)
+		return n.c.partInvoke(cancel, n.Meta.Name, i, p.Server, "NbrPush", req, nil)
 	})
 }
 
@@ -750,12 +821,12 @@ func (n *Nbr) Pull(ids []int64) (map[int64][]int64, error) {
 	}
 	out := make(map[int64][]int64, len(ids))
 	var mu sync.Mutex
-	err := n.c.fanOut(n.Meta.Parts, func(i int, p Partition) error {
+	err := n.c.fanOut(n.Meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
 		if len(byPart[i]) == 0 {
 			return nil
 		}
 		var r nbrPullResp
-		if err := n.c.partInvoke(n.Meta.Name, i, p.Server, "NbrPull", nbrPullReq{Model: n.Meta.Name, Part: i, IDs: byPart[i]}, &r); err != nil {
+		if err := n.c.partInvoke(cancel, n.Meta.Name, i, p.Server, "NbrPull", nbrPullReq{Model: n.Meta.Name, Part: i, IDs: byPart[i]}, &r); err != nil {
 			return err
 		}
 		mu.Lock()
@@ -813,9 +884,9 @@ func (m *Mat) PullAll() ([]float64, error) {
 	rows := int(m.Meta.Size)
 	cols := m.Meta.Dim
 	out := make([]float64, rows*cols)
-	err := m.c.fanOut(m.Meta.Parts, func(i int, p Partition) error {
+	err := m.c.fanOut(m.Meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
 		var r matPullResp
-		if err := m.c.partInvoke(m.Meta.Name, i, p.Server, "MatPull", matPullReq{Model: m.Meta.Name, Part: i}, &r); err != nil {
+		if err := m.c.partInvoke(cancel, m.Meta.Name, i, p.Server, "MatPull", matPullReq{Model: m.Meta.Name, Part: i}, &r); err != nil {
 			return err
 		}
 		w := r.Col1 - r.Col0
@@ -836,14 +907,14 @@ func (m *Mat) push(data []float64, grad, set bool) error {
 	if len(data) != rows*cols {
 		return fmt.Errorf("ps: matrix push size %d != %dx%d", len(data), rows, cols)
 	}
-	return m.c.fanOut(m.Meta.Parts, func(i int, p Partition) error {
+	return m.c.fanOut(m.Meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
 		w := p.Col1 - p.Col0
 		slice := make([]float64, rows*w)
 		for row := 0; row < rows; row++ {
 			copy(slice[row*w:(row+1)*w], data[row*cols+p.Col0:row*cols+p.Col1])
 		}
 		req := matPushReq{Model: m.Meta.Name, Part: i, Data: slice, Grad: grad, Set: set}
-		return m.c.partInvoke(m.Meta.Name, i, p.Server, "MatPush", req, nil)
+		return m.c.partInvoke(cancel, m.Meta.Name, i, p.Server, "MatPush", req, nil)
 	})
 }
 
@@ -865,10 +936,10 @@ func (c *Client) CallFunc(model, fn string, argFor func(p Partition) []byte) ([]
 		return nil, err
 	}
 	out := make([][]byte, len(meta.Parts))
-	err = c.fanOut(meta.Parts, func(i int, p Partition) error {
+	err = c.fanOut(meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
 		req := funcReq{Model: model, Part: i, Name: fn, Arg: argFor(p)}
 		var r funcResp
-		if err := c.partInvoke(model, i, p.Server, "Func", req, &r); err != nil {
+		if err := c.partInvoke(cancel, model, i, p.Server, "Func", req, &r); err != nil {
 			return err
 		}
 		out[i] = r.Out

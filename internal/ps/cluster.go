@@ -69,12 +69,13 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		restartDelay: cfg.RestartDelay,
 		servers:      make(map[string]*Server),
 	}
-	// A TCP transport assigns real host:port endpoints via Listen; other
-	// transports use symbolic names.
-	tcp, overTCP := cfg.Transport.(*rpc.TCP)
+	// A TCP transport (possibly wrapped in a fault-injecting decorator)
+	// assigns real host:port endpoints via Listen; other transports use
+	// symbolic names.
+	overTCP := rpc.CanListen(cfg.Transport)
 	c.Master = NewMaster(c.MasterAddr, cfg.Transport)
 	if overTCP {
-		addr, err := tcp.Listen(c.Master.Handle)
+		addr, err := rpc.Listen(cfg.Transport, c.Master.Handle)
 		if err != nil {
 			return nil, err
 		}
@@ -89,7 +90,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		addr := fmt.Sprintf("%s-server-%d", cfg.NamePrefix, i)
 		srv := NewServer(addr, cfg.FS)
 		if overTCP {
-			bound, err := tcp.Listen(srv.Handle)
+			bound, err := rpc.Listen(cfg.Transport, srv.Handle)
 			if err != nil {
 				return nil, err
 			}
@@ -166,12 +167,16 @@ func (c *Cluster) Close() {
 }
 
 // ServerStats reports per-server model statistics (model names,
-// partition counts, approximate resident bytes).
+// partition counts, approximate resident bytes) plus the exactly-once
+// counters: mutations applied and retried mutations replayed from the
+// dedup window instead of double-applied.
 type ServerStats struct {
-	Addr       string
-	Models     []string
-	Partitions int
-	Bytes      int64
+	Addr        string
+	Models      []string
+	Partitions  int
+	Bytes       int64
+	MutApplied  int64
+	MutReplayed int64
 }
 
 // Stats queries every live server.
@@ -186,7 +191,23 @@ func (c *Cluster) Stats() ([]ServerStats, error) {
 		if err := dec(resp, &r); err != nil {
 			return nil, err
 		}
-		out = append(out, ServerStats{Addr: addr, Models: r.Models, Partitions: r.Partitions, Bytes: r.Bytes})
+		out = append(out, ServerStats{
+			Addr: addr, Models: r.Models, Partitions: r.Partitions, Bytes: r.Bytes,
+			MutApplied: r.MutApplied, MutReplayed: r.MutReplayed,
+		})
 	}
 	return out, nil
+}
+
+// MutationTotals sums the exactly-once counters across servers.
+func (c *Cluster) MutationTotals() (applied, replayed int64, err error) {
+	stats, err := c.Stats()
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, s := range stats {
+		applied += s.MutApplied
+		replayed += s.MutReplayed
+	}
+	return applied, replayed, nil
 }

@@ -185,12 +185,21 @@ type ckptReq struct {
 type restoreReq struct {
 	Meta ModelMeta
 	Part int
+	// Prev restores from the previous checkpoint generation (the ".prev"
+	// file rotated aside at publish), used when the latest snapshot is
+	// corrupt.
+	Prev bool
 }
 
 type statsResp struct {
 	Models     []string
 	Partitions int
 	Bytes      int64
+	// MutApplied counts executed mutating handlers; MutReplayed counts
+	// retried mutations answered from the dedup window instead. The chaos
+	// harness sums these across servers to assert exactly-once delivery.
+	MutApplied  int64
+	MutReplayed int64
 }
 
 // Master wire messages.
@@ -234,4 +243,12 @@ type ckptModelsResp struct {
 	// fence failed, or a server became unreachable mid-checkpoint), so
 	// nothing was published; the caller should roll back and retry.
 	Raced bool
+}
+
+// restoreModelsReq restores a set of models as one unit: all partitions
+// from the latest checkpoint generation, or — if any latest file is
+// corrupt or torn — all partitions from the previous generation, so the
+// restored state is never a mix of fences.
+type restoreModelsReq struct {
+	Names []string
 }

@@ -1,0 +1,208 @@
+package ps
+
+// Exactly-once retry protocol for mutating PS calls.
+//
+// The client's retry loop re-sends a call whenever the transport reports
+// ErrUnreachable. Under clean failures (KillServer) that is safe: either
+// the server never saw the request, or it died and lost the state anyway.
+// Under dirty failures — a response lost after the handler ran, a TCP
+// reset between write and read — the server may have *applied* the write
+// the client is about to resend, and a replayed PushAdd or Adam step
+// double-applies.
+//
+// The fix is the classic (clientID, sequence) dedup window (TensorFlow
+// and production parameter servers treat lost-ack idempotence as table
+// stakes): every mutating client call is wrapped in a tagSeq envelope
+//
+//	[1B tagSeq][uvarint clientID][uvarint seq][payload]
+//
+// carrying a client-unique id and a per-client monotone sequence number
+// that stays FIXED across retries of the same logical call. The receiving
+// side (server or master) keeps a bounded per-client window of recently
+// executed sequences with their cached responses; a replay returns the
+// cached ack instead of re-executing. Reads are never enveloped — they
+// are retry-safe by nature and skipping the window keeps the pull hot
+// path untouched.
+//
+// The window is in-memory and dies with the process. That is sound here:
+// a restarted server has also lost the applied writes and is restored
+// from a checkpoint, and algorithms that need cross-restart consistency
+// (PageRank) already detect the recovery and roll back to a fenced
+// snapshot, which discards any post-checkpoint replay along with
+// everything else. See DESIGN.md section 9.
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// tagSeq marks a dedup-enveloped message (values 0x00/0x01 are the wire
+// codec's tagGob/tagBin; the envelope wraps either).
+const tagSeq byte = 0x02
+
+// dedupEnabled toggles client-side enveloping of mutating calls. On by
+// default; the chaos harness switches it off as a negative control to
+// demonstrate that retries double-apply without the window.
+var dedupEnabled atomic.Bool
+
+func init() { dedupEnabled.Store(true) }
+
+// SetDedup toggles the exactly-once envelope on mutating client calls.
+// Pass false only to demonstrate the failure mode it prevents.
+func SetDedup(on bool) { dedupEnabled.Store(on) }
+
+// dedupWindowSize bounds the per-client window of remembered sequences.
+// A replay older than the window re-executes (the window is a recency
+// cache, not a log); it is sized far beyond the deepest retry pipeline a
+// client can have in flight.
+var dedupWindowSize atomic.Int64
+
+func init() { dedupWindowSize.Store(4096) }
+
+// nextClientID hands out process-unique client ids.
+var nextClientID atomic.Uint64
+
+// wrapDedup prepends the tagSeq envelope to payload in a pooled buffer;
+// release it with putBuf after the call completes.
+func wrapDedup(clientID, seq uint64, payload []byte) []byte {
+	b := getBuf()
+	b = append(b, tagSeq)
+	b = binary.AppendUvarint(b, clientID)
+	b = binary.AppendUvarint(b, seq)
+	return append(b, payload...)
+}
+
+// unwrapDedup splits a tagSeq envelope. ok is false for bare messages.
+func unwrapDedup(body []byte) (clientID, seq uint64, payload []byte, ok bool) {
+	if len(body) == 0 || body[0] != tagSeq {
+		return 0, 0, nil, false
+	}
+	rest := body[1:]
+	clientID, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return 0, 0, nil, false
+	}
+	rest = rest[n:]
+	seq, n = binary.Uvarint(rest)
+	if n <= 0 {
+		return 0, 0, nil, false
+	}
+	return clientID, seq, rest[n:], true
+}
+
+// dedupEntry is one executed (or executing) call. done closes when the
+// outcome fields are final; replayers wait on it, which also covers the
+// concurrent-duplicate case where a retry arrives while the original
+// handler is still running (TCP reset mid-call).
+type dedupEntry struct {
+	done   chan struct{}
+	resp   []byte
+	errMsg string
+	hasErr bool
+}
+
+// dedupWindow is one client's recent-sequence window.
+type dedupWindow struct {
+	entries map[uint64]*dedupEntry
+	maxSeq  uint64
+}
+
+// evict drops sequences that fell out of the retention window. Called
+// with the table lock held; amortized O(1) per insert in the common
+// in-order case because each sequence is deleted at most once.
+func (w *dedupWindow) evict() {
+	win := uint64(dedupWindowSize.Load())
+	if w.maxSeq <= win {
+		return
+	}
+	limit := w.maxSeq - win
+	for seq := range w.entries {
+		if seq <= limit {
+			delete(w.entries, seq)
+		}
+	}
+}
+
+// dedupTable is the receiver-side state: one window per client.
+type dedupTable struct {
+	mu      sync.Mutex
+	clients map[uint64]*dedupWindow
+
+	replayed atomic.Int64
+}
+
+func newDedupTable() *dedupTable {
+	return &dedupTable{clients: make(map[uint64]*dedupWindow)}
+}
+
+// Replayed returns how many calls were answered from the window instead
+// of re-executing — each one a prevented double-apply.
+func (t *dedupTable) Replayed() int64 { return t.replayed.Load() }
+
+// handle runs exec exactly once per (clientID, seq) within the retention
+// window. Replays wait for the original execution if it is still in
+// flight, then receive a copy of its cached outcome (a copy because
+// transports and clients recycle response buffers).
+func (t *dedupTable) handle(clientID, seq uint64, exec func() ([]byte, error)) ([]byte, error) {
+	t.mu.Lock()
+	w := t.clients[clientID]
+	if w == nil {
+		w = &dedupWindow{entries: make(map[uint64]*dedupEntry)}
+		t.clients[clientID] = w
+	}
+	if e, ok := w.entries[seq]; ok {
+		t.mu.Unlock()
+		<-e.done
+		t.replayed.Add(1)
+		if e.hasErr {
+			return nil, errors.New(e.errMsg)
+		}
+		return append([]byte(nil), e.resp...), nil
+	}
+	e := &dedupEntry{done: make(chan struct{})}
+	w.entries[seq] = e
+	if seq > w.maxSeq {
+		w.maxSeq = seq
+	}
+	if int64(len(w.entries)) > dedupWindowSize.Load() {
+		w.evict()
+	}
+	t.mu.Unlock()
+
+	resp, err := exec()
+	if err != nil {
+		e.hasErr = true
+		e.errMsg = err.Error()
+	} else {
+		e.resp = append([]byte(nil), resp...)
+	}
+	close(e.done)
+	return resp, err
+}
+
+// dedupGuarded lists the client methods that mutate server or master
+// state and therefore carry the envelope. Everything else (pulls, layout
+// queries, stats, recovery-count reads) is retry-safe without it.
+// Barrier is here for a subtler reason than double-apply: a retried
+// arrival after a dropped release would re-enter a *future* barrier
+// entry and deadlock the next epoch; serving it from the window makes
+// the retry observe the original release.
+var dedupGuarded = map[string]bool{
+	// Server data plane.
+	"VecPush": true,
+	"MapPush": true,
+	"EmbPush": true,
+	"NbrPush": true,
+	"MatPush": true,
+	"Func":    true,
+	// Master control plane.
+	"CreateModel":      true,
+	"DeleteModel":      true,
+	"Barrier":          true,
+	"Checkpoint":       true,
+	"CheckpointModels": true,
+	"RestoreModel":     true,
+	"RestoreModels":    true,
+}

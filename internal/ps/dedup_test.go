@@ -1,0 +1,434 @@
+package ps
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"psgraph/internal/dfs"
+	"psgraph/internal/rpc"
+)
+
+// newFaultyCluster builds a cluster over a fault-injecting transport so
+// tests can drop responses at exact points. Each test gets its own
+// transport, so symbolic endpoint names never collide.
+func newFaultyCluster(t *testing.T, servers int, prefix string) (*Cluster, *rpc.Faulty) {
+	t.Helper()
+	f := rpc.NewFaulty(rpc.NewInProc(), 1)
+	c, err := NewCluster(ClusterConfig{NumServers: servers, Transport: f, NamePrefix: prefix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c, f
+}
+
+// assertExactlyOnce checks the ledger after a run with injected response
+// drops: every logical client mutation was applied exactly once, and at
+// least one retry was answered from the dedup window.
+func assertExactlyOnce(t *testing.T, c *Cluster, agent *Client) {
+	t.Helper()
+	applied, replayed, err := c.MutationTotals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent, retried := agent.MutationStats()
+	if applied != sent {
+		t.Fatalf("applied %d mutations for %d logical sends (double-apply!)", applied, sent)
+	}
+	if replayed == 0 {
+		t.Fatalf("no replays despite injected response drops (retried=%d)", retried)
+	}
+}
+
+// TestResponseDropVecOpsExactlyOnce drops the response of one push per
+// vector operator and asserts the retried push is applied exactly once:
+// the defining failure mode is PushAdd landing twice.
+func TestResponseDropVecOpsExactlyOnce(t *testing.T) {
+	c, f := newFaultyCluster(t, 1, "drop-vec")
+	agent := c.NewClient()
+	srv := c.ServerAddrs()[0]
+	v, err := agent.CreateDenseVector(DenseVectorSpec{Name: "v", Size: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f.DropResponses(srv, 1)
+	if err := v.PushAdd([]int64{0}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	f.DropResponses(srv, 1)
+	if err := v.PushSet([]int64{1}, []float64{5}); err != nil {
+		t.Fatal(err)
+	}
+	f.DropResponses(srv, 1)
+	if err := v.PushMin([]int64{1}, []float64{3}); err != nil {
+		t.Fatal(err)
+	}
+	f.DropResponses(srv, 1)
+	if err := v.PushMax([]int64{0}, []float64{0.5}); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := v.PullAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A double-applied PushAdd would read 2, not 1.
+	if got[0] != 1 || got[1] != 3 {
+		t.Fatalf("vector after dropped-response pushes: %v", got[:2])
+	}
+	assertExactlyOnce(t, c, agent)
+}
+
+// TestResponseDropSparseNbrMatExactlyOnce covers the remaining push
+// kinds: sparse add (double-apply doubles the value), neighbor append
+// (double-apply duplicates the adjacency list), and matrix add.
+func TestResponseDropSparseNbrMatExactlyOnce(t *testing.T) {
+	c, f := newFaultyCluster(t, 1, "drop-snm")
+	agent := c.NewClient()
+	srv := c.ServerAddrs()[0]
+
+	s, err := agent.CreateSparseVector("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.DropResponses(srv, 1)
+	if err := s.PushAdd(map[int64]float64{7: 2.5}); err != nil {
+		t.Fatal(err)
+	}
+	sv, err := s.PullAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv[7] != 2.5 {
+		t.Fatalf("sparse value = %v, want 2.5", sv[7])
+	}
+
+	nb, err := agent.CreateNeighbor("n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.DropResponses(srv, 1)
+	if err := nb.Push(map[int64][]int64{1: {2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	tables, err := nb.Pull([]int64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[1]) != 2 {
+		t.Fatalf("neighbor list %v, want 2 entries (double-applied append?)", tables[1])
+	}
+
+	m, err := agent.CreateMatrix(MatrixSpec{Name: "m", Rows: 2, Cols: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.DropResponses(srv, 1)
+	if err := m.PushAdd([]float64{1, 0, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	mv, err := m.PullAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mv[0] != 1 || mv[3] != 1 {
+		t.Fatalf("matrix after dropped-response add: %v", mv)
+	}
+	assertExactlyOnce(t, c, agent)
+}
+
+// TestResponseDropEmbeddingExactlyOnce exercises the embedding update
+// path (the Adam/SGD server-side optimizer step the issue calls out).
+func TestResponseDropEmbeddingExactlyOnce(t *testing.T) {
+	c, f := newFaultyCluster(t, 1, "drop-emb")
+	agent := c.NewClient()
+	srv := c.ServerAddrs()[0]
+	e, err := agent.CreateEmbedding(EmbeddingSpec{Name: "e", Dim: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.DropResponses(srv, 1)
+	if err := e.PushAdd(map[int64][]float64{3: {1, 2, 3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := e.Pull([]int64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[3][0] != 1 || rows[3][3] != 4 {
+		t.Fatalf("embedding row after dropped-response push: %v", rows[3])
+	}
+	assertExactlyOnce(t, c, agent)
+}
+
+func init() {
+	RegisterFunc("dedup-test-inc", func(s *Store, model string, part int, arg []byte) ([]byte, error) {
+		pv, err := s.Partition(model, part)
+		if err != nil {
+			return nil, err
+		}
+		data, _, unlock := pv.VecLock()
+		data[0]++
+		unlock()
+		return []byte("ok"), nil
+	})
+}
+
+// TestResponseDropPSFuncExactlyOnce: a psFunc with a side effect must
+// run once even when its response is dropped and the call retried; the
+// replay must still return the original output bytes.
+func TestResponseDropPSFuncExactlyOnce(t *testing.T) {
+	c, f := newFaultyCluster(t, 1, "drop-func")
+	agent := c.NewClient()
+	srv := c.ServerAddrs()[0]
+	if _, err := agent.CreateDenseVector(DenseVectorSpec{Name: "fv", Size: 4}); err != nil {
+		t.Fatal(err)
+	}
+	f.DropResponses(srv, 1)
+	out, err := agent.CallFunc("fv", "dedup-test-inc", func(Partition) []byte { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || string(out[0]) != "ok" {
+		t.Fatalf("replayed psFunc output = %q", out)
+	}
+	v, err := agent.Vector("fv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := v.PullAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 1 {
+		t.Fatalf("psFunc side effect ran %v times, want 1", vals[0])
+	}
+	assertExactlyOnce(t, c, agent)
+}
+
+// TestDedupDisabledDoubleApplies is the negative control: with the
+// envelope switched off, a dropped response plus retry double-applies,
+// which is exactly the defect the window exists to prevent.
+func TestDedupDisabledDoubleApplies(t *testing.T) {
+	SetDedup(false)
+	defer SetDedup(true)
+	c, f := newFaultyCluster(t, 1, "nodedup")
+	agent := c.NewClient()
+	srv := c.ServerAddrs()[0]
+	v, err := agent.CreateDenseVector(DenseVectorSpec{Name: "v", Size: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.DropResponses(srv, 1)
+	if err := v.PushAdd([]int64{0}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.PullAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2 {
+		t.Fatalf("without dedup, dropped-response PushAdd applied %v times, want the double-apply (2)", got[0])
+	}
+	applied, _, err := c.MutationTotals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent, _ := agent.MutationStats()
+	if applied <= sent {
+		t.Fatalf("negative control: applied %d <= sent %d, expected over-apply", applied, sent)
+	}
+}
+
+// TestDedupWindowEviction checks the recency-window semantics directly:
+// a sequence still inside the window replays; one evicted past the
+// window re-executes.
+func TestDedupWindowEviction(t *testing.T) {
+	old := dedupWindowSize.Load()
+	dedupWindowSize.Store(4)
+	defer dedupWindowSize.Store(old)
+
+	tbl := newDedupTable()
+	var execs atomic.Int64
+	exec := func() ([]byte, error) {
+		execs.Add(1)
+		return []byte("r"), nil
+	}
+	for seq := uint64(1); seq <= 10; seq++ {
+		if _, err := tbl.handle(1, seq, exec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if execs.Load() != 10 {
+		t.Fatalf("execs = %d, want 10", execs.Load())
+	}
+	// seq 10 is in the window: replayed, not re-executed.
+	out, err := tbl.handle(1, 10, exec)
+	if err != nil || string(out) != "r" {
+		t.Fatalf("replay = %q, %v", out, err)
+	}
+	if execs.Load() != 10 || tbl.Replayed() != 1 {
+		t.Fatalf("after in-window replay: execs=%d replayed=%d", execs.Load(), tbl.Replayed())
+	}
+	// seq 1 was evicted (maxSeq 10, window 4): re-executes.
+	if _, err := tbl.handle(1, 1, exec); err != nil {
+		t.Fatal(err)
+	}
+	if execs.Load() != 11 {
+		t.Fatalf("evicted sequence re-executed %d times total, want 11", execs.Load())
+	}
+	// Distinct clients have independent windows.
+	if _, err := tbl.handle(2, 10, exec); err != nil {
+		t.Fatal(err)
+	}
+	if execs.Load() != 12 {
+		t.Fatalf("cross-client isolation broken: execs=%d", execs.Load())
+	}
+}
+
+// TestFanOutCancelEarlyExit: when one partition call fails outright, a
+// sibling parked in the retry backoff against an unreachable server must
+// exit on the cancel channel instead of sleeping out RetryTimeout.
+func TestFanOutCancelEarlyExit(t *testing.T) {
+	tr := rpc.NewInProc()
+	if err := tr.Register("alive", func(string, []byte) ([]byte, error) {
+		return nil, errors.New("hard failure")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	c := NewClient(tr, "master")
+	c.RetryTimeout = 5 * time.Second
+
+	parts := []Partition{{Server: "dead"}, {Server: "alive"}}
+	start := time.Now()
+	err := c.fanOut(parts, func(i int, p Partition, cancel <-chan struct{}) error {
+		if p.Server == "alive" {
+			// Give the sibling time to enter its retry backoff first.
+			time.Sleep(50 * time.Millisecond)
+		}
+		_, err := c.callC(cancel, p.Server, "Ping", nil)
+		return err
+	})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("fanOut succeeded against a dead server")
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("fanOut took %v: loser did not exit early on cancel", elapsed)
+	}
+}
+
+// TestRestoreRejectsCorruptCheckpoint: a bit-flip in the published
+// snapshot must surface as ErrCorruptCheckpoint, not load garbage.
+func TestRestoreRejectsCorruptCheckpoint(t *testing.T) {
+	fsys := dfs.NewDefault()
+	c, err := NewCluster(ClusterConfig{NumServers: 1, FS: fsys, NamePrefix: "corrupt1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	agent := c.NewClient()
+	v, err := agent.CreateDenseVector(DenseVectorSpec{Name: "cv", Size: 8, ConsistentRecovery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SetAll([]float64{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Checkpoint("cv"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.CorruptFile(CheckpointPath("cv", 0), 9); err != nil {
+		t.Fatal(err)
+	}
+	err = agent.RestoreModel("cv")
+	if err == nil {
+		t.Fatal("restore of corrupt checkpoint succeeded")
+	}
+	if !strings.Contains(err.Error(), corruptCheckpointMsg) {
+		t.Fatalf("error does not identify corruption: %v", err)
+	}
+}
+
+// TestRestoreFallsBackToPreviousGeneration: with two published
+// generations and a corrupt latest, RestoreModels must land on the
+// previous fence's values for every partition — never a mix.
+func TestRestoreFallsBackToPreviousGeneration(t *testing.T) {
+	fsys := dfs.NewDefault()
+	c, err := NewCluster(ClusterConfig{NumServers: 2, FS: fsys, NamePrefix: "corrupt2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	agent := c.NewClient()
+	v, err := agent.CreateDenseVector(DenseVectorSpec{Name: "gv", Size: 8, ConsistentRecovery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen1 := []float64{1, 1, 1, 1, 1, 1, 1, 1}
+	if err := v.SetAll(gen1); err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Checkpoint("gv"); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SetAll([]float64{2, 2, 2, 2, 2, 2, 2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Checkpoint("gv"); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the latest generation of one partition; .prev still holds gen1.
+	if err := fsys.CorruptFile(CheckpointPath("gv", 0), 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SetAll([]float64{9, 9, 9, 9, 9, 9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.RestoreModels([]string{"gv"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.PullAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range got {
+		if x != 1 {
+			t.Fatalf("element %d = %v after fallback restore, want gen1 value 1 (mixed fences?): %v", i, x, got)
+		}
+	}
+}
+
+// TestTornWriteNeverPublishes: dying between prepare and publish leaves
+// the previous checkpoint untouched — the .tmp staging file is not
+// visible to restore.
+func TestTornWriteNeverPublishes(t *testing.T) {
+	fsys := dfs.NewDefault()
+	srv := NewServer("s0", fsys)
+	if err := srv.createPart(createPartReq{
+		Meta: ModelMeta{Name: "t", Kind: DenseVector, Size: 4,
+			Parts: []Partition{{Server: "s0", Lo: 0, Hi: 4}}},
+		Part: 0,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.checkpoint(ckptReq{Model: "t", Part: 0}); err != nil {
+		t.Fatal(err)
+	}
+	// Prepare a second snapshot but "crash" before publishing.
+	if err := srv.ckptPrepare(ckptReq{Model: "t", Part: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if !fsys.Exists(checkpointTmpPath("t", 0)) {
+		t.Fatal("staging file missing after prepare")
+	}
+	// The published checkpoint still verifies.
+	if _, err := fsys.ReadFileSummed(CheckpointPath("t", 0)); err != nil {
+		t.Fatalf("published checkpoint unreadable after torn prepare: %v", err)
+	}
+}

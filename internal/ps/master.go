@@ -35,6 +35,13 @@ type Master struct {
 	barriers   map[string]*barrier
 	recoveries int64
 
+	// dedup replays retried control-plane mutations (CreateModel, Barrier,
+	// Checkpoint...) from their cached acks — the same exactly-once window
+	// the servers keep for pushes. Barrier especially: a retried arrival
+	// after a dropped release must observe the original release, not enter
+	// the next epoch's barrier and deadlock it.
+	dedup *dedupTable
+
 	// recMu serializes server recovery against model checkpoints. A
 	// checkpoint that interleaves with a recovery can publish a mixed
 	// snapshot set (some partitions from before the restore, some after)
@@ -68,6 +75,7 @@ func NewMaster(addr string, tr rpc.Transport) *Master {
 		tr:       tr,
 		models:   make(map[string]ModelMeta),
 		barriers: make(map[string]*barrier),
+		dedup:    newDedupTable(),
 	}
 }
 
@@ -88,8 +96,18 @@ func (m *Master) SetFS(fs *dfs.FS) {
 	m.mu.Unlock()
 }
 
-// Handle dispatches one RPC. It is the rpc.Handler of the master.
+// Handle dispatches one RPC. It is the rpc.Handler of the master. A
+// tagSeq envelope routes through the dedup window (see dedup.go).
 func (m *Master) Handle(method string, body []byte) ([]byte, error) {
+	if clientID, seq, payload, ok := unwrapDedup(body); ok {
+		return m.dedup.handle(clientID, seq, func() ([]byte, error) {
+			return m.dispatch(method, payload)
+		})
+	}
+	return m.dispatch(method, body)
+}
+
+func (m *Master) dispatch(method string, body []byte) ([]byte, error) {
 	switch method {
 	case "Ping":
 		return nil, nil
@@ -163,7 +181,13 @@ func (m *Master) Handle(method string, body []byte) ([]byte, error) {
 		if err := dec(body, &req); err != nil {
 			return nil, err
 		}
-		return nil, m.restoreModel(req.Name)
+		return nil, m.restoreModels([]string{req.Name})
+	case "RestoreModels":
+		var req restoreModelsReq
+		if err := dec(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, m.restoreModels(req.Names)
 	default:
 		return nil, fmt.Errorf("ps: master: unknown method %q", method)
 	}
@@ -320,7 +344,7 @@ func (m *Master) checkpointModels(names []string, fence int64) (raced bool, err 
 	}
 	for _, meta := range metas {
 		for i := range meta.Parts {
-			if err := fs.Rename(checkpointTmpPath(meta.Name, i), CheckpointPath(meta.Name, i)); err != nil {
+			if err := publishCheckpoint(fs, meta.Name, i); err != nil {
 				return false, fmt.Errorf("ps: publish checkpoint %s partition %d: %w", meta.Name, i, err)
 			}
 			mtrace("checkpointed %s/%d", meta.Name, i)
@@ -329,20 +353,57 @@ func (m *Master) checkpointModels(names []string, fence int64) (raced bool, err 
 	return false, nil
 }
 
-// restoreModel rolls every partition of the model back to its latest
-// checkpoint. Drivers of consistency-critical algorithms call this after
-// observing a recovery to discard updates that raced with the restore.
-func (m *Master) restoreModel(name string) error {
-	m.mu.Lock()
-	meta, ok := m.models[name]
-	m.mu.Unlock()
-	if !ok {
-		return fmt.Errorf("ps: model %q does not exist", name)
-	}
+// restoreParts restores partitions of one model. onlyServer (when
+// non-empty and the model is not ConsistentRecovery) limits the restore
+// to partitions on that server; prev selects the previous checkpoint
+// generation.
+func (m *Master) restoreParts(meta ModelMeta, onlyServer string, prev bool) error {
 	for i, p := range meta.Parts {
-		body := enc(restoreReq{Meta: meta, Part: i})
+		if onlyServer != "" && p.Server != onlyServer && !meta.ConsistentRecovery {
+			continue
+		}
+		body := enc(restoreReq{Meta: meta, Part: i, Prev: prev})
 		if _, err := m.callWithRetry(p.Server, "Restore", body); err != nil {
-			return fmt.Errorf("ps: restore %s/%d on %s: %w", name, i, p.Server, err)
+			return fmt.Errorf("ps: restore %s/%d on %s: %w", meta.Name, i, p.Server, err)
+		}
+	}
+	return nil
+}
+
+// restoreModels rolls every partition of the named models back to a
+// checkpoint, as one unit: all partitions from the latest generation,
+// or — if any latest file is corrupt or torn — ALL partitions from the
+// previous generation, never a mix of fences. Drivers of
+// consistency-critical algorithms call this after observing a recovery
+// to discard updates that raced with the restore.
+func (m *Master) restoreModels(names []string) error {
+	m.mu.Lock()
+	metas := make([]ModelMeta, 0, len(names))
+	for _, name := range names {
+		meta, ok := m.models[name]
+		if !ok {
+			m.mu.Unlock()
+			return fmt.Errorf("ps: model %q does not exist", name)
+		}
+		metas = append(metas, meta)
+	}
+	m.mu.Unlock()
+	var latestErr error
+	for _, meta := range metas {
+		if latestErr = m.restoreParts(meta, "", false); latestErr != nil {
+			break
+		}
+	}
+	if latestErr == nil {
+		return nil
+	}
+	if !isCorruptCheckpointErr(latestErr) {
+		return latestErr
+	}
+	mtrace("restore %v: latest generation corrupt (%v), falling back to previous", names, latestErr)
+	for _, meta := range metas {
+		if err := m.restoreParts(meta, "", true); err != nil {
+			return fmt.Errorf("%w (previous-generation fallback also failed: %v)", latestErr, err)
 		}
 	}
 	return nil
@@ -482,17 +543,19 @@ func (m *Master) recoverServer(addr string) error {
 		return fmt.Errorf("ps: restart %s: %w", addr, err)
 	}
 	for _, meta := range models {
-		for i, p := range meta.Parts {
-			needsRestore := p.Server == addr || meta.ConsistentRecovery
-			if !needsRestore {
-				continue
-			}
-			body := enc(restoreReq{Meta: meta, Part: i})
-			if _, err := m.tr.Call(p.Server, "Restore", body); err != nil {
-				return fmt.Errorf("ps: restore %s/%d on %s: %w", meta.Name, i, p.Server, err)
-			}
-			mtrace("recover: restored %s/%d on %s", meta.Name, i, p.Server)
+		err := m.restoreParts(meta, addr, false)
+		if err != nil && isCorruptCheckpointErr(err) {
+			// The latest snapshot of this model is torn or bit-flipped.
+			// Fall back to the previous generation — and restore EVERY
+			// partition of the model from it, so memory never mixes two
+			// fences even for partitions whose server stayed alive.
+			mtrace("recover: %s latest checkpoint corrupt (%v), using previous generation", meta.Name, err)
+			err = m.restoreParts(meta, "", true)
 		}
+		if err != nil {
+			return err
+		}
+		mtrace("recover: restored %s for %s", meta.Name, addr)
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"psgraph/internal/dfs"
 )
@@ -130,16 +131,25 @@ func (v *PartView) SealCSR() int64 {
 
 // Server holds model partitions in memory and serves pull/push/psFunc
 // requests. A server is stateless across restarts: recovery reloads
-// partitions from the last checkpoint in the DFS.
+// partitions from the last checkpoint in the DFS (the dedup window dies
+// with the process too — sound, because the applied writes it guarded
+// are lost and restored along with it; see dedup.go).
 type Server struct {
 	Addr  string
 	fs    *dfs.FS
 	store *Store
+	dedup *dedupTable
+
+	// applied counts successfully executed mutating data-plane handlers
+	// (pushes and psFuncs). A replay served from the dedup window does
+	// not count: the chaos harness asserts applied == the clients'
+	// logical mutation count to prove exactly-once delivery.
+	applied atomic.Int64
 }
 
 // NewServer creates a server that checkpoints to fs.
 func NewServer(addr string, fs *dfs.FS) *Server {
-	return &Server{Addr: addr, fs: fs, store: newStore()}
+	return &Server{Addr: addr, fs: fs, store: newStore(), dedup: newDedupTable()}
 }
 
 // handler serves one RPC method against a server.
@@ -195,8 +205,19 @@ var serverHandlers = map[string]handler{
 	"Stats":       func(s *Server, _ []byte) ([]byte, error) { return enc(s.stats()), nil },
 }
 
-// Handle dispatches one RPC. It is the rpc.Handler of the server.
+// Handle dispatches one RPC. It is the rpc.Handler of the server. A
+// tagSeq envelope routes through the dedup window so a retried mutating
+// call replays its cached ack instead of re-executing.
 func (s *Server) Handle(method string, body []byte) ([]byte, error) {
+	if clientID, seq, payload, ok := unwrapDedup(body); ok {
+		return s.dedup.handle(clientID, seq, func() ([]byte, error) {
+			return s.dispatch(method, payload)
+		})
+	}
+	return s.dispatch(method, body)
+}
+
+func (s *Server) dispatch(method string, body []byte) ([]byte, error) {
 	h, ok := serverHandlers[method]
 	if !ok {
 		return nil, fmt.Errorf("ps: server: unknown method %q", method)
@@ -231,7 +252,11 @@ func (s *Server) vecPush(req vecPushReq) error {
 	if err != nil {
 		return err
 	}
-	return e.push(req)
+	if err := e.push(req); err != nil {
+		return err
+	}
+	s.applied.Add(1)
+	return nil
 }
 
 func (s *Server) mapPull(req mapPullReq) (mapPullResp, error) {
@@ -247,7 +272,11 @@ func (s *Server) mapPush(req mapPushReq) error {
 	if err != nil {
 		return err
 	}
-	return e.push(req)
+	if err := e.push(req); err != nil {
+		return err
+	}
+	s.applied.Add(1)
+	return nil
 }
 
 func (s *Server) embPull(req embPullReq) (embPullResp, error) {
@@ -263,7 +292,11 @@ func (s *Server) embPush(req embPushReq) error {
 	if err != nil {
 		return err
 	}
-	return e.push(req)
+	if err := e.push(req); err != nil {
+		return err
+	}
+	s.applied.Add(1)
+	return nil
 }
 
 func (s *Server) nbrPull(req nbrPullReq) (nbrPullResp, error) {
@@ -279,7 +312,11 @@ func (s *Server) nbrPush(req nbrPushReq) error {
 	if err != nil {
 		return err
 	}
-	return e.push(req)
+	if err := e.push(req); err != nil {
+		return err
+	}
+	s.applied.Add(1)
+	return nil
 }
 
 func (s *Server) matPull(req matPullReq) (matPullResp, error) {
@@ -295,7 +332,11 @@ func (s *Server) matPush(req matPushReq) error {
 	if err != nil {
 		return err
 	}
-	return e.push(req)
+	if err := e.push(req); err != nil {
+		return err
+	}
+	s.applied.Add(1)
+	return nil
 }
 
 func (s *Server) callFunc(req funcReq) (funcResp, error) {
@@ -307,6 +348,7 @@ func (s *Server) callFunc(req funcReq) (funcResp, error) {
 	if err != nil {
 		return funcResp{}, err
 	}
+	s.applied.Add(1)
 	return funcResp{Out: out}, nil
 }
 
@@ -325,5 +367,7 @@ func (s *Server) stats() statsResp {
 		}
 	}
 	sort.Strings(resp.Models)
+	resp.MutApplied = s.applied.Load()
+	resp.MutReplayed = s.dedup.Replayed()
 	return resp
 }

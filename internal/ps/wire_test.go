@@ -341,7 +341,7 @@ func TestFanOutBoundedConcurrency(t *testing.T) {
 	parts := make([]Partition, 17)
 	var inFlight, peak, calls atomic.Int64
 	seen := make([]atomic.Int64, len(parts))
-	err := c.fanOut(parts, func(i int, p Partition) error {
+	err := c.fanOut(parts, func(i int, p Partition, cancel <-chan struct{}) error {
 		n := inFlight.Add(1)
 		for {
 			old := peak.Load()
@@ -378,7 +378,7 @@ func TestFanOutFirstErrorWins(t *testing.T) {
 	parts := make([]Partition, 8)
 	boom := errors.New("boom")
 	var after atomic.Int64
-	err := c.fanOut(parts, func(i int, p Partition) error {
+	err := c.fanOut(parts, func(i int, p Partition, cancel <-chan struct{}) error {
 		if i == 2 {
 			return boom
 		}

@@ -233,6 +233,33 @@ func (t *TCP) getConn(addr string) (*tcpConn, error) {
 	return newTCPConn(c), nil
 }
 
+// evictConns drains and closes every pooled connection to addr. A write
+// or read failing mid-call means the peer process went away: its other
+// pooled connections are equally dead, and leaving them in the pool makes
+// every subsequent Call burn one failed round-trip per stale conn before
+// dialing fresh.
+func (t *TCP) evictConns(addr string) {
+	t.mu.Lock()
+	pool := t.pools[addr]
+	t.mu.Unlock()
+	if pool == nil {
+		return
+	}
+	for {
+		select {
+		case c, ok := <-pool:
+			if !ok {
+				return // Deregister closed the pool and drained it
+			}
+			if c != nil {
+				c.conn.Close()
+			}
+		default:
+			return
+		}
+	}
+}
+
 func (t *TCP) putConn(addr string, c *tcpConn) {
 	t.mu.Lock()
 	pool, ok := t.pools[addr]
@@ -261,13 +288,20 @@ func (t *TCP) Call(addr, method string, body []byte) ([]byte, error) {
 	werr := writeFrame(c.bw, head, body)
 	putFrame(head)
 	if werr != nil {
+		// A reset between connect and write is retryable: the request may
+		// not have reached the handler. Evict the whole pool — the peer's
+		// other pooled conns died with it.
 		c.conn.Close()
-		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, werr)
+		t.evictConns(addr)
+		return nil, fmt.Errorf("%w: %s: mid-call write: %v", ErrUnreachable, addr, werr)
 	}
 	frame, err := readFrame(c.br)
 	if err != nil {
+		// Reset/EOF after the request was written: the handler may or may
+		// not have run — the ps layer's dedup window makes the retry safe.
 		c.conn.Close()
-		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+		t.evictConns(addr)
+		return nil, fmt.Errorf("%w: %s: mid-call read: %v", ErrUnreachable, addr, err)
 	}
 	t.putConn(addr, c)
 	if len(frame) < 1 {
