@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	psbench [-scale small|medium] [-exp all|fig6|line|table1|table2|ablation|wire|server|dataflow|chaos] [-wireout BENCH_ps_wire.json] [-serverout BENCH_ps_server.json] [-dataflowout BENCH_dataflow.json] [-chaosout BENCH_chaos.json] [-seed N]
+//	psbench [-scale small|medium] [-exp all|fig6|line|table1|table2|ablation|wire|server|dataflow|chaos|failover] [-wireout BENCH_ps_wire.json] [-serverout BENCH_ps_server.json] [-dataflowout BENCH_dataflow.json] [-chaosout BENCH_chaos.json] [-failoverout BENCH_failover.json] [-seed N]
 package main
 
 import (
@@ -20,11 +20,12 @@ import (
 func main() {
 	log.SetFlags(0)
 	scaleName := flag.String("scale", "small", "dataset/resource scale preset (small|medium)")
-	exp := flag.String("exp", "all", "experiment to run (all|fig6|line|table1|table2|ablation|wire|server|dataflow|chaos)")
+	exp := flag.String("exp", "all", "experiment to run (all|fig6|line|table1|table2|ablation|wire|server|dataflow|chaos|failover)")
 	wireOut := flag.String("wireout", "BENCH_ps_wire.json", "where -exp wire (or all) writes its JSON report")
 	serverOut := flag.String("serverout", "BENCH_ps_server.json", "where -exp server (or all) writes its JSON report")
 	dataflowOut := flag.String("dataflowout", "BENCH_dataflow.json", "where -exp dataflow (or all) writes its JSON report")
 	chaosOut := flag.String("chaosout", "BENCH_chaos.json", "where -exp chaos (or all) writes its JSON report")
+	failoverOut := flag.String("failoverout", "BENCH_failover.json", "where -exp failover (or all) writes its JSON report")
 	seed := flag.Int64("seed", 7, "chaos fault-schedule seed")
 	flag.Parse()
 
@@ -42,7 +43,7 @@ func main() {
 	ok := true
 	switch *exp {
 	case "all":
-		ok = runFig6(scale) && runLine(scale) && runTable1(scale) && runTable2(scale) && runAblation(scale) && runWire(scale, *wireOut) && runServer(scale, *serverOut) && runDataflow(scale, *dataflowOut) && runChaos(scale, *seed, *chaosOut)
+		ok = runFig6(scale) && runLine(scale) && runTable1(scale) && runTable2(scale) && runAblation(scale) && runWire(scale, *wireOut) && runServer(scale, *serverOut) && runDataflow(scale, *dataflowOut) && runChaos(scale, *seed, *chaosOut) && runFailover(scale, *failoverOut)
 	case "fig6":
 		ok = runFig6(scale)
 	case "line":
@@ -61,6 +62,8 @@ func main() {
 		ok = runDataflow(scale, *dataflowOut)
 	case "chaos":
 		ok = runChaos(scale, *seed, *chaosOut)
+	case "failover":
+		ok = runFailover(scale, *failoverOut)
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}
@@ -301,6 +304,37 @@ func runChaos(s bench.Scale, seed int64, outPath string) bool {
 	}
 	fmt.Println()
 	return rep.Pass
+}
+
+// runFailover times the same mid-stream server kill under lease-driven
+// backup promotion and under monitor-driven checkpoint restart, and
+// records detection latency, client-visible recovery latency and lost
+// acknowledged updates for both. Passes when promotion beats restart on
+// both recovery latency and lost-update count with zero lost updates.
+func runFailover(s bench.Scale, outPath string) bool {
+	fmt.Println("== Failover: lease promotion vs checkpoint restart on a mid-stream server kill ==")
+	cfg := bench.DefaultFailoverConfig(s)
+	rep, err := bench.RunFailoverBench(cfg)
+	if err != nil {
+		log.Printf("  failover bench FAILED: %v", err)
+		return false
+	}
+	fmt.Printf("  %d servers, %d partitions, lease %.0fms, monitor %.0fms, container restart %.0fms, %d pushes/leg\n",
+		rep.Servers, rep.Parts, rep.LeaseMillis, rep.MonitorMillis, rep.RestartMillis, rep.PushesPerLeg)
+	fmt.Printf("  %-20s %10s %11s %8s %8s %10s\n", "mode", "detect", "recover", "acked", "lost", "promoted")
+	for _, m := range rep.Modes {
+		fmt.Printf("  %-20s %8.1fms %9.1fms %8d %8d %10d\n",
+			m.Mode, m.DetectMillis, m.RecoverMillis, m.Acked, m.Lost, m.Promotions)
+	}
+	if outPath != "" {
+		if err := rep.WriteJSON(outPath); err != nil {
+			log.Printf("  writing %s FAILED: %v", outPath, err)
+			return false
+		}
+		fmt.Printf("  report written to %s\n", outPath)
+	}
+	fmt.Println()
+	return rep.PromotionWins && rep.Modes[0].Lost == 0
 }
 
 func runAblation(s bench.Scale) bool {

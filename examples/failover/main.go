@@ -4,10 +4,16 @@
 // neighbor tables from the DFS; blocked executors retry their pulls and
 // the job finishes with correct results.
 //
-//	go run ./examples/failover
+// Run with -live for the live-failover protocol instead: heartbeat
+// leases detect the death, the dead server's backups are promoted in
+// place (no container restart, no checkpoint rollback), and the job
+// barely notices.
+//
+//	go run ./examples/failover [-live]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -16,12 +22,24 @@ import (
 )
 
 func main() {
-	ctx, err := psgraph.New(psgraph.Config{
+	live := flag.Bool("live", false, "use heartbeat leases + primary/backup replication instead of checkpoint restart")
+	flag.Parse()
+	cfg := psgraph.Config{
 		NumExecutors:    4,
 		NumServers:      3,
 		MonitorInterval: 20 * time.Millisecond, // PS health checking
 		RestartDelay:    200 * time.Millisecond,
-	})
+	}
+	if *live {
+		cfg.Replicate = true                     // every partition has a backup
+		cfg.LeaseDuration = 50 * time.Millisecond // lease expiry = immediate failover
+		cfg.MonitorInterval = 0
+		cfg.RestartDelay = 5 * time.Second // never waited out: backups promote in place
+		fmt.Println("mode: live failover (leases + replication)")
+	} else {
+		fmt.Println("mode: checkpoint restart (monitor + DFS restore)")
+	}
+	ctx, err := psgraph.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -78,5 +96,11 @@ func main() {
 		fmt.Printf("results identical to the failure-free run (checksum %d over %d pairs)\n", sum, len(rows))
 	} else {
 		fmt.Printf("WARNING: checksum mismatch: %d vs %d\n", sum, refSum)
+	}
+	if *live {
+		if st, err := ctx.PS.FailoverStats(); err == nil {
+			fmt.Printf("failover stats: epoch=%d promotions=%d reseeds=%d degraded=%d\n",
+				st.Epoch, st.Promotions, st.Reseeds, st.Degraded)
+		}
 	}
 }

@@ -184,3 +184,38 @@ func TestKCoreSingleCell(t *testing.T) {
 		t.Fatalf("cell = %+v", res)
 	}
 }
+
+// TestFailoverBenchPromotionWins runs the failover benchmark at a small
+// size and checks its core claim: lease promotion recovers faster than
+// checkpoint restart and loses no acknowledged updates.
+func TestFailoverBenchPromotionWins(t *testing.T) {
+	cfg := FailoverConfig{
+		Servers: 2, Parts: 4, Size: 64, Pushes: 50,
+		Lease:   30 * time.Millisecond,
+		Monitor: 15 * time.Millisecond,
+		Restart: 150 * time.Millisecond,
+	}
+	rep, err := RunFailoverBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	promo, restart := rep.Modes[0], rep.Modes[1]
+	t.Logf("promotion: detect=%.1fms recover=%.1fms lost=%d; restart: detect=%.1fms recover=%.1fms lost=%d",
+		promo.DetectMillis, promo.RecoverMillis, promo.Lost,
+		restart.DetectMillis, restart.RecoverMillis, restart.Lost)
+	if promo.Lost != 0 {
+		t.Fatalf("promotion lost %d acknowledged updates", promo.Lost)
+	}
+	if promo.Promotions == 0 {
+		t.Fatal("promotion mode never promoted a backup")
+	}
+	if promo.Applied != promo.Sent {
+		t.Fatalf("promotion mode: applied %d != sent %d", promo.Applied, promo.Sent)
+	}
+	if restart.Lost == 0 {
+		t.Fatal("checkpoint restart lost nothing — the control has no teeth")
+	}
+	if !rep.PromotionWins {
+		t.Fatalf("promotion did not beat restart: %+v", rep)
+	}
+}

@@ -88,6 +88,7 @@ func Run(cfg Config) *Report {
 		PageRankGolden,
 		LineBand,
 		ShuffleGolden,
+		FailoverPromotion,
 		CheckpointCorruption,
 	} {
 		start := time.Now()
@@ -513,6 +514,190 @@ func ShuffleGolden(cfg Config) PhaseResult {
 	if st.TasksRetried == 0 {
 		return failf(r, "executor kills never forced a task retry: %s", r.Detail)
 	}
+	r.Pass = true
+	return r
+}
+
+// FailoverPromotion kills a parameter server mid-LINE-training with
+// primary/backup replication and heartbeat leases on. The lease
+// detector must promote the dead server's backups in place: training
+// finishes with zero lost acknowledged mutations (server apply counters
+// equal client success counters, even though one server's memory is
+// gone) and embeddings inside the LineBand convergence band — while
+// RestartDelay is set far beyond the whole run's length, so a recovery
+// that waited for a container restart could not have finished in time.
+// The same kill with replication off (checkpoint-restart recovery, no
+// snapshots taken) is the lossy control: the dead server's applied
+// mutations vanish. A final sub-scenario partitions a primary away from
+// the cluster and asserts that a client stranded on its side of the
+// partition, still holding the pre-failover layout, is rejected with
+// ErrStaleEpoch and its write is never applied anywhere.
+func FailoverPromotion(cfg Config) PhaseResult {
+	r := PhaseResult{Name: "failover-promotion"}
+	const vertices = 60
+	epochs := 12
+	if cfg.Short {
+		epochs = 8
+	}
+	raw, truth := gen.SBM(gen.SBMConfig{Vertices: vertices, Classes: 2, IntraDeg: 8, InterDeg: 0.3, Seed: 11})
+	es := make([]core.Edge, len(raw))
+	for i, e := range raw {
+		es[i] = core.Edge{Src: e.Src, Dst: e.Dst}
+	}
+	lineCfg := core.LineConfig{Dim: 16, Order: 2, Epochs: epochs, BatchSize: 256, NegSamples: 4, LR: 0.06, Seed: 1}
+
+	run := func(replicate, kill bool) (margin float64, applied, sent, promotions int64, err error) {
+		f := rpc.NewFaulty(rpc.NewInProc(), cfg.Seed+4)
+		ccfg := core.Config{NumExecutors: 3, NumServers: 2, Transport: f}
+		if replicate {
+			// Leases drive detection; the grotesque RestartDelay proves no
+			// recovery path waited for a replacement container.
+			ccfg.Replicate = true
+			ccfg.LeaseDuration = 40 * time.Millisecond
+			ccfg.RestartDelay = 5 * time.Second
+		} else {
+			ccfg.MonitorInterval = 10 * time.Millisecond
+			ccfg.RestartDelay = time.Millisecond
+		}
+		ctx, err := core.NewContext(ccfg)
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		defer ctx.Close()
+		done := make(chan struct{})
+		if kill {
+			victim := ctx.PS.ServerAddrs()[1]
+			go func() {
+				defer close(done)
+				// Kill once training mutations are flowing (both embedding
+				// models exist by the first push), never mid-CreateModel.
+				deadline := time.Now().Add(3 * time.Second)
+				for time.Now().Before(deadline) {
+					if s, _ := ctx.Agent.MutationStats(); s > 30 {
+						break
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+				ctx.PS.KillServer(victim)
+			}()
+		} else {
+			close(done)
+		}
+		res, err := core.Line(ctx, dataflow.Parallelize(ctx.Spark, es, 2), lineCfg)
+		<-done
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		ids := make([]int64, vertices)
+		for i := range ids {
+			ids[i] = int64(i)
+		}
+		embs, err := res.Embedding(ids)
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		applied, _, err = ctx.PS.MutationTotals()
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		sent, _ = ctx.Agent.MutationStats()
+		if replicate {
+			st, err := ctx.PS.FailoverStats()
+			if err != nil {
+				return 0, 0, 0, 0, err
+			}
+			promotions = st.Promotions
+		}
+		return cosMargin(embs, truth), applied, sent, promotions, nil
+	}
+
+	golden, _, _, _, err := run(false, false)
+	if err != nil {
+		return failf(r, "clean run: %v", err)
+	}
+	margin, applied, sent, promotions, err := run(true, true)
+	if err != nil {
+		return failf(r, "replicated kill run: %v", err)
+	}
+	r.Applied, r.Sent = applied, sent
+	_, capplied, csent, _, err := run(false, true)
+	if err != nil {
+		return failf(r, "control kill run: %v", err)
+	}
+	lost := csent - capplied
+	r.Detail = fmt.Sprintf("margin clean=%.3f failover=%.3f promotions=%d applied=%d sent=%d controlLost=%d",
+		golden, margin, promotions, applied, sent, lost)
+	switch {
+	case golden <= 0:
+		return failf(r, "clean run failed to separate communities: %s", r.Detail)
+	case promotions == 0:
+		return failf(r, "server kill never promoted a backup: %s", r.Detail)
+	case applied != sent:
+		return failf(r, "acknowledged mutations lost across promotion: %s", r.Detail)
+	case margin <= 0 || margin < 0.25*golden:
+		return failf(r, "failover run left the convergence band: %s", r.Detail)
+	case lost <= 0:
+		return failf(r, "replication-off control lost nothing — the kill was toothless: %s", r.Detail)
+	}
+
+	// Fence sub-scenario: partition a primary (and a client stranded with
+	// it) away from the master. After its backup is promoted, the
+	// stranded client's push — still aimed at the old primary under the
+	// old layout — must be fenced, not applied.
+	ff := rpc.NewFaulty(rpc.NewInProc(), cfg.Seed+5)
+	cl, err := ps.NewCluster(ps.ClusterConfig{
+		NumServers: 2, Transport: ff, NamePrefix: "chaos-fence",
+		Replicate: true, LeaseDuration: 40 * time.Millisecond, RestartDelay: 5 * time.Second,
+	})
+	if err != nil {
+		return failf(r, "fence cluster: %v", err)
+	}
+	defer cl.Close()
+	agent := cl.NewClient()
+	vec, err := agent.CreateDenseVector(ps.DenseVectorSpec{Name: "fence", Size: 8, Partitions: 2})
+	if err != nil {
+		return failf(r, "fence create: %v", err)
+	}
+	stranded := ps.NewClient(ff.Caller("probe"), cl.MasterAddr)
+	stranded.RetryTimeout = 400 * time.Millisecond
+	sv, err := stranded.Vector("fence")
+	if err != nil {
+		return failf(r, "stranded client resolve: %v", err)
+	}
+	meta, err := agent.GetModel("fence")
+	if err != nil {
+		return failf(r, "fence layout: %v", err)
+	}
+	oldPrimary := meta.Parts[0].Server
+	ff.SetPartition(map[string][]string{"iso": {oldPrimary, "probe"}})
+	fenceDeadline := time.Now().Add(3 * time.Second)
+	for {
+		st, err := cl.FailoverStats()
+		if err == nil && st.Promotions > 0 {
+			break
+		}
+		if time.Now().After(fenceDeadline) {
+			return failf(r, "partitioned primary was never failed over")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	time.Sleep(100 * time.Millisecond) // let the zombie's self-fence window pass
+	err = sv.PushAdd([]int64{0}, []float64{100})
+	if err == nil {
+		return failf(r, "zombie primary accepted a stale-layout push after promotion")
+	}
+	if !ps.IsStaleEpochErr(err) {
+		return failf(r, "stale-layout push failed without an epoch fence: %v", err)
+	}
+	ff.ClearPartition()
+	vals, err := vec.PullAll()
+	if err != nil {
+		return failf(r, "fence pull: %v", err)
+	}
+	if vals[0] != 0 {
+		return failf(r, "fenced write leaked into the model: %v", vals[0])
+	}
+	r.Detail += " fenced=1"
 	r.Pass = true
 	return r
 }

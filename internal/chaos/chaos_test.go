@@ -29,6 +29,8 @@ func TestLineStaysInConvergenceBand(t *testing.T) { runPhase(t, LineBand) }
 
 func TestShuffleGoldenUnderExecutorKills(t *testing.T) { runPhase(t, ShuffleGolden) }
 
+func TestFailoverPromotion(t *testing.T) { runPhase(t, FailoverPromotion) }
+
 func TestCheckpointCorruptionFallsBack(t *testing.T) { runPhase(t, CheckpointCorruption) }
 
 // TestFullSuite exercises the aggregate Run entry point psbench uses.
@@ -39,8 +41,8 @@ func TestFullSuite(t *testing.T) {
 		t.Skip("phases covered individually in short mode")
 	}
 	rep := Run(testCfg(t))
-	if len(rep.Phases) != 6 {
-		t.Fatalf("expected 6 phases, got %d", len(rep.Phases))
+	if len(rep.Phases) != 7 {
+		t.Fatalf("expected 7 phases, got %d", len(rep.Phases))
 	}
 	if !rep.Pass {
 		for _, p := range rep.Phases {

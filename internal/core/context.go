@@ -57,6 +57,19 @@ type Config struct {
 	// CheckpointInterval enables periodic PS model checkpoints from the
 	// master's monitor loop (requires MonitorInterval > 0).
 	CheckpointInterval time.Duration
+	// Replicate enables live PS failover: heartbeat leases, epoch-fenced
+	// layouts and primary/backup replication (see internal/ps). A server
+	// death then promotes backups in place — no restart wait, no lost
+	// acknowledged mutations — instead of restoring from checkpoints.
+	Replicate bool
+	// ReplAsync acks mutations before the backup applied them (A/B
+	// toggle; sync replication is the default).
+	ReplAsync bool
+	// HeartbeatInterval/LeaseDuration tune the PS failure detector; zero
+	// values derive one from the other (see ps.ClusterConfig), and both
+	// zero leaves lease-based detection off.
+	HeartbeatInterval time.Duration
+	LeaseDuration     time.Duration
 }
 
 // Context bundles everything an application needs: the DFS, the Spark
@@ -109,6 +122,10 @@ func NewContext(cfg Config) (*Context, error) {
 		MonitorInterval:    cfg.MonitorInterval,
 		RestartDelay:       cfg.RestartDelay,
 		CheckpointInterval: cfg.CheckpointInterval,
+		Replicate:          cfg.Replicate,
+		ReplAsync:          cfg.ReplAsync,
+		HeartbeatInterval:  cfg.HeartbeatInterval,
+		LeaseDuration:      cfg.LeaseDuration,
 	})
 	if err != nil {
 		return nil, err

@@ -88,30 +88,57 @@ func (c *Client) MutationStats() (sent, retried int64) {
 
 // call performs one RPC with retry-on-unreachable semantics.
 func (c *Client) call(addr, method string, body []byte) ([]byte, error) {
-	return c.callC(nil, addr, method, body)
+	return c.callE(nil, addr, method, body, 0, nil)
 }
 
 // callC is call with a cancel channel: when a sibling partition call of
 // the same fan-out fails, cancel closes and a caller parked in the retry
 // backoff gives up immediately instead of sleeping out its deadline.
-//
-// Mutating methods are wrapped in the dedup envelope here — once, before
-// the retry loop, so retries replay the same (clientID, seq) and a
-// server that already applied the mutation answers from its window. The
-// final backoff sleep is clamped to the remaining RetryTimeout so the
-// call never waits past its deadline.
 func (c *Client) callC(cancel <-chan struct{}, addr, method string, body []byte) ([]byte, error) {
+	return c.callE(cancel, addr, method, body, 0, nil)
+}
+
+// resolveFunc re-resolves a partition's address between retries: it
+// refetches the model layout from the master and returns the current
+// owner and layout epoch ("" when resolution itself failed, keeping the
+// previous target). Data-plane calls install one so a retry follows the
+// partition to its promoted backup instead of waiting out a restart.
+type resolveFunc func() (addr string, epoch int64)
+
+// maxStaleRetries bounds retries triggered by a stale-layout or
+// stale-epoch rejection (as opposed to plain unreachability). Transient
+// fencing — a server waiting out a heartbeat hiccup — heals within a
+// lease, which the backoff ladder comfortably covers; a persistent
+// rejection after this many refetches is a real error the caller must
+// see.
+const maxStaleRetries = 12
+
+// callE is the retry engine behind every client RPC. Mutating methods
+// are wrapped in the dedup envelope with a sequence drawn ONCE, before
+// the retry loop, so every retry of the same logical call replays the
+// same (clientID, seq) and a server that already applied the mutation
+// answers from its window — even when the retry lands on a different
+// server (the promoted backup) or carries a refreshed epoch: the
+// envelope is then re-wrapped around the same sequence, never a new
+// one, or an already-replicated write could double-apply. The final
+// backoff sleep is clamped to the remaining RetryTimeout so the call
+// never waits past its deadline.
+func (c *Client) callE(cancel <-chan struct{}, addr, method string, body []byte, epoch int64, resolve resolveFunc) ([]byte, error) {
 	guarded := dedupGuarded[method]
+	var seq uint64
+	var wrapped []byte
 	wire := body
 	if guarded && dedupEnabled.Load() {
-		wrapped := wrapDedup(c.id, c.seq.Add(1), body)
-		defer putBuf(wrapped)
+		seq = c.seq.Add(1)
+		wrapped = wrapDedup(c.id, seq, epoch, body)
 		wire = wrapped
 	}
+	defer func() { putBuf(wrapped) }()
 	deadline := time.Now().Add(c.RetryTimeout)
 	backoff := 5 * time.Millisecond
 	c.sentBytes.Add(int64(len(wire)))
 	retried := false
+	staleRetries := 0
 	for {
 		resp, err := c.tr.Call(addr, method, wire)
 		if err == nil {
@@ -124,8 +151,15 @@ func (c *Client) callC(cancel <-chan struct{}, addr, method string, body []byte)
 			c.recvBytes.Add(int64(len(resp)))
 			return resp, nil
 		}
-		if !errors.Is(err, rpc.ErrUnreachable) {
+		unreachable := errors.Is(err, rpc.ErrUnreachable)
+		stale := resolve != nil && (IsStaleEpochErr(err) || staleLayoutErr(err))
+		if !unreachable && !stale {
 			return nil, err
+		}
+		if stale {
+			if staleRetries++; staleRetries > maxStaleRetries {
+				return nil, err
+			}
 		}
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
@@ -142,6 +176,21 @@ func (c *Client) callC(cancel <-chan struct{}, addr, method string, body []byte)
 		}
 		if backoff < 200*time.Millisecond {
 			backoff *= 2
+		}
+		if resolve == nil {
+			continue
+		}
+		// Re-resolve the target: the master may have promoted this
+		// partition's backup (new address) and bumped the epoch. The
+		// envelope is re-wrapped around the SAME sequence.
+		if na, ne := resolve(); na != "" {
+			addr = na
+			if ne != epoch && wrapped != nil {
+				putBuf(wrapped)
+				wrapped = wrapDedup(c.id, seq, ne, body)
+				wire = wrapped
+			}
+			epoch = ne
 		}
 	}
 }
@@ -188,21 +237,44 @@ func (c *Client) invalidate(model string) {
 }
 
 // partInvoke is invoke for per-partition data-plane calls, plus the
-// failover path: when the addressed server no longer holds the partition,
-// the cached ModelMeta is dropped, refetched from the master, and the
-// call retried once against the partition's new owner. cancel aborts a
-// retry backoff early when a sibling fan-out call already failed.
+// failover path: the call prefers the client's cached layout over the
+// (possibly older) one baked into the typed handle, carries the cached
+// layout's epoch in the envelope, and installs a resolver so callE can
+// refetch the layout between retries — when the addressed server is
+// unreachable (killed primary), no longer holds the partition, or
+// fences the write as stale-epoch, the retry follows the partition to
+// its current owner under the current epoch. cancel aborts a retry
+// backoff early when a sibling fan-out call already failed.
 func (c *Client) partInvoke(cancel <-chan struct{}, model string, part int, server, method string, req, resp any) error {
-	err := c.invokeC(cancel, server, method, req, resp)
-	if err == nil || !staleLayoutErr(err) {
+	var epoch int64
+	c.mu.RLock()
+	if meta, ok := c.cache[model]; ok && part < len(meta.Parts) {
+		server = meta.Parts[part].Server
+		epoch = meta.Epoch
+	}
+	c.mu.RUnlock()
+	resolve := func() (string, int64) {
+		c.invalidate(model)
+		meta, err := c.GetModel(model)
+		if err != nil || part >= len(meta.Parts) {
+			return "", 0
+		}
+		return meta.Parts[part].Server, meta.Epoch
+	}
+	var body []byte
+	if req != nil {
+		body = enc(req)
+	}
+	out, err := c.callE(cancel, server, method, body, epoch, resolve)
+	putBuf(body)
+	if err != nil {
 		return err
 	}
-	c.invalidate(model)
-	meta, merr := c.GetModel(model)
-	if merr != nil || part >= len(meta.Parts) || meta.Parts[part].Server == server {
-		return err
+	if resp != nil {
+		err = dec(out, resp)
 	}
-	return c.invokeC(cancel, meta.Parts[part].Server, method, req, resp)
+	putBuf(out)
+	return err
 }
 
 // CreateModel registers a new model with the master and returns its meta.

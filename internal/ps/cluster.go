@@ -21,10 +21,17 @@ type Cluster struct {
 	MasterAddr string
 
 	restartDelay time.Duration
+	hbInterval   time.Duration
+	lease        time.Duration
+	replAsync    bool
 
 	mu      sync.Mutex
 	servers map[string]*Server
 	addrs   []string
+	// closed gates restartServer: the monitor's recovery path sleeps
+	// through RestartDelay and must not re-register a server after Close
+	// deregistered everything.
+	closed bool
 }
 
 // ClusterConfig configures a PS cluster.
@@ -46,6 +53,25 @@ type ClusterConfig struct {
 	// NamePrefix disambiguates endpoints when several clusters share one
 	// transport.
 	NamePrefix string
+	// HeartbeatInterval enables server→master heartbeat leases: servers
+	// push renewals at this period and the master declares a server dead
+	// the moment its lease expires, instead of waiting for the poll
+	// monitor. Defaults to LeaseDuration/4 when only the lease is set.
+	HeartbeatInterval time.Duration
+	// LeaseDuration is how long the master waits without a heartbeat
+	// before declaring a server dead (and how long a server goes without
+	// an ack before fencing its own writes). Defaults to
+	// 4*HeartbeatInterval when only the interval is set.
+	LeaseDuration time.Duration
+	// Replicate enables primary/backup replication: every partition gets
+	// a backup on the ring-next server, primaries forward applied
+	// mutations to it, and failover promotes backups in place instead of
+	// restoring from checkpoints.
+	Replicate bool
+	// ReplAsync forwards mutations to backups asynchronously (ack before
+	// replicated) — lower latency, but mutations still queued die with
+	// the primary. Sync is the default.
+	ReplAsync bool
 }
 
 // NewCluster starts a master and NumServers servers.
@@ -62,11 +88,20 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.NamePrefix == "" {
 		cfg.NamePrefix = "ps"
 	}
+	if cfg.LeaseDuration > 0 && cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = cfg.LeaseDuration / 4
+	}
+	if cfg.HeartbeatInterval > 0 && cfg.LeaseDuration <= 0 {
+		cfg.LeaseDuration = 4 * cfg.HeartbeatInterval
+	}
 	c := &Cluster{
 		Transport:    cfg.Transport,
 		FS:           cfg.FS,
 		MasterAddr:   cfg.NamePrefix + "-master",
 		restartDelay: cfg.RestartDelay,
+		hbInterval:   cfg.HeartbeatInterval,
+		lease:        cfg.LeaseDuration,
+		replAsync:    cfg.ReplAsync,
 		servers:      make(map[string]*Server),
 	}
 	// A TCP transport (possibly wrapped in a fault-injecting decorator)
@@ -106,6 +141,13 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		if _, err := cfg.Transport.Call(c.MasterAddr, "RegisterServer", enc(registerServerReq{Addr: addr})); err != nil {
 			return nil, err
 		}
+		c.wireServer(srv)
+	}
+	if cfg.Replicate {
+		c.Master.SetReplication(true)
+	}
+	if cfg.LeaseDuration > 0 {
+		c.Master.EnableLeases(cfg.LeaseDuration)
 	}
 	if cfg.CheckpointInterval > 0 {
 		c.Master.SetCheckpointInterval(cfg.CheckpointInterval)
@@ -114,6 +156,24 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		c.Master.StartMonitor(cfg.MonitorInterval)
 	}
 	return c, nil
+}
+
+// wireServer gives a server its outbound transport (the fault
+// injector's per-source caller view when available, so partitions cut
+// the server's own heartbeats and forwards too), the async-replication
+// toggle, and — when leases are configured — its heartbeat loop.
+func (c *Cluster) wireServer(srv *Server) {
+	out := c.Transport
+	if cv, ok := c.Transport.(interface{ Caller(string) rpc.Transport }); ok {
+		out = cv.Caller(srv.Addr)
+	}
+	srv.SetOutbound(out)
+	if c.replAsync {
+		srv.SetReplAsync(true)
+	}
+	if c.hbInterval > 0 {
+		srv.StartHeartbeat(c.MasterAddr, c.hbInterval, c.lease)
+	}
 }
 
 // NewClient returns a PS agent for this cluster.
@@ -129,12 +189,19 @@ func (c *Cluster) ServerAddrs() []string {
 }
 
 // KillServer simulates a server crash: its endpoint vanishes and its
-// in-memory partitions are lost.
+// in-memory partitions are lost. The server's heartbeat loop and async
+// forward worker are stopped too — deregistration only cuts inbound
+// traffic, and a "dead" server that kept renewing its lease would never
+// be declared dead by the master.
 func (c *Cluster) KillServer(addr string) {
 	c.Transport.Deregister(addr)
 	c.mu.Lock()
+	srv := c.servers[addr]
 	delete(c.servers, addr)
 	c.mu.Unlock()
+	if srv != nil {
+		srv.stopBackground()
+	}
 }
 
 // restartServer is the master's recovery callback: it launches a fresh,
@@ -145,25 +212,44 @@ func (c *Cluster) restartServer(addr string) error {
 		time.Sleep(c.restartDelay)
 	}
 	srv := NewServer(addr, c.FS)
+	// Registration and the closed check happen under the cluster lock so
+	// a restart sleeping through RestartDelay cannot re-register the
+	// endpoint after Close deregistered everything.
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("ps: cluster closed, not restarting %s", addr)
+	}
 	if err := c.Transport.Register(addr, srv.Handle); err != nil {
+		c.mu.Unlock()
 		return err
 	}
-	c.mu.Lock()
 	c.servers[addr] = srv
 	c.mu.Unlock()
+	c.wireServer(srv)
 	return nil
 }
 
-// Close stops the monitor and deregisters all endpoints.
+// Close stops the monitor, the lease checker, and every server's
+// background loops, then deregisters all endpoints.
 func (c *Cluster) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
 	c.Master.StopMonitor()
+	c.Master.StopLeases()
 	c.Transport.Deregister(c.MasterAddr)
 	c.mu.Lock()
-	for addr := range c.servers {
+	servers := make([]*Server, 0, len(c.servers))
+	for addr, srv := range c.servers {
 		c.Transport.Deregister(addr)
+		servers = append(servers, srv)
 	}
 	c.servers = make(map[string]*Server)
 	c.mu.Unlock()
+	for _, srv := range servers {
+		srv.stopBackground()
+	}
 }
 
 // ServerStats reports per-server model statistics (model names,
@@ -177,15 +263,25 @@ type ServerStats struct {
 	Bytes       int64
 	MutApplied  int64
 	MutReplayed int64
+	// MutReplicated/ReplDropped/Replicas are the replication counters
+	// (see statsResp); Dead marks a server that could not be reached —
+	// its other fields are zero.
+	MutReplicated int64
+	ReplDropped   int64
+	Replicas      int
+	Dead          bool
 }
 
-// Stats queries every live server.
+// Stats queries every server. An unreachable server does not abort the
+// sweep: it is reported with Dead=true and the survivors are still
+// summed — during a failover some endpoints are expected to be gone.
 func (c *Cluster) Stats() ([]ServerStats, error) {
 	var out []ServerStats
 	for _, addr := range c.ServerAddrs() {
 		resp, err := c.Transport.Call(addr, "Stats", nil)
 		if err != nil {
-			return nil, err
+			out = append(out, ServerStats{Addr: addr, Dead: true})
+			continue
 		}
 		var r statsResp
 		if err := dec(resp, &r); err != nil {
@@ -194,9 +290,21 @@ func (c *Cluster) Stats() ([]ServerStats, error) {
 		out = append(out, ServerStats{
 			Addr: addr, Models: r.Models, Partitions: r.Partitions, Bytes: r.Bytes,
 			MutApplied: r.MutApplied, MutReplayed: r.MutReplayed,
+			MutReplicated: r.MutReplicated, ReplDropped: r.ReplDropped, Replicas: r.Replicas,
 		})
 	}
 	return out, nil
+}
+
+// FailoverStats fetches the master's failover counters.
+func (c *Cluster) FailoverStats() (FailoverStats, error) {
+	resp, err := c.Transport.Call(c.MasterAddr, "FailoverStats", nil)
+	if err != nil {
+		return FailoverStats{}, err
+	}
+	var st FailoverStats
+	err = dec(resp, &st)
+	return st, err
 }
 
 // MutationTotals sums the exactly-once counters across servers.

@@ -64,6 +64,10 @@ func dec(data []byte, v any) error {
 type createPartReq struct {
 	Meta ModelMeta
 	Part int
+	// Replica marks the partition as a backup copy: it applies forwarded
+	// mutations but stays invisible to the exactly-once accounting until
+	// promoted (see replica.go).
+	Replica bool
 }
 
 type vecPullReq struct {
@@ -200,6 +204,13 @@ type statsResp struct {
 	// harness sums these across servers to assert exactly-once delivery.
 	MutApplied  int64
 	MutReplayed int64
+	// MutReplicated counts mutations this server forwarded to its backup;
+	// ReplDropped counts forwards abandoned because the backup stayed
+	// unreachable (the partition kept running in degraded single-copy
+	// mode); Replicas counts partitions held in the replica role.
+	MutReplicated int64
+	ReplDropped   int64
+	Replicas      int
 }
 
 // Master wire messages.

@@ -42,6 +42,14 @@ import (
 // codec's tagGob/tagBin; the envelope wraps either).
 const tagSeq byte = 0x02
 
+// tagSeqE marks an envelope that additionally carries the client's
+// layout epoch: [1B tagSeqE][uvarint clientID][uvarint seq]
+// [uvarint epoch][payload]. Servers fence mutating calls whose epoch is
+// older than their own, so a write addressed from a pre-failover layout
+// is rejected instead of applied by a demoted primary. Epoch-less
+// tagSeq envelopes remain valid (epoch 0 = unfenced).
+const tagSeqE byte = 0x03
+
 // dedupEnabled toggles client-side enveloping of mutating calls. On by
 // default; the chaos harness switches it off as a negative control to
 // demonstrate that retries double-apply without the window.
@@ -65,31 +73,50 @@ func init() { dedupWindowSize.Store(4096) }
 var nextClientID atomic.Uint64
 
 // wrapDedup prepends the tagSeq envelope to payload in a pooled buffer;
-// release it with putBuf after the call completes.
-func wrapDedup(clientID, seq uint64, payload []byte) []byte {
+// release it with putBuf after the call completes. A positive epoch
+// selects the tagSeqE form so servers can fence stale-layout writes.
+func wrapDedup(clientID, seq uint64, epoch int64, payload []byte) []byte {
 	b := getBuf()
-	b = append(b, tagSeq)
+	if epoch > 0 {
+		b = append(b, tagSeqE)
+	} else {
+		b = append(b, tagSeq)
+	}
 	b = binary.AppendUvarint(b, clientID)
 	b = binary.AppendUvarint(b, seq)
+	if epoch > 0 {
+		b = binary.AppendUvarint(b, uint64(epoch))
+	}
 	return append(b, payload...)
 }
 
-// unwrapDedup splits a tagSeq envelope. ok is false for bare messages.
-func unwrapDedup(body []byte) (clientID, seq uint64, payload []byte, ok bool) {
-	if len(body) == 0 || body[0] != tagSeq {
-		return 0, 0, nil, false
+// unwrapDedup splits a tagSeq/tagSeqE envelope. ok is false for bare
+// messages; epoch is 0 for the epoch-less tagSeq form.
+func unwrapDedup(body []byte) (clientID, seq uint64, epoch int64, payload []byte, ok bool) {
+	if len(body) == 0 || (body[0] != tagSeq && body[0] != tagSeqE) {
+		return 0, 0, 0, nil, false
 	}
+	withEpoch := body[0] == tagSeqE
 	rest := body[1:]
 	clientID, n := binary.Uvarint(rest)
 	if n <= 0 {
-		return 0, 0, nil, false
+		return 0, 0, 0, nil, false
 	}
 	rest = rest[n:]
 	seq, n = binary.Uvarint(rest)
 	if n <= 0 {
-		return 0, 0, nil, false
+		return 0, 0, 0, nil, false
 	}
-	return clientID, seq, rest[n:], true
+	rest = rest[n:]
+	if withEpoch {
+		e, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return 0, 0, 0, nil, false
+		}
+		epoch = int64(e)
+		rest = rest[n:]
+	}
+	return clientID, seq, epoch, rest, true
 }
 
 // dedupEntry is one executed (or executing) call. done closes when the

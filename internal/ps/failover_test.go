@@ -1,0 +1,286 @@
+package ps
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"psgraph/internal/dfs"
+	"psgraph/internal/rpc"
+)
+
+// newFailoverCluster builds a replicated cluster with heartbeat leases
+// over a fault-injecting transport. RestartDelay is deliberately long so
+// any test that finishes quickly proves recovery did NOT go through the
+// checkpoint-restart path.
+func newFailoverCluster(t *testing.T, servers int, prefix string) (*Cluster, *rpc.Faulty) {
+	t.Helper()
+	f := rpc.NewFaulty(rpc.NewInProc(), 1)
+	c, err := NewCluster(ClusterConfig{
+		NumServers:    servers,
+		Transport:     f,
+		NamePrefix:    prefix,
+		Replicate:     true,
+		LeaseDuration: 60 * time.Millisecond,
+		RestartDelay:  5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c, f
+}
+
+// waitPromotion polls the master's failover counters until at least one
+// partition was promoted.
+func waitPromotion(t *testing.T, c *Cluster) FailoverStats {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		st, err := c.FailoverStats()
+		if err == nil && st.Promotions > 0 {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no promotion before deadline (stats=%+v err=%v)", st, err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestFailoverPromotionZeroLoss kills a primary mid-stream and asserts
+// the lease detector promotes its backup in place: every acknowledged
+// push survives (values and exactly-once counters both check out) and
+// recovery completes far inside the 5s RestartDelay a checkpoint restart
+// would have to sit through.
+func TestFailoverPromotionZeroLoss(t *testing.T) {
+	c, _ := newFailoverCluster(t, 2, "fo-promote")
+	agent := c.NewClient()
+	v, err := agent.CreateDenseVector(DenseVectorSpec{Name: "fv", Size: 16, Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Acknowledged pre-kill writes: with sync replication every one of
+	// these is on the backup before the ack.
+	for i := int64(0); i < 16; i++ {
+		if err := v.PushAdd([]int64{i}, []float64{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	victim := c.ServerAddrs()[1]
+	start := time.Now()
+	c.KillServer(victim)
+	st := waitPromotion(t, c)
+	if st.Epoch == 0 {
+		t.Fatalf("promotion did not bump the layout epoch: %+v", st)
+	}
+
+	// Post-kill writes follow the layout via refetch+retry.
+	for i := int64(0); i < 16; i++ {
+		if err := v.PushAdd([]int64{i}, []float64{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed >= 5*time.Second {
+		t.Fatalf("recovery took %v: waited out RestartDelay instead of promoting", elapsed)
+	}
+
+	got, err := v.PullAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range got {
+		if x != 2 {
+			t.Fatalf("element %d = %v after failover, want 2 (lost update)", i, x)
+		}
+	}
+	applied, _, err := c.MutationTotals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent, _ := agent.MutationStats()
+	if applied != sent {
+		t.Fatalf("applied %d mutations for %d sends across failover", applied, sent)
+	}
+}
+
+// TestEpochFenceStalePrimary partitions a primary away from the cluster,
+// waits for its backup to be promoted, then delivers a push to the OLD
+// primary from inside the partition. The zombie must reject it with
+// ErrStaleEpoch (it lost its lease and self-fenced) and apply nothing.
+func TestEpochFenceStalePrimary(t *testing.T) {
+	c, f := newFailoverCluster(t, 2, "fo-fence")
+	agent := c.NewClient()
+	v, err := agent.CreateDenseVector(DenseVectorSpec{Name: "zv", Size: 8, Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SetAll([]float64{0, 0, 0, 0, 0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := agent.GetModel("zv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldPrimary := meta.Parts[0].Server
+	oldEpoch := meta.Epoch
+
+	// Cut the old primary (and a probe client stranded with it) off from
+	// the master and the other server. Its heartbeats stop, the lease
+	// expires, the backup is promoted.
+	f.SetPartition(map[string][]string{"iso": {oldPrimary, "probe"}})
+	waitPromotion(t, c)
+	// Let the zombie's self-fence window (one lease) definitely pass.
+	time.Sleep(100 * time.Millisecond)
+
+	probe := f.Caller("probe")
+	statsOf := func() int64 {
+		resp, err := probe.Call(oldPrimary, "Stats", nil)
+		if err != nil {
+			t.Fatalf("probe stats: %v", err)
+		}
+		var r statsResp
+		if err := dec(resp, &r); err != nil {
+			t.Fatal(err)
+		}
+		return r.MutApplied
+	}
+	before := statsOf()
+
+	// A client stranded in the partition still holds the pre-failover
+	// layout: same envelope a real push would carry, aimed at the zombie.
+	body := wrapDedup(99999, 1, oldEpoch,
+		enc(vecPushReq{Model: "zv", Part: 0, Indices: []int64{0}, Values: []float64{100}, Op: vecAdd}))
+	_, err = probe.Call(oldPrimary, "VecPush", body)
+	if err == nil {
+		t.Fatal("zombie primary accepted a push after promotion")
+	}
+	if !IsStaleEpochErr(err) {
+		t.Fatalf("zombie rejection is not a stale-epoch fence: %v", err)
+	}
+	if after := statsOf(); after != before {
+		t.Fatalf("fenced push was applied: MutApplied %d -> %d", before, after)
+	}
+
+	// The write never reaches the surviving copy either.
+	f.ClearPartition()
+	got, err := v.PullAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Fatalf("fenced write leaked into the promoted copy: %v", got[0])
+	}
+}
+
+// TestEpochFenceOrdering exercises the numeric fence directly: a server
+// that adopted epoch N rejects anything older and adopts anything newer.
+func TestEpochFenceOrdering(t *testing.T) {
+	s := NewServer("fence-unit", dfs.NewDefault())
+	if err := s.fenceCheck(0); err != nil {
+		t.Fatalf("legacy epoch-less call fenced: %v", err)
+	}
+	s.epochMax(5)
+	if err := s.fenceCheck(3); !IsStaleEpochErr(err) {
+		t.Fatalf("epoch 3 against server epoch 5: %v", err)
+	}
+	if err := s.fenceCheck(5); err != nil {
+		t.Fatalf("current epoch rejected: %v", err)
+	}
+	if err := s.fenceCheck(7); err != nil {
+		t.Fatalf("newer epoch rejected: %v", err)
+	}
+	if got := s.Epoch(); got != 7 {
+		t.Fatalf("server did not adopt newer epoch: %d", got)
+	}
+}
+
+// TestKillCloseRace hammers KillServer, the monitor's restart path and
+// Close concurrently. Run with -race: the closed flag must gate
+// restartServer so a recovery sleeping through RestartDelay never
+// re-registers an endpoint after Close tore everything down.
+func TestKillCloseRace(t *testing.T) {
+	for i := 0; i < 8; i++ {
+		f := rpc.NewFaulty(rpc.NewInProc(), int64(i+1))
+		c, err := NewCluster(ClusterConfig{
+			NumServers:      2,
+			Transport:       f,
+			NamePrefix:      "fo-race",
+			MonitorInterval: time.Millisecond,
+			RestartDelay:    2 * time.Millisecond,
+			LeaseDuration:   8 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs := c.ServerAddrs()
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for _, a := range addrs {
+				c.KillServer(a)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			time.Sleep(time.Duration(i) * time.Millisecond / 2)
+			c.Close()
+		}()
+		wg.Wait()
+		// Close wins: nothing may be registered at the server endpoints.
+		c.mu.Lock()
+		n := len(c.servers)
+		c.mu.Unlock()
+		if n != 0 {
+			t.Fatalf("iteration %d: %d servers survived Close", i, n)
+		}
+	}
+}
+
+// TestStatsSkipsDeadServers: a stats sweep over a half-dead cluster must
+// report the dead endpoint and keep summing the survivors instead of
+// aborting on the first unreachable server.
+func TestStatsSkipsDeadServers(t *testing.T) {
+	c, _ := newFaultyCluster(t, 2, "fo-stats")
+	agent := c.NewClient()
+	v, err := agent.CreateDenseVector(DenseVectorSpec{Name: "sv", Size: 8, Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.PushAdd([]int64{0, 7}, []float64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	victim := c.ServerAddrs()[1]
+	c.KillServer(victim)
+
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatalf("stats aborted on dead server: %v", err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("stats dropped entries: %d", len(stats))
+	}
+	var dead, liveApplied int
+	for _, s := range stats {
+		if s.Dead {
+			dead++
+			if s.Addr != victim {
+				t.Fatalf("wrong server marked dead: %s", s.Addr)
+			}
+		} else {
+			liveApplied += int(s.MutApplied)
+		}
+	}
+	if dead != 1 {
+		t.Fatalf("dead servers marked: %d, want 1", dead)
+	}
+	if liveApplied == 0 {
+		t.Fatal("survivor counters were not summed")
+	}
+	if _, _, err := c.MutationTotals(); err != nil {
+		t.Fatalf("MutationTotals aborted on dead server: %v", err)
+	}
+}

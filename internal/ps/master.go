@@ -35,6 +35,20 @@ type Master struct {
 	barriers   map[string]*barrier
 	recoveries int64
 
+	// Live-failover state (failover.go): the current layout epoch,
+	// whether primary/backup replication is on, per-server heartbeat
+	// lease timestamps, the set of servers declared dead, and the
+	// promotion/reseed counters surfaced by FailoverStats.
+	epoch      int64
+	replicate  bool
+	leases     map[string]time.Time
+	dead       map[string]bool
+	promotions int64
+	reseeds    int64
+	leaseDur   time.Duration
+	stopLeases chan struct{}
+	leaseDone  chan struct{}
+
 	// dedup replays retried control-plane mutations (CreateModel, Barrier,
 	// Checkpoint...) from their cached acks — the same exactly-once window
 	// the servers keep for pushes. Barrier especially: a retried arrival
@@ -76,6 +90,8 @@ func NewMaster(addr string, tr rpc.Transport) *Master {
 		models:   make(map[string]ModelMeta),
 		barriers: make(map[string]*barrier),
 		dedup:    newDedupTable(),
+		leases:   make(map[string]time.Time),
+		dead:     make(map[string]bool),
 	}
 }
 
@@ -99,7 +115,7 @@ func (m *Master) SetFS(fs *dfs.FS) {
 // Handle dispatches one RPC. It is the rpc.Handler of the master. A
 // tagSeq envelope routes through the dedup window (see dedup.go).
 func (m *Master) Handle(method string, body []byte) ([]byte, error) {
-	if clientID, seq, payload, ok := unwrapDedup(body); ok {
+	if clientID, seq, _, payload, ok := unwrapDedup(body); ok {
 		return m.dedup.handle(clientID, seq, func() ([]byte, error) {
 			return m.dispatch(method, payload)
 		})
@@ -137,11 +153,25 @@ func (m *Master) dispatch(method string, body []byte) ([]byte, error) {
 		}
 		m.mu.Lock()
 		meta, ok := m.models[req.Name]
+		// Stamp the layout with the CURRENT epoch, not the epoch of the
+		// model's last mutation: servers fence against their global
+		// learned epoch, so a refetched layout must always carry a value
+		// no server considers stale — otherwise a client could loop on
+		// ErrStaleEpoch forever.
+		meta.Epoch = m.epoch
 		m.mu.Unlock()
 		if !ok {
 			return nil, fmt.Errorf("ps: model %q does not exist", req.Name)
 		}
 		return enc(getModelResp{Meta: meta}), nil
+	case "Heartbeat":
+		var req heartbeatReq
+		if err := dec(body, &req); err != nil {
+			return nil, err
+		}
+		return enc(m.heartbeat(req)), nil
+	case "FailoverStats":
+		return enc(m.failoverStats()), nil
 	case "DeleteModel":
 		var req deleteModelReq
 		if err := dec(body, &req); err != nil {
@@ -199,16 +229,46 @@ func (m *Master) createModel(meta ModelMeta) (ModelMeta, error) {
 		m.mu.Unlock()
 		return ModelMeta{}, fmt.Errorf("ps: model %q already exists", meta.Name)
 	}
-	servers := append([]string(nil), m.servers...)
+	servers := m.liveRingLocked()
+	replicate := m.replicate
+	meta.Epoch = m.epoch
 	m.mu.Unlock()
 	if len(servers) == 0 {
 		return ModelMeta{}, fmt.Errorf("ps: no servers registered")
 	}
 	meta = layout(meta, servers)
+	if replicate && len(servers) > 1 {
+		// Each partition's backup is the ring successor of its primary.
+		// One forward target per server (not per partition) keeps the
+		// primary's forwarding decision O(1), and co-located partitions
+		// share a backup — so psFuncs that read across partitions see the
+		// same co-location on the replica side.
+		next := make(map[string]string, len(servers))
+		for i, s := range servers {
+			next[s] = servers[(i+1)%len(servers)]
+		}
+		for i := range meta.Parts {
+			meta.Parts[i].Backup = next[meta.Parts[i].Server]
+		}
+		// Point every primary at its forward target before any partition
+		// exists: the first mutation after CreateModel must already be
+		// mirrored, or a failover right after it would lose an acked write.
+		for s, b := range next {
+			if _, err := m.tr.Call(s, "SetBackup", enc(setBackupReq{Addr: b, Epoch: meta.Epoch})); err != nil {
+				return ModelMeta{}, fmt.Errorf("ps: set backup of %s: %w", s, err)
+			}
+		}
+	}
 	for i, part := range meta.Parts {
 		body := enc(createPartReq{Meta: meta, Part: i})
 		if _, err := m.tr.Call(part.Server, "CreatePart", body); err != nil {
 			return ModelMeta{}, fmt.Errorf("ps: create partition %d on %s: %w", i, part.Server, err)
+		}
+		if part.Backup != "" {
+			body := enc(createPartReq{Meta: meta, Part: i, Replica: true})
+			if _, err := m.tr.Call(part.Backup, "CreatePart", body); err != nil {
+				return ModelMeta{}, fmt.Errorf("ps: create replica %d on %s: %w", i, part.Backup, err)
+			}
 		}
 	}
 	m.mu.Lock()
@@ -219,19 +279,17 @@ func (m *Master) createModel(meta ModelMeta) (ModelMeta, error) {
 
 func (m *Master) deleteModel(name string) error {
 	m.mu.Lock()
-	meta, ok := m.models[name]
+	_, ok := m.models[name]
 	delete(m.models, name)
+	// Broadcast to every live server, not only the primaries: with
+	// replication on, backups hold replica partitions of the model too.
+	servers := m.liveRingLocked()
 	m.mu.Unlock()
 	if !ok {
 		return nil
 	}
-	seen := map[string]bool{}
-	for _, p := range meta.Parts {
-		if seen[p.Server] {
-			continue
-		}
-		seen[p.Server] = true
-		m.tr.Call(p.Server, "DeleteModel", enc(deleteModelReq{Name: name}))
+	for _, s := range servers {
+		m.tr.Call(s, "DeleteModel", enc(deleteModelReq{Name: name}))
 	}
 	return nil
 }
@@ -488,10 +546,14 @@ func (m *Master) StopMonitor() {
 
 // CheckServers pings every server once and recovers any that are down.
 // It returns the addresses that were recovered. Exposed so tests and the
-// experiment harness can trigger recovery deterministically.
+// experiment harness can trigger recovery deterministically. With
+// replication on it is the fallback failure detector behind the
+// heartbeat leases: a dead server found by the probe takes the same
+// promotion path as a lease expiry.
 func (m *Master) CheckServers() []string {
 	m.mu.Lock()
-	servers := append([]string(nil), m.servers...)
+	servers := m.liveRingLocked()
+	replicate := m.replicate
 	m.mu.Unlock()
 	var dead []string
 	for _, addr := range servers {
@@ -501,6 +563,15 @@ func (m *Master) CheckServers() []string {
 	}
 	if len(dead) == 0 {
 		return nil
+	}
+	if replicate {
+		var handled []string
+		for _, addr := range dead {
+			mtrace("probe found %s dead, failing over", addr)
+			m.failoverServer(addr)
+			handled = append(handled, addr)
+		}
+		return handled
 	}
 	// Restoring partitions while a multi-model checkpoint is mid-flight
 	// would poison the snapshot set the rollback protocol trusts, so

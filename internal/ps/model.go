@@ -116,9 +116,13 @@ const hashRangeBuckets = 256
 // Partition locates one shard of a model.
 type Partition struct {
 	Index  int
-	Server string // transport address
-	Lo, Hi int64  // row/index range for range-partitioned kinds
-	Col0   int    // column range for column-partitioned kinds
+	Server string // transport address of the primary
+	// Backup is the transport address of the replica server that mirrors
+	// this partition (live primary/backup replication), or "" when the
+	// partition runs unreplicated (degraded single-copy mode).
+	Backup string
+	Lo, Hi int64 // row/index range for range-partitioned kinds
+	Col0   int   // column range for column-partitioned kinds
 	Col1   int
 }
 
@@ -147,6 +151,12 @@ type ModelMeta struct {
 	// finer units for recovery and rebalancing.
 	NumPartitions int
 	Parts         []Partition
+	// Epoch is the layout epoch this meta was handed out at. The master
+	// bumps it on every failover promotion; mutating client calls carry
+	// it and servers fence writes whose epoch is older than their own
+	// (see failover.go), so a client holding a pre-promotion layout can
+	// never apply a write through a demoted primary.
+	Epoch int64
 }
 
 // NumParts returns the number of partitions.

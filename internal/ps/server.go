@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 	"sync"
-	"sync/atomic"
 
 	"psgraph/internal/dfs"
 )
@@ -140,11 +139,13 @@ type Server struct {
 	store *Store
 	dedup *dedupTable
 
-	// applied counts successfully executed mutating data-plane handlers
-	// (pushes and psFuncs). A replay served from the dedup window does
-	// not count: the chaos harness asserts applied == the clients'
-	// logical mutation count to prove exactly-once delivery.
-	applied atomic.Int64
+	// repl is the live-failover state: partition roles with per-role
+	// apply counters (a replay served from the dedup window does not
+	// count — the chaos harness asserts applied == the clients' logical
+	// mutation count to prove exactly-once delivery), the epoch/lease
+	// write fence, backup forwarding, and the heartbeat loop. See
+	// replica.go.
+	repl replState
 }
 
 // NewServer creates a server that checkpoints to fs.
@@ -205,13 +206,37 @@ var serverHandlers = map[string]handler{
 	"Stats":       func(s *Server, _ []byte) ([]byte, error) { return enc(s.stats()), nil },
 }
 
+// The failover handlers (replica.go) re-enter dispatch, so they are
+// registered in init to avoid an initialization cycle through the table.
+func init() {
+	serverHandlers["Replicate"] = (*Server).handleReplicate
+	serverHandlers["Promote"] = handleNoResp((*Server).promote)
+	serverHandlers["SetBackup"] = handleNoResp((*Server).setBackup)
+	serverHandlers["SeedBackup"] = handleNoResp((*Server).seedBackup)
+	serverHandlers["InstallReplica"] = handleNoResp((*Server).installReplica)
+}
+
 // Handle dispatches one RPC. It is the rpc.Handler of the server. A
-// tagSeq envelope routes through the dedup window so a retried mutating
-// call replays its cached ack instead of re-executing.
+// tagSeq/tagSeqE envelope routes through the dedup window so a retried
+// mutating call replays its cached ack instead of re-executing. The
+// epoch/lease fence runs BEFORE the window (a rejection must never be
+// cached), and a successfully applied mutation is forwarded to the
+// backup inside the window's exec — so the client's ack is withheld
+// until the mutation is replicated, and a replayed ack never forwards
+// twice.
 func (s *Server) Handle(method string, body []byte) ([]byte, error) {
-	if clientID, seq, payload, ok := unwrapDedup(body); ok {
+	if clientID, seq, epoch, payload, ok := unwrapDedup(body); ok {
+		if err := s.fenceCheck(epoch); err != nil {
+			return nil, err
+		}
 		return s.dedup.handle(clientID, seq, func() ([]byte, error) {
-			return s.dispatch(method, payload)
+			s.repl.gate.RLock()
+			defer s.repl.gate.RUnlock()
+			resp, err := s.dispatch(method, payload)
+			if err == nil {
+				s.forward(method, clientID, seq, epoch, payload)
+			}
+			return resp, err
 		})
 	}
 	return s.dispatch(method, body)
@@ -231,11 +256,13 @@ func (s *Server) createPart(req createPartReq) error {
 		return err
 	}
 	s.store.put(e)
+	s.role(req.Meta.Name, req.Part).replica.Store(req.Replica)
 	return nil
 }
 
 func (s *Server) deleteModel(req deleteModelReq) error {
 	s.store.delete(req.Name)
+	s.dropRoles(req.Name)
 	return nil
 }
 
@@ -255,7 +282,7 @@ func (s *Server) vecPush(req vecPushReq) error {
 	if err := e.push(req); err != nil {
 		return err
 	}
-	s.applied.Add(1)
+	s.bump(req.Model, req.Part)
 	return nil
 }
 
@@ -275,7 +302,7 @@ func (s *Server) mapPush(req mapPushReq) error {
 	if err := e.push(req); err != nil {
 		return err
 	}
-	s.applied.Add(1)
+	s.bump(req.Model, req.Part)
 	return nil
 }
 
@@ -295,7 +322,7 @@ func (s *Server) embPush(req embPushReq) error {
 	if err := e.push(req); err != nil {
 		return err
 	}
-	s.applied.Add(1)
+	s.bump(req.Model, req.Part)
 	return nil
 }
 
@@ -315,7 +342,7 @@ func (s *Server) nbrPush(req nbrPushReq) error {
 	if err := e.push(req); err != nil {
 		return err
 	}
-	s.applied.Add(1)
+	s.bump(req.Model, req.Part)
 	return nil
 }
 
@@ -335,7 +362,7 @@ func (s *Server) matPush(req matPushReq) error {
 	if err := e.push(req); err != nil {
 		return err
 	}
-	s.applied.Add(1)
+	s.bump(req.Model, req.Part)
 	return nil
 }
 
@@ -348,7 +375,7 @@ func (s *Server) callFunc(req funcReq) (funcResp, error) {
 	if err != nil {
 		return funcResp{}, err
 	}
-	s.applied.Add(1)
+	s.bump(req.Model, req.Part)
 	return funcResp{Out: out}, nil
 }
 
@@ -367,7 +394,17 @@ func (s *Server) stats() statsResp {
 		}
 	}
 	sort.Strings(resp.Models)
-	resp.MutApplied = s.applied.Load()
+	s.repl.pmu.RLock()
+	for _, r := range s.repl.roles {
+		if r.replica.Load() {
+			resp.Replicas++
+		} else {
+			resp.MutApplied += r.muts.Load()
+		}
+	}
+	s.repl.pmu.RUnlock()
 	resp.MutReplayed = s.dedup.Replayed()
+	resp.MutReplicated = s.repl.replicated.Load()
+	resp.ReplDropped = s.repl.replDropped.Load()
 	return resp
 }

@@ -54,6 +54,7 @@ const (
 	msgMatPushReq
 	msgFuncReq
 	msgFuncResp
+	msgReplicateReq
 )
 
 // binaryWire selects the hot-path format. On (the default) hot messages
@@ -461,6 +462,8 @@ func binSizeHint(v any) int {
 		return 48 + len(m.Model) + len(m.Name) + len(m.Arg)
 	case funcResp:
 		return 16 + len(m.Out)
+	case replicateReq:
+		return 48 + len(m.Method) + len(m.Body)
 	}
 	return 0
 }
@@ -558,6 +561,13 @@ func encBinary(v any) ([]byte, bool) {
 	case funcResp:
 		b = append(b, msgFuncResp)
 		b = appendBytes(b, m.Out)
+	case replicateReq:
+		b = append(b, msgReplicateReq)
+		b = appendStr(b, m.Method)
+		b = binary.AppendUvarint(b, m.ClientID)
+		b = binary.AppendUvarint(b, m.Seq)
+		b = binary.AppendVarint(b, m.Epoch)
+		b = appendBytes(b, m.Body)
 	default:
 		putBuf(b)
 		return nil, false
@@ -692,6 +702,15 @@ func decBinary(data []byte, v any) error {
 		want = msgFuncResp
 		if id == want {
 			m.Out = r.bytes()
+		}
+	case *replicateReq:
+		want = msgReplicateReq
+		if id == want {
+			m.Method = r.str()
+			m.ClientID = r.uvarint()
+			m.Seq = r.uvarint()
+			m.Epoch = r.varint()
+			m.Body = r.bytes()
 		}
 	default:
 		return fmt.Errorf("ps: wire: binary message id %d cannot decode into %T", id, v)
