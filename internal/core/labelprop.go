@@ -28,10 +28,14 @@ type LabelPropagationResult struct {
 // it among the traditional graph algorithms PSGraph serves) with the same
 // PS pattern as fast unfolding: the vertex→label model lives on the
 // parameter server as a sparse vector; each round, every executor pulls
-// the labels of its vertices and their neighbors, adopts the most
+// the labels of its vertices and their neighbors and adopts the most
 // frequent neighbor label (smallest label breaks ties, which also
-// dampens oscillation), and pushes the changes. The loop stops when a
-// round changes nothing.
+// dampens oscillation). Rounds are BSP: all partitions vote against the
+// same label snapshot and the moves are pushed only after every
+// partition has voted — one partition's push racing another's pull
+// would make the outcome depend on executor scheduling (two communities
+// bridged by an edge can spuriously merge). The loop stops when a round
+// changes nothing.
 func LabelPropagation(ctx *Context, edges *dataflow.RDD[Edge], cfg LabelPropagationConfig) (*LabelPropagationResult, error) {
 	if cfg.MaxIterations <= 0 {
 		cfg.MaxIterations = 20
@@ -65,6 +69,9 @@ func LabelPropagation(ctx *Context, edges *dataflow.RDD[Edge], cfg LabelPropagat
 	it := 0
 	for ; it < cfg.MaxIterations; it++ {
 		var moves atomic.Int64
+		// Vote phase: every partition reads the same snapshot and stages
+		// its moves; nothing is pushed until all votes are in.
+		staged := make([]map[int64]float64, parts)
 		err := nbrs.ForeachPartition(func(part int, tables []dataflow.KV[int64, []int64]) error {
 			if len(tables) == 0 {
 				return nil
@@ -113,13 +120,25 @@ func LabelPropagation(ctx *Context, edges *dataflow.RDD[Edge], cfg LabelPropagat
 				return nil
 			}
 			moves.Add(int64(len(updates)))
-			return labels.PushSet(updates)
+			staged[part] = updates
+			return nil
 		})
 		if err != nil {
 			return nil, err
 		}
 		if moves.Load() == 0 {
 			break
+		}
+		// Publish phase: each partition pushes its own staged moves (each
+		// vertex belongs to exactly one partition, so pushes never conflict).
+		err = nbrs.ForeachPartition(func(part int, _ []dataflow.KV[int64, []int64]) error {
+			if staged[part] == nil {
+				return nil
+			}
+			return labels.PushSet(staged[part])
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
 

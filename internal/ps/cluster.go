@@ -66,7 +66,10 @@ type ClusterConfig struct {
 	// Replicate enables primary/backup replication: every partition gets
 	// a backup on the ring-next server, primaries forward applied
 	// mutations to it, and failover promotes backups in place instead of
-	// restoring from checkpoints.
+	// restoring from checkpoints. Replication always runs with heartbeat
+	// leases (defaulted when neither lease field is set): without the
+	// self-fence a partitioned primary could keep acking writes after its
+	// partitions were promoted, silently losing them.
 	Replicate bool
 	// ReplAsync forwards mutations to backups asynchronously (ack before
 	// replicated) — lower latency, but mutations still queued die with
@@ -87,6 +90,13 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	if cfg.NamePrefix == "" {
 		cfg.NamePrefix = "ps"
+	}
+	if cfg.Replicate && cfg.LeaseDuration <= 0 && cfg.HeartbeatInterval <= 0 {
+		// Leases are mandatory with replication: the self-fence (a server
+		// that misses a full lease of acks stops applying writes) is what
+		// keeps an asymmetrically-partitioned demoted primary from acking
+		// epoch-0 writes the promoted copy will never see.
+		cfg.LeaseDuration = 100 * time.Millisecond
 	}
 	if cfg.LeaseDuration > 0 && cfg.HeartbeatInterval <= 0 {
 		cfg.HeartbeatInterval = cfg.LeaseDuration / 4

@@ -47,7 +47,9 @@ const tagSeq byte = 0x02
 // [uvarint epoch][payload]. Servers fence mutating calls whose epoch is
 // older than their own, so a write addressed from a pre-failover layout
 // is rejected instead of applied by a demoted primary. Epoch-less
-// tagSeq envelopes remain valid (epoch 0 = unfenced).
+// tagSeq envelopes still parse, but epoch 0 counts as older than any
+// positive epoch: once a server has learned one, a failover happened
+// and a pre-failover layout can no longer be trusted.
 const tagSeqE byte = 0x03
 
 // dedupEnabled toggles client-side enveloping of mutating calls. On by

@@ -54,9 +54,15 @@ func IsStaleEpochErr(err error) bool {
 // replicateReq is on the binary codec (wire.go) because one is sent per
 // applied mutation.
 
-// heartbeatReq is a server's lease renewal.
+// heartbeatReq is a server's lease renewal. Dropped is the server's
+// cumulative dropped-forward counter: an increase since the last beat
+// means at least one applied mutation never reached a replica, so the
+// master must treat this primary's backups as stale and reseed them —
+// the reconciliation that keeps the master's backup metadata from
+// silently diverging from the server's actual forwarding state.
 type heartbeatReq struct {
-	Addr string
+	Addr    string
+	Dropped int64
 }
 
 // heartbeatResp acknowledges a heartbeat and teaches the server the
@@ -141,13 +147,49 @@ func (m *Master) SetReplication(on bool) {
 // heartbeat renews a server's lease and returns the current epoch. A
 // server already declared dead keeps its (expired) lease: its partitions
 // moved, and the epoch in the response lets it fence stale clients.
+//
+// It also reconciles replication state: when the beat reports a grown
+// dropped-forward counter, the sender's replicas are missing mutations —
+// they are dropped from the layout (degraded single-copy, visible in
+// FailoverStats) and a background reseed rebuilds them from the
+// primary's gated snapshot. A counter that shrank means the server was
+// restarted fresh; just resynchronize the baseline.
 func (m *Master) heartbeat(req heartbeatReq) heartbeatResp {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	if !m.dead[req.Addr] {
+	alive := !m.dead[req.Addr]
+	if alive {
 		m.leases[req.Addr] = time.Now()
 	}
-	return heartbeatResp{Epoch: m.epoch}
+	stale := false
+	if m.replicate && alive && req.Dropped != m.dropSeen[req.Addr] {
+		stale = req.Dropped > m.dropSeen[req.Addr]
+		m.dropSeen[req.Addr] = req.Dropped
+	}
+	if stale {
+		for name, meta := range m.models {
+			parts := meta.Parts
+			changed := false
+			for i := range parts {
+				if parts[i].Server == req.Addr && parts[i].Backup != "" {
+					if !changed {
+						parts = append([]Partition(nil), parts...)
+						changed = true
+					}
+					parts[i].Backup = ""
+				}
+			}
+			if changed {
+				meta.Parts = parts
+				m.models[name] = meta
+			}
+		}
+	}
+	resp := heartbeatResp{Epoch: m.epoch}
+	m.mu.Unlock()
+	if stale {
+		m.kickReseed()
+	}
+	return resp
 }
 
 // EnableLeases starts the lease checker: a server whose last heartbeat
@@ -312,9 +354,29 @@ func (m *Master) failoverServer(deadAddr string) int {
 		}
 	}
 	if len(promos) > 0 || orphans {
-		go m.reseed()
+		m.kickReseed()
 	}
 	return len(promos)
+}
+
+// kickReseed schedules a background reseed pass, coalescing concurrent
+// triggers (failovers, heartbeat drop reports) into one queued run. The
+// queued flag clears before the pass starts, so a trigger arriving
+// mid-run queues exactly one follow-up instead of being lost.
+func (m *Master) kickReseed() {
+	m.mu.Lock()
+	if m.reseedQueued {
+		m.mu.Unlock()
+		return
+	}
+	m.reseedQueued = true
+	m.mu.Unlock()
+	go func() {
+		m.mu.Lock()
+		m.reseedQueued = false
+		m.mu.Unlock()
+		m.reseed()
+	}()
 }
 
 // reseed repairs replication after the live ring changed: every live

@@ -195,6 +195,114 @@ func TestEpochFenceOrdering(t *testing.T) {
 	if got := s.Epoch(); got != 7 {
 		t.Fatalf("server did not adopt newer epoch: %d", got)
 	}
+	// Epoch 0 (a pre-failover layout) is older than any positive epoch:
+	// once the server learned one, epoch-less writes must fence too.
+	if err := s.fenceCheck(0); !IsStaleEpochErr(err) {
+		t.Fatalf("epoch 0 against server epoch 7: %v", err)
+	}
+}
+
+// TestReseedAfterPromotion survives TWO failovers: after the first
+// kill, the promoted primary forwards mutations for its new partition
+// to a successor that does not hold the replica yet — those forwards
+// are dropped (never silently clearing the whole target), the drop
+// report in the next heartbeat makes the master mark the replicas
+// stale, and the reseed pass rebuilds them. Killing the promoted
+// primary afterwards must then promote a COMPLETE replica: every
+// acknowledged write survives both deaths.
+func TestReseedAfterPromotion(t *testing.T) {
+	c, _ := newFailoverCluster(t, 3, "fo-reseed")
+	agent := c.NewClient()
+	v, err := agent.CreateDenseVector(DenseVectorSpec{Name: "rv", Size: 12, Partitions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	push := func() {
+		for i := int64(0); i < 12; i++ {
+			if err := v.PushAdd([]int64{i}, []float64{1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	push()
+
+	before, err := agent.GetModel("rv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.KillServer(c.ServerAddrs()[1])
+	waitPromotion(t, c)
+	// Writes during the repair window: forwards for the promoted
+	// partition fail on the successor until reseed installs the replica.
+	push()
+
+	// Wait for the reseed to repair every partition (Degraded drains).
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		st, err := c.FailoverStats()
+		if err == nil && st.Reseeds > 0 && st.Degraded == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replication not repaired before deadline (stats=%+v err=%v)", st, err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	push()
+
+	// Kill the server the first failover promoted: its partitions' only
+	// other copy is the reseeded replica — if reseeding left it stale,
+	// this loses writes.
+	after, err := agent.GetModel("rv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	promoted := ""
+	for i := range after.Parts {
+		if after.Parts[i].Server != before.Parts[i].Server {
+			promoted = after.Parts[i].Server
+		}
+	}
+	if promoted == "" {
+		t.Fatal("no partition changed servers after the first failover")
+	}
+	prevPromotions := mustFailoverStats(t, c).Promotions
+	c.KillServer(promoted)
+	deadline = time.Now().Add(3 * time.Second)
+	for mustFailoverStats(t, c).Promotions <= prevPromotions {
+		if time.Now().After(deadline) {
+			t.Fatal("no second promotion before deadline")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	push()
+
+	got, err := v.PullAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range got {
+		if x != 4 {
+			t.Fatalf("element %d = %v after double failover, want 4 (lost update)", i, x)
+		}
+	}
+	applied, _, err := c.MutationTotals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent, _ := agent.MutationStats()
+	if applied != sent {
+		t.Fatalf("applied %d mutations for %d sends across double failover", applied, sent)
+	}
+}
+
+func mustFailoverStats(t *testing.T, c *Cluster) FailoverStats {
+	t.Helper()
+	st, err := c.FailoverStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
 }
 
 // TestKillCloseRace hammers KillServer, the monitor's restart path and

@@ -48,6 +48,11 @@ type Master struct {
 	leaseDur   time.Duration
 	stopLeases chan struct{}
 	leaseDone  chan struct{}
+	// dropSeen is the last dropped-forward count each server reported in
+	// a heartbeat; an increase marks its replicas stale (failover.go).
+	// reseedQueued coalesces concurrent reseed triggers into one pass.
+	dropSeen     map[string]int64
+	reseedQueued bool
 
 	// dedup replays retried control-plane mutations (CreateModel, Barrier,
 	// Checkpoint...) from their cached acks — the same exactly-once window
@@ -92,6 +97,7 @@ func NewMaster(addr string, tr rpc.Transport) *Master {
 		dedup:    newDedupTable(),
 		leases:   make(map[string]time.Time),
 		dead:     make(map[string]bool),
+		dropSeen: make(map[string]int64),
 	}
 }
 
@@ -134,6 +140,13 @@ func (m *Master) dispatch(method string, body []byte) ([]byte, error) {
 		}
 		m.mu.Lock()
 		m.servers = append(m.servers, req.Addr)
+		// Seed the lease of a late-registered server (mirroring what
+		// EnableLeases does for pre-registered ones): without an entry the
+		// checker would skip it, and a server whose heartbeats never arrive
+		// would silently escape lease-based failure detection.
+		if m.stopLeases != nil {
+			m.leases[req.Addr] = time.Now()
+		}
 		m.mu.Unlock()
 		return nil, nil
 	case "CreateModel":

@@ -69,6 +69,7 @@ type replState struct {
 
 	replMu   sync.Mutex
 	replQ    chan replicateReq
+	replStop chan struct{}
 	replDone chan struct{}
 
 	hbMu   sync.Mutex
@@ -113,13 +114,31 @@ func (s *Server) SetReplAsync(on bool) {
 	defer s.repl.replMu.Unlock()
 	if on && s.repl.replQ == nil {
 		q := make(chan replicateReq, 1024)
+		stop := make(chan struct{})
 		done := make(chan struct{})
 		s.repl.replQ = q
+		s.repl.replStop = stop
 		s.repl.replDone = done
 		go func() {
 			defer close(done)
-			for req := range q {
-				s.sendReplicate(req)
+			for {
+				select {
+				case req := <-q:
+					s.sendReplicate(req)
+				case <-stop:
+					// Drain whatever is already queued, then exit. The queue
+					// itself is never closed — senders select on stop instead —
+					// so a handler blocked on a full queue during shutdown can
+					// never hit a send-on-closed-channel panic.
+					for {
+						select {
+						case req := <-q:
+							s.sendReplicate(req)
+						default:
+							return
+						}
+					}
+				}
 			}
 		}()
 	}
@@ -189,9 +208,10 @@ func (s *Server) fenceCheck(epoch int64) error {
 			return fmt.Errorf("%s: server %s lost its master lease", staleEpochMsg, s.Addr)
 		}
 	}
-	if epoch == 0 {
-		return nil
-	}
+	// Epoch 0 means a pre-failover layout, which is older than any
+	// positive epoch: once this server has learned one, a failover has
+	// happened somewhere and an epoch-less write may be addressed from a
+	// layout that predates it — fence it and make the client refetch.
 	if cur := s.repl.epoch.Load(); epoch < cur {
 		return fmt.Errorf("%s: call at epoch %d, server %s at epoch %d", staleEpochMsg, epoch, s.Addr, cur)
 	}
@@ -217,10 +237,16 @@ func (s *Server) forward(method string, clientID, seq uint64, epoch int64, paylo
 		// recycles after Handle returns; the queued copy must own it.
 		req.Body = append([]byte(nil), payload...)
 		s.repl.replMu.Lock()
-		q := s.repl.replQ
+		q, stop := s.repl.replQ, s.repl.replStop
 		s.repl.replMu.Unlock()
 		if q != nil {
-			q <- req // blocking: bounded queue backpressures the primary
+			select {
+			case q <- req: // blocking: bounded queue backpressures the primary
+			case <-stop:
+				// Worker is exiting; deliver synchronously instead of
+				// racing its drain (Body is already an owned copy).
+				s.sendReplicate(req)
+			}
 			return
 		}
 	}
@@ -231,8 +257,14 @@ func (s *Server) forward(method string, clientID, seq uint64, epoch int64, paylo
 // sendReplicate delivers one forward, riding out brief unreachability.
 // If the backup stays unreachable the server degrades itself to
 // single-copy mode (clears the target, counts the drop) rather than
-// stalling every mutation; the master's reseed pass re-points it once
-// the ring is repaired.
+// stalling every mutation. A non-unreachable error is a per-partition
+// application failure (typically "partition not on this server" right
+// after a promotion, before reseed installed the replica): only that
+// one forward is dropped — clearing the whole target would silently
+// stop forwarding for every healthy partition too. Either way the drop
+// counter rides the next heartbeat, so the master marks this primary's
+// replicas stale and reseeds them; forwarding state never diverges
+// silently from the master's metadata.
 func (s *Server) sendReplicate(req replicateReq) {
 	target, _ := s.repl.backup.Load().(string)
 	if target == "" {
@@ -248,7 +280,12 @@ func (s *Server) sendReplicate(req replicateReq) {
 			putBuf(body)
 			return
 		}
-		if !errors.Is(err, rpc.ErrUnreachable) || time.Now().After(deadline) {
+		if !errors.Is(err, rpc.ErrUnreachable) {
+			s.repl.replDropped.Add(1)
+			putBuf(body)
+			return
+		}
+		if time.Now().After(deadline) {
 			s.repl.replDropped.Add(1)
 			s.repl.backup.CompareAndSwap(target, "")
 			putBuf(body)
@@ -323,6 +360,11 @@ func (s *Server) seedBackup(req seedBackupReq) error {
 	if _, err := s.repl.out.Call(req.Backup, "InstallReplica", enc(inst)); err != nil {
 		return fmt.Errorf("ps: seed %s/%d on %s: %w", req.Meta.Name, req.Part, req.Backup, err)
 	}
+	// Adopt the seeded backup as the forward target while still holding
+	// the write gate: the first mutation after the gate releases already
+	// forwards, so a target cleared by an earlier degrade can never leave
+	// the fresh replica silently stale.
+	s.repl.backup.Store(req.Backup)
 	return nil
 }
 
@@ -387,9 +429,12 @@ func (s *Server) StartHeartbeat(master string, interval, lease time.Duration) {
 	}()
 }
 
-// beat sends one heartbeat and adopts the epoch in the ack.
+// beat sends one heartbeat — carrying the cumulative dropped-forward
+// count so the master can detect stale replicas and reseed them — and
+// adopts the epoch in the ack.
 func (s *Server) beat(master string) {
-	resp, err := s.repl.out.Call(master, "Heartbeat", enc(heartbeatReq{Addr: s.Addr}))
+	hb := heartbeatReq{Addr: s.Addr, Dropped: s.repl.replDropped.Load()}
+	resp, err := s.repl.out.Call(master, "Heartbeat", enc(hb))
 	if err != nil {
 		return
 	}
@@ -418,17 +463,21 @@ func (s *Server) StopHeartbeat() {
 }
 
 // stopBackground halts the heartbeat loop and the async forward worker.
+// The forward queue is signalled via its stop channel and drained by the
+// worker, never closed — in-flight forward() calls may still hold a
+// reference to it.
 func (s *Server) stopBackground() {
 	s.StopHeartbeat()
 	s.repl.replMu.Lock()
-	q := s.repl.replQ
+	stop := s.repl.replStop
 	done := s.repl.replDone
 	s.repl.replQ = nil
+	s.repl.replStop = nil
 	s.repl.replDone = nil
 	s.repl.replAsync.Store(false)
 	s.repl.replMu.Unlock()
-	if q != nil {
-		close(q)
+	if stop != nil {
+		close(stop)
 		<-done
 	}
 }
