@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	psbench [-scale small|medium] [-exp all|fig6|line|table1|table2|ablation|wire|server|dataflow|chaos|failover] [-wireout BENCH_ps_wire.json] [-serverout BENCH_ps_server.json] [-dataflowout BENCH_dataflow.json] [-chaosout BENCH_chaos.json] [-failoverout BENCH_failover.json] [-seed N]
+//	psbench [-scale small|medium] [-exp all|fig6|line|table1|table2|ablation|wire|server|dataflow|chaos|failover|ssp] [-wireout BENCH_ps_wire.json] [-serverout BENCH_ps_server.json] [-dataflowout BENCH_dataflow.json] [-chaosout BENCH_chaos.json] [-failoverout BENCH_failover.json] [-sspout BENCH_ssp.json] [-seed N]
 package main
 
 import (
@@ -20,12 +20,13 @@ import (
 func main() {
 	log.SetFlags(0)
 	scaleName := flag.String("scale", "small", "dataset/resource scale preset (small|medium)")
-	exp := flag.String("exp", "all", "experiment to run (all|fig6|line|table1|table2|ablation|wire|server|dataflow|chaos|failover)")
+	exp := flag.String("exp", "all", "experiment to run (all|fig6|line|table1|table2|ablation|wire|server|dataflow|chaos|failover|ssp)")
 	wireOut := flag.String("wireout", "BENCH_ps_wire.json", "where -exp wire (or all) writes its JSON report")
 	serverOut := flag.String("serverout", "BENCH_ps_server.json", "where -exp server (or all) writes its JSON report")
 	dataflowOut := flag.String("dataflowout", "BENCH_dataflow.json", "where -exp dataflow (or all) writes its JSON report")
 	chaosOut := flag.String("chaosout", "BENCH_chaos.json", "where -exp chaos (or all) writes its JSON report")
 	failoverOut := flag.String("failoverout", "BENCH_failover.json", "where -exp failover (or all) writes its JSON report")
+	sspOut := flag.String("sspout", "BENCH_ssp.json", "where -exp ssp (or all) writes its JSON report")
 	seed := flag.Int64("seed", 7, "chaos fault-schedule seed")
 	flag.Parse()
 
@@ -43,7 +44,7 @@ func main() {
 	ok := true
 	switch *exp {
 	case "all":
-		ok = runFig6(scale) && runLine(scale) && runTable1(scale) && runTable2(scale) && runAblation(scale) && runWire(scale, *wireOut) && runServer(scale, *serverOut) && runDataflow(scale, *dataflowOut) && runChaos(scale, *seed, *chaosOut) && runFailover(scale, *failoverOut)
+		ok = runFig6(scale) && runLine(scale) && runTable1(scale) && runTable2(scale) && runAblation(scale) && runWire(scale, *wireOut) && runServer(scale, *serverOut) && runDataflow(scale, *dataflowOut) && runChaos(scale, *seed, *chaosOut) && runFailover(scale, *failoverOut) && runSSP(scale, *sspOut)
 	case "fig6":
 		ok = runFig6(scale)
 	case "line":
@@ -64,6 +65,8 @@ func main() {
 		ok = runChaos(scale, *seed, *chaosOut)
 	case "failover":
 		ok = runFailover(scale, *failoverOut)
+	case "ssp":
+		ok = runSSP(scale, *sspOut)
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}
@@ -335,6 +338,46 @@ func runFailover(s bench.Scale, outPath string) bool {
 	}
 	fmt.Println()
 	return rep.PromotionWins && rep.Modes[0].Lost == 0
+}
+
+// runSSP trains LINE under BSP / ASP / SSP k∈{1,2,4}, each with and
+// without the overlap machinery (parameter prefetch + push coalescing),
+// and records epoch wall-time against the community-separation margin.
+// Passes when the best in-band SSP (k>=1) overlap run beats plain BSP
+// wall-time and every SSP mode converges within the quality band.
+func runSSP(s bench.Scale, outPath string) bool {
+	fmt.Println("== SSP: bounded-staleness LINE with prefetch + push coalescing ==")
+	cfg := bench.DefaultSSPConfig(s)
+	rep, err := bench.RunSSPBench(cfg)
+	if err != nil {
+		log.Printf("  ssp bench FAILED: %v", err)
+		return false
+	}
+	fmt.Printf("  SBM %d vertices / %d edges, dim %d, %d epochs, batch %d, window %d, RPC latency %.0fµs\n",
+		rep.Vertices, rep.Edges, rep.Dim, rep.Epochs, rep.BatchSize, rep.Window, rep.LatencyUS)
+	fmt.Printf("  %-16s %10s %12s %10s %8s %10s\n", "mode", "wall", "s/epoch", "margin", "band", "cache h/m")
+	for _, m := range rep.Modes {
+		band := "ok"
+		if !m.InBand {
+			band = "OUT"
+			if m.Sync == "asp" {
+				band = "n/a"
+			}
+		}
+		fmt.Printf("  %-16s %9.3fs %11.3fs %10.4f %8s %6d/%d\n",
+			m.Mode, m.Seconds, m.EpochSeconds, m.Margin, band, m.CacheHits, m.CacheMisses)
+	}
+	fmt.Printf("  best SSP overlap: %s — %.2fx over plain BSP (%.3fs)\n",
+		rep.BestSSP, rep.Speedup, rep.BSPSeconds)
+	if outPath != "" {
+		if err := rep.WriteJSON(outPath); err != nil {
+			log.Printf("  writing %s FAILED: %v", outPath, err)
+			return false
+		}
+		fmt.Printf("  report written to %s\n", outPath)
+	}
+	fmt.Println()
+	return rep.Pass
 }
 
 func runAblation(s bench.Scale) bool {

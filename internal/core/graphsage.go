@@ -35,6 +35,25 @@ type GraphSageConfig struct {
 	Parts int
 	// Seed drives sampling and initialization.
 	Seed int64
+
+	// Sync selects the synchronization mode: "" keeps the legacy loop
+	// (partition tasks unsynchronized within an epoch, the action boundary
+	// as the epoch barrier); "ssp" adds a bounded-staleness clock per
+	// window of batches; "asp" ticks the clock without ever waiting. "bsp"
+	// normalizes to "ssp" with Staleness 0.
+	Sync string
+	// Staleness is the SSP bound k (Sync "ssp" only).
+	Staleness int
+	// WindowBatches is the number of batches per clock window (and per
+	// coalesced gradient flush). Defaults to 2.
+	WindowBatches int
+	// Prefetch routes feature pulls through the client-side row cache.
+	// Features are immutable during training, so cached rows are never
+	// invalidated — repeat visits to a vertex skip the wire entirely.
+	Prefetch bool
+	// Coalesce sums weight gradients locally across each window and pushes
+	// them once per window instead of once per batch.
+	Coalesce bool
 }
 
 func (c *GraphSageConfig) setDefaults() error {
@@ -67,6 +86,16 @@ func (c *GraphSageConfig) setDefaults() error {
 	}
 	if c.Aggregator != "mean" && c.Aggregator != "pool" && c.Aggregator != "lstm" {
 		return fmt.Errorf("core: unknown aggregator %q", c.Aggregator)
+	}
+	if c.WindowBatches <= 0 {
+		c.WindowBatches = 2
+	}
+	if c.Sync == "bsp" {
+		c.Sync = "ssp"
+		c.Staleness = 0
+	}
+	if c.Sync != "" && c.Sync != "ssp" && c.Sync != "asp" {
+		return fmt.Errorf("core: GraphSage sync must be \"\", \"bsp\", \"ssp\" or \"asp\", got %q", c.Sync)
 	}
 	return nil
 }
@@ -248,14 +277,45 @@ func GraphSage(ctx *Context, data *GraphSageData, cfg GraphSageConfig) (*GraphSa
 	}
 
 	res := &GraphSageResult{W1Name: model.w1.Meta.Name, W2Name: model.w2.Meta.Name}
+	// The relaxed modes need every clock participant actually running: the
+	// engine schedules one concurrent task per executor, so the train set
+	// is spread over min(parts, executors) workers (see lineTrainRelaxed).
+	relaxed := cfg.Sync != ""
+	workers := parts
+	if relaxed {
+		if e := ctx.cfg.NumExecutors; workers > e {
+			workers = e
+		}
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	k := cfg.Staleness
+	if cfg.Sync == "asp" {
+		k = -1
+	}
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		epochStart := time.Now()
-		trainRDD := dataflow.Parallelize(ctx.Spark, train, parts)
+		trainRDD := dataflow.Parallelize(ctx.Spark, train, workers)
 		var lossSum, lossN float64
 		var mu sync.Mutex
 		epochSeed := cfg.Seed + int64(epoch)*7919
 		err := trainRDD.ForeachPartition(func(part int, ids []int64) error {
 			prng := rand.New(rand.NewSource(epochSeed + int64(part)))
+			var clock *ps.SSPClock
+			if relaxed {
+				// One ring per epoch; workers retire on completion so a
+				// finished partition never stalls stragglers.
+				clock = ctx.Agent.SSPClock(fmt.Sprintf("%s/ssp/%d", res.W1Name, epoch), part, workers, k)
+				if d := ctx.cfg.LeaseDuration; d > 0 {
+					clock.SetLease(d)
+				}
+			}
+			var accum *gsGradAccum
+			if cfg.Coalesce {
+				accum = &gsGradAccum{}
+			}
+			sinceTick := 0
 			for start := 0; start < len(ids); start += cfg.BatchSize {
 				end := min(start+cfg.BatchSize, len(ids))
 				batch := ids[start:end]
@@ -268,13 +328,36 @@ func GraphSage(ctx *Context, data *GraphSageData, cfg GraphSageConfig) (*GraphSa
 					return err
 				}
 				out := model.run(jb, weights)
-				if err := model.pushGrads(out); err != nil {
+				if accum != nil {
+					accum.add(out, cfg.Aggregator == "lstm")
+				} else if err := model.pushGrads(out); err != nil {
 					return err
 				}
 				mu.Lock()
 				lossSum += out.Loss
 				lossN++
 				mu.Unlock()
+				if sinceTick++; sinceTick >= cfg.WindowBatches {
+					if accum != nil {
+						if err := model.pushAccum(accum); err != nil {
+							return err
+						}
+					}
+					if clock != nil {
+						if err := clock.Tick(); err != nil {
+							return err
+						}
+					}
+					sinceTick = 0
+				}
+			}
+			if accum != nil {
+				if err := model.pushAccum(accum); err != nil {
+					return err
+				}
+			}
+			if clock != nil {
+				return clock.Retire()
 			}
 			return nil
 		})
@@ -390,9 +473,17 @@ func buildBatch(ctx *Context, data *GraphSageData, batch []int64, cfg GraphSageC
 			touch(u)
 		}
 	}
-	feats, err := data.Feats.Pull(order)
-	if err != nil {
-		return jniBatch{}, err
+	// Features never change during training, so the prefetch cache needs
+	// no invalidation: a vertex sampled twice costs one wire pull total.
+	var feats map[int64][]float64
+	var err2 error
+	if cfg.Prefetch {
+		feats, err2 = data.Feats.PullCached(order)
+	} else {
+		feats, err2 = data.Feats.Pull(order)
+	}
+	if err2 != nil {
+		return jniBatch{}, err2
 	}
 	dim := data.InputDim
 	x := make([]float64, len(order)*dim)

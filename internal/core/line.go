@@ -35,6 +35,32 @@ type LineConfig struct {
 	// updates back. This is the unoptimized strawman of Sec. IV-D, kept
 	// for the ablation benchmark.
 	PullVectors bool
+
+	// Sync selects the synchronization mode: "" keeps the legacy per-epoch
+	// path (one ForeachPartition action per epoch); "ssp" runs every epoch
+	// inside one action with a bounded-staleness clock per window of
+	// mini-batches; "asp" is the same loop with no waiting at all. "bsp" is
+	// normalized to "ssp" with Staleness 0 — lock-step clocks ARE the BSP
+	// barrier, so k=0 reproduces BSP by construction.
+	Sync string
+	// Staleness is the SSP bound k: the fastest worker may run at most k
+	// clock windows ahead of the slowest. Only meaningful with Sync "ssp".
+	Staleness int
+	// WindowBatches is the number of mini-batches per clock window.
+	// Defaults to 4.
+	WindowBatches int
+	// Prefetch pipelines the next batch's row pulls under the current
+	// batch's gradient math, through a versioned client-side row cache that
+	// is invalidated on every clock advance (PullVectors path only; the
+	// psFunc path moves no rows to prefetch).
+	Prefetch bool
+	// Coalesce merges adjacent row pushes locally (sum-combine) and sends
+	// one wire message per partition per CoalesceWindow batches
+	// (PullVectors path only).
+	Coalesce bool
+	// CoalesceWindow is the number of pushes merged per flush. Defaults to
+	// WindowBatches; the coalescer always flushes before a clock advance.
+	CoalesceWindow int
 }
 
 func (c *LineConfig) setDefaults() {
@@ -55,6 +81,16 @@ func (c *LineConfig) setDefaults() {
 	}
 	if c.LR == 0 {
 		c.LR = 0.025
+	}
+	if c.WindowBatches <= 0 {
+		c.WindowBatches = 4
+	}
+	if c.CoalesceWindow <= 0 {
+		c.CoalesceWindow = c.WindowBatches
+	}
+	if c.Sync == "bsp" {
+		c.Sync = "ssp"
+		c.Staleness = 0
 	}
 }
 
@@ -122,6 +158,16 @@ func Line(ctx *Context, edges *dataflow.RDD[Edge], cfg LineConfig) (*LineResult,
 		return nil, err
 	}
 
+	if cfg.Sync != "" {
+		if cfg.Sync != "ssp" && cfg.Sync != "asp" {
+			return nil, fmt.Errorf("core: LINE sync must be \"\", \"bsp\", \"ssp\" or \"asp\", got %q", cfg.Sync)
+		}
+		if err := lineTrainRelaxed(ctx, edges, cfg, embName, otherName, sampler, parts); err != nil {
+			return nil, err
+		}
+		return &LineResult{Emb: emb, EmbName: embName, CtxName: ctxName, Epochs: cfg.Epochs}, nil
+	}
+
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		epoch := epoch
 		err := edges.ForeachPartition(func(part int, in []Edge) error {
@@ -164,6 +210,205 @@ func Line(ctx *Context, edges *dataflow.RDD[Edge], cfg LineConfig) (*LineResult,
 		}
 	}
 	return &LineResult{Emb: emb, EmbName: embName, CtxName: ctxName, Epochs: cfg.Epochs}, nil
+}
+
+// lineBatch is one prepared mini-batch in the relaxed path's pipeline:
+// pairs and labels plus — when prefetching — the row pulls already in
+// flight underneath the previous batch's gradient math.
+type lineBatch struct {
+	pairs      []linePair
+	labels     []float64
+	us, vs     []int64
+	uPre, vPre *ps.Prefetch
+}
+
+// lineTrainRelaxed runs every epoch inside ONE dataflow action with a
+// bounded-staleness clock per window of mini-batches (Sync "ssp"), or the
+// same loop with no waiting (Sync "asp"). Staleness 0 is lock-step — the
+// BSP barrier expressed as a clock ring.
+//
+// The dataflow engine schedules one concurrent task per executor, so the
+// edge set is repartitioned to min(parts, executors) workers: every clock
+// participant must actually be running, or a queued task's frozen clock
+// would stall the ring forever.
+//
+// Overlap machinery, both PullVectors-path only (the psFunc path moves no
+// rows for the client to prefetch or coalesce):
+//
+//   - Prefetch issues the NEXT batch's row pulls under the current
+//     batch's gradient math, through the versioned client row cache. The
+//     pipeline never crosses a clock advance — rows pulled in window c
+//     must not serve window c+1 — and the caches are invalidated from the
+//     clock's OnAdvance hook.
+//   - Coalesce buffers row updates locally (sum-combine) and flushes one
+//     wire message per partition per CoalesceWindow batches, always
+//     flushing before a clock advance so peers observe the window's
+//     updates once their own clock admits them.
+func lineTrainRelaxed(ctx *Context, edges *dataflow.RDD[Edge], cfg LineConfig, embName, otherName string, sampler *degreeSampler, parts int) error {
+	all, err := edges.Collect()
+	if err != nil {
+		return err
+	}
+	workers := ctx.cfg.NumExecutors
+	if parts < workers {
+		workers = parts
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	re := dataflow.Parallelize(ctx.Spark, all, workers)
+	k := cfg.Staleness
+	if cfg.Sync == "asp" {
+		k = -1
+	}
+	tag := embName + "/ssp"
+	overlap := cfg.Prefetch && cfg.PullVectors
+	return re.ForeachPartition(func(worker int, in []Edge) error {
+		eh, err := ctx.Agent.Embedding(embName)
+		if err != nil {
+			return err
+		}
+		oh := eh
+		if otherName != embName {
+			if oh, err = ctx.Agent.Embedding(otherName); err != nil {
+				return err
+			}
+		}
+		clock := ctx.Agent.SSPClock(tag, worker, workers, k)
+		if d := ctx.cfg.LeaseDuration; d > 0 {
+			clock.SetLease(d)
+		}
+		if overlap {
+			clock.OnAdvance(eh.InvalidateRows)
+			if oh != eh {
+				clock.OnAdvance(oh.InvalidateRows)
+			}
+		}
+		var uCo, vCo *ps.Coalescer
+		if cfg.Coalesce && cfg.PullVectors {
+			uCo = eh.Coalescer(cfg.CoalesceWindow, false)
+			vCo = oh.Coalescer(cfg.CoalesceWindow, false)
+		}
+		tick := func() error {
+			if uCo != nil {
+				if err := uCo.Flush(); err != nil {
+					return err
+				}
+				if err := vCo.Flush(); err != nil {
+					return err
+				}
+			}
+			return clock.Tick()
+		}
+		prepare := func(batch []Edge, rng *rand.Rand, prefetch bool) *lineBatch {
+			b := &lineBatch{
+				pairs:  make([]linePair, 0, len(batch)*(1+cfg.NegSamples)),
+				labels: make([]float64, 0, len(batch)*(1+cfg.NegSamples)),
+			}
+			for _, e := range batch {
+				b.pairs = append(b.pairs, linePair{U: e.Src, V: e.Dst})
+				b.labels = append(b.labels, 1)
+				for k := 0; k < cfg.NegSamples; k++ {
+					neg := sampler.sample(rng)
+					if neg == e.Dst {
+						continue
+					}
+					b.pairs = append(b.pairs, linePair{U: e.Src, V: neg})
+					b.labels = append(b.labels, 0)
+				}
+			}
+			if cfg.PullVectors {
+				b.us = make([]int64, 0, len(b.pairs))
+				b.vs = make([]int64, 0, len(b.pairs))
+				for _, p := range b.pairs {
+					b.us = append(b.us, p.U)
+					b.vs = append(b.vs, p.V)
+				}
+			}
+			if prefetch {
+				b.uPre = eh.PrefetchRows(b.us)
+				b.vPre = oh.PrefetchRows(b.vs)
+			}
+			return b
+		}
+		sinceTick := 0
+		var next *lineBatch
+		for epoch := 0; epoch < cfg.Epochs; epoch++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(epoch)*1000003 + int64(worker)))
+			for start := 0; start < len(in); start += cfg.BatchSize {
+				end := min(start+cfg.BatchSize, len(in))
+				cur := next
+				next = nil
+				if cur == nil {
+					cur = prepare(in[start:end], rng, overlap)
+				}
+				// Issue the next batch's pulls before computing this one, but
+				// never across the upcoming clock advance.
+				if overlap && sinceTick+1 < cfg.WindowBatches {
+					if nstart := start + cfg.BatchSize; nstart < len(in) {
+						next = prepare(in[nstart:min(nstart+cfg.BatchSize, len(in))], rng, true)
+					}
+				}
+				if cfg.PullVectors {
+					err = lineStepRelaxed(eh, oh, cur, uCo, vCo, cfg.LR)
+				} else {
+					err = lineStepPSFunc(ctx, embName, otherName, cur.pairs, cur.labels, cfg.LR)
+				}
+				if err != nil {
+					return err
+				}
+				if sinceTick++; sinceTick >= cfg.WindowBatches {
+					if err := tick(); err != nil {
+						return err
+					}
+					sinceTick = 0
+				}
+			}
+			// Epoch boundaries are always window edges.
+			if sinceTick > 0 {
+				if err := tick(); err != nil {
+					return err
+				}
+				sinceTick = 0
+			}
+		}
+		// Completed workers leave the ring so stragglers never wait on them.
+		return clock.Retire()
+	})
+}
+
+// lineStepRelaxed is lineStepPull fed from the pipeline: rows come from
+// the in-flight prefetch when one was issued, and updates go through the
+// coalescers when coalescing is on.
+func lineStepRelaxed(eh, oh *ps.Emb, b *lineBatch, uCo, vCo *ps.Coalescer, lr float64) error {
+	var uVecs, vVecs map[int64][]float64
+	var err error
+	if b.uPre != nil {
+		if uVecs, err = b.uPre.Rows(); err != nil {
+			return err
+		}
+		if vVecs, err = b.vPre.Rows(); err != nil {
+			return err
+		}
+	} else {
+		if uVecs, err = eh.Pull(b.us); err != nil {
+			return err
+		}
+		if vVecs, err = oh.Pull(b.vs); err != nil {
+			return err
+		}
+	}
+	uUpd, vUpd := lineGrads(b.pairs, b.labels, uVecs, vVecs, lr)
+	if uCo != nil {
+		if err := uCo.Push(uUpd); err != nil {
+			return err
+		}
+		return vCo.Push(vUpd)
+	}
+	if err := eh.PushAdd(uUpd); err != nil {
+		return err
+	}
+	return oh.PushAdd(vUpd)
 }
 
 // lineStepPSFunc runs one SGD step with server-side dot products and
@@ -221,8 +466,18 @@ func lineStepPull(ctx *Context, embName, otherName string, pairs []linePair, lab
 	if err != nil {
 		return err
 	}
-	uUpd := make(map[int64][]float64)
-	vUpd := make(map[int64][]float64)
+	uUpd, vUpd := lineGrads(pairs, labels, uVecs, vVecs, lr)
+	if err := eh.PushAdd(uUpd); err != nil {
+		return err
+	}
+	return oh.PushAdd(vUpd)
+}
+
+// lineGrads computes the logistic-loss row updates for a batch from
+// pulled embedding (u) and context (v) vectors.
+func lineGrads(pairs []linePair, labels []float64, uVecs, vVecs map[int64][]float64, lr float64) (uUpd, vUpd map[int64][]float64) {
+	uUpd = make(map[int64][]float64)
+	vUpd = make(map[int64][]float64)
 	for i, p := range pairs {
 		u, v := uVecs[p.U], vVecs[p.V]
 		var dot float64
@@ -237,10 +492,7 @@ func lineStepPull(ctx *Context, embName, otherName string, pairs []linePair, lab
 			dv[j] += g * u[j]
 		}
 	}
-	if err := eh.PushAdd(uUpd); err != nil {
-		return err
-	}
-	return oh.PushAdd(vUpd)
+	return uUpd, vUpd
 }
 
 func ensureVec(m map[int64][]float64, k int64, dim int) []float64 {

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"psgraph/internal/gen"
+)
+
+// lineSeparation trains LINE with the given config on a 2-class SBM and
+// returns mean intra-class minus mean inter-class cosine similarity.
+func lineSeparation(t *testing.T, cfg LineConfig) float64 {
+	t.Helper()
+	ctx := newTestContext(t)
+	sbmEdges, labels := gen.SBM(gen.SBMConfig{Vertices: 40, Classes: 2, IntraDeg: 8, InterDeg: 0.3, Seed: 13})
+	es := make([]Edge, len(sbmEdges))
+	for i, e := range sbmEdges {
+		es[i] = Edge{Src: e.Src, Dst: e.Dst}
+	}
+	res, err := Line(ctx, edgesRDD(ctx, es, 2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]int64, 40)
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	embs, err := res.Embedding(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intra, inter, ni, nx := 0.0, 0.0, 0, 0
+	for i := 0; i < 40; i++ {
+		for j := i + 1; j < 40; j++ {
+			s := cosine(embs[int64(i)], embs[int64(j)])
+			if labels[i] == labels[j] {
+				intra, ni = intra+s, ni+1
+			} else {
+				inter, nx = inter+s, nx+1
+			}
+		}
+	}
+	return intra/float64(ni) - inter/float64(nx)
+}
+
+// TestLineSSPWithOverlapLearns: the full relaxed path — SSP k=1,
+// prefetch pipeline and push coalescing — still separates the SBM
+// communities. This is the convergence half of the SSP acceptance.
+func TestLineSSPWithOverlapLearns(t *testing.T) {
+	sep := lineSeparation(t, LineConfig{
+		Dim: 16, Order: 2, Epochs: 12, BatchSize: 256, NegSamples: 4, LR: 0.06, Seed: 1,
+		PullVectors: true,
+		Sync:        "ssp", Staleness: 1, WindowBatches: 2,
+		Prefetch: true, Coalesce: true,
+	})
+	if sep <= 0 {
+		t.Fatalf("SSP+overlap LINE did not separate communities (margin %v)", sep)
+	}
+}
+
+// TestLineBSPAliasRuns: Sync "bsp" is normalized to ssp k=0 and must
+// train lock-step through the clock path.
+func TestLineBSPAliasRuns(t *testing.T) {
+	sep := lineSeparation(t, LineConfig{
+		Dim: 16, Order: 2, Epochs: 12, BatchSize: 256, NegSamples: 4, LR: 0.06, Seed: 1,
+		PullVectors: true,
+		Sync:        "bsp",
+	})
+	if sep <= 0 {
+		t.Fatalf("bsp-alias LINE did not separate communities (margin %v)", sep)
+	}
+}
+
+// TestLineASPRuns: fully asynchronous clocks (advance, never wait) also
+// converge on the small graph.
+func TestLineASPRuns(t *testing.T) {
+	sep := lineSeparation(t, LineConfig{
+		Dim: 16, Order: 2, Epochs: 12, BatchSize: 256, NegSamples: 4, LR: 0.06, Seed: 1,
+		PullVectors: true,
+		Sync:        "asp", Prefetch: true, Coalesce: true,
+	})
+	if sep <= 0 {
+		t.Fatalf("ASP LINE did not separate communities (margin %v)", sep)
+	}
+}
+
+// TestLineSSPRejectsBadSync: unknown Sync values fail fast.
+func TestLineSSPRejectsBadSync(t *testing.T) {
+	ctx := newTestContext(t)
+	_, err := Line(ctx, edgesRDD(ctx, ringEdges(10), 2), LineConfig{
+		Dim: 4, Epochs: 1, Seed: 1, Sync: "totally-async",
+	})
+	if err == nil {
+		t.Fatal("bad Sync value accepted")
+	}
+}
+
+// TestLineSSPRequiresPullVectorsForPrefetch: the PS-side-update variant
+// (PullVectors=false) has no client rows to prefetch; Sync still works,
+// prefetch/coalesce are simply inert.
+func TestLineSSPWithoutPullVectors(t *testing.T) {
+	sep := lineSeparation(t, LineConfig{
+		Dim: 16, Order: 2, Epochs: 12, BatchSize: 256, NegSamples: 4, LR: 0.06, Seed: 1,
+		Sync: "ssp", Staleness: 2, Prefetch: true, Coalesce: true,
+	})
+	if sep <= 0 {
+		t.Fatalf("SSP PS-update LINE did not separate communities (margin %v)", sep)
+	}
+}
+
+// TestGraphSageSSPLearns: GraphSage through the SSP clock with feature
+// prefetch and gradient-window coalescing reaches the same accuracy bar
+// as the BSP test.
+func TestGraphSageSSPLearns(t *testing.T) {
+	ctx := newTestContext(t)
+	edgesPath, featsPath := writeSBMDataset(t, ctx, 600, 3, 22)
+	data, err := GraphSagePreprocess(ctx, edgesPath, featsPath, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer data.Close(ctx)
+	res, err := GraphSage(ctx, data, GraphSageConfig{
+		Classes: 3, HiddenDim: 16, Epochs: 6, BatchSize: 128, LR: 0.02, Seed: 7,
+		Sync: "ssp", Staleness: 1, WindowBatches: 2, Prefetch: true, Coalesce: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TestAccuracy < 0.8 {
+		t.Fatalf("SSP test accuracy = %v, want >= 0.8 (losses %v)", res.TestAccuracy, res.Losses)
+	}
+}

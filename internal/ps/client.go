@@ -32,6 +32,9 @@ type Client struct {
 
 	mu    sync.RWMutex
 	cache map[string]ModelMeta
+	// rowCaches holds the per-model versioned prefetch caches
+	// (prefetch.go), lazily created, guarded by mu like cache.
+	rowCaches map[string]*rowCache
 
 	sentBytes atomic.Int64
 	recvBytes atomic.Int64

@@ -1,0 +1,97 @@
+package ps
+
+// Push coalescing: merge adjacent gradient pushes before the wire.
+//
+// A mini-batch loop that pushes its row updates after every batch pays
+// one enveloped message per partition per batch. Adjacent pushes to the
+// same rows are additive (PushAdd is commutative; the server's gradient
+// path sums too before the optimizer step), so a Coalescer sum-combines
+// rows locally and flushes one push per window: one wire message per
+// partition per flush, each carrying a single (clientID, seq) envelope
+// drawn by the normal callE machinery — the coalesced batch replays
+// exactly-once through the dedup window just like an ordinary push,
+// because from the protocol's point of view it IS one ordinary push.
+
+import "sync"
+
+// Coalescer accumulates row updates for one Emb handle and flushes them
+// as a single push every window logical pushes (or on explicit Flush).
+type Coalescer struct {
+	e      *Emb
+	window int
+	grad   bool
+
+	mu       sync.Mutex
+	pending  map[int64][]float64
+	buffered int
+
+	merged  int64 // logical pushes absorbed into a flush with others
+	flushes int64 // wire flushes issued
+}
+
+// Coalescer returns a push coalescer over this handle. window is the
+// number of logical pushes merged per flush (values < 1 mean 1, i.e.
+// pass-through); grad selects PushGrad semantics for the flush, otherwise
+// PushAdd.
+func (e *Emb) Coalescer(window int, grad bool) *Coalescer {
+	if window < 1 {
+		window = 1
+	}
+	return &Coalescer{e: e, window: window, grad: grad}
+}
+
+// Push sum-combines vecs into the pending window, flushing when the
+// window fills. The caller keeps ownership of vecs (rows are cloned on
+// first touch).
+func (co *Coalescer) Push(vecs map[int64][]float64) error {
+	co.mu.Lock()
+	if co.pending == nil {
+		co.pending = make(map[int64][]float64)
+	}
+	for id, v := range vecs {
+		if acc, ok := co.pending[id]; ok {
+			for i := range acc {
+				acc[i] += v[i]
+			}
+		} else {
+			co.pending[id] = append([]float64(nil), v...)
+		}
+	}
+	co.buffered++
+	if co.buffered < co.window {
+		co.mu.Unlock()
+		return nil
+	}
+	return co.flushLocked()
+}
+
+// Flush pushes the pending window immediately (end of partition, or
+// right before a clock advance so peers observe this window's updates).
+func (co *Coalescer) Flush() error {
+	co.mu.Lock()
+	if co.buffered == 0 {
+		co.mu.Unlock()
+		return nil
+	}
+	return co.flushLocked()
+}
+
+// flushLocked takes the pending window and releases the lock before the
+// wire push, so a slow flush does not block concurrent Pushes.
+func (co *Coalescer) flushLocked() error {
+	pending := co.pending
+	co.merged += int64(co.buffered - 1)
+	co.flushes++
+	co.pending = nil
+	co.buffered = 0
+	co.mu.Unlock()
+	return co.e.push(pending, co.grad, false)
+}
+
+// Stats reports how many logical pushes were absorbed by coalescing
+// (saved wire messages) and how many flushes were issued.
+func (co *Coalescer) Stats() (merged, flushes int64) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.merged, co.flushes
+}

@@ -237,6 +237,25 @@ type barrierReq struct {
 	Expect int
 }
 
+// clockReq drives the SSP vector clock (clock.go): ClockAdvance publishes
+// the worker's ABSOLUTE clock value (idempotent under retries, so clock
+// RPCs skip the dedup envelope), ClockWait blocks until the slowest live
+// worker is within K clocks, ClockRetire releases the worker's slot.
+// LeaseNS > 0 arms dead-worker retirement on the ring.
+type clockReq struct {
+	Tag     string
+	Worker  int
+	Expect  int
+	K       int
+	Clock   int64
+	LeaseNS int64
+}
+
+// clockResp reports the ring's minimum live clock at return time.
+type clockResp struct {
+	Clock int64
+}
+
 type deleteModelReq struct {
 	Name string
 }

@@ -32,8 +32,12 @@ type Master struct {
 	mu         sync.Mutex
 	servers    []string
 	models     map[string]ModelMeta
-	barriers   map[string]*barrier
 	recoveries int64
+
+	// clocks holds the SSP vector clocks (clock.go). The BSP barrier is a
+	// thin wrapper over a k=0 ring, which also retires completed barrier
+	// state instead of leaking one entry per (tag, epoch).
+	clocks *clockTable
 
 	// Live-failover state (failover.go): the current layout epoch,
 	// whether primary/backup replication is on, per-server heartbeat
@@ -82,18 +86,13 @@ type Master struct {
 	monitorDone chan struct{}
 }
 
-type barrier struct {
-	arrived int
-	release chan struct{}
-}
-
 // NewMaster creates a master reachable at addr over tr.
 func NewMaster(addr string, tr rpc.Transport) *Master {
 	return &Master{
 		Addr:     addr,
 		tr:       tr,
 		models:   make(map[string]ModelMeta),
-		barriers: make(map[string]*barrier),
+		clocks:   newClockTable(),
 		dedup:    newDedupTable(),
 		leases:   make(map[string]time.Time),
 		dead:     make(map[string]bool),
@@ -196,7 +195,34 @@ func (m *Master) dispatch(method string, body []byte) ([]byte, error) {
 		if err := dec(body, &req); err != nil {
 			return nil, err
 		}
-		m.barrier(req)
+		m.clocks.barrier(req)
+		return nil, nil
+	case "ClockAdvance":
+		var req clockReq
+		if err := dec(body, &req); err != nil {
+			return nil, err
+		}
+		min, err := m.clocks.advance(req)
+		if err != nil {
+			return nil, err
+		}
+		return enc(clockResp{Clock: min}), nil
+	case "ClockWait":
+		var req clockReq
+		if err := dec(body, &req); err != nil {
+			return nil, err
+		}
+		min, err := m.clocks.wait(req)
+		if err != nil {
+			return nil, err
+		}
+		return enc(clockResp{Clock: min}), nil
+	case "ClockRetire":
+		var req clockReq
+		if err := dec(body, &req); err != nil {
+			return nil, err
+		}
+		m.clocks.retire(req)
 		return nil, nil
 	case "Checkpoint":
 		var req deleteModelReq // just a name
@@ -305,27 +331,6 @@ func (m *Master) deleteModel(name string) error {
 		m.tr.Call(s, "DeleteModel", enc(deleteModelReq{Name: name}))
 	}
 	return nil
-}
-
-// barrier blocks the calling worker until Expect workers have arrived at
-// the same (tag, epoch). This is the BSP synchronization controller.
-func (m *Master) barrier(req barrierReq) {
-	key := fmt.Sprintf("%s/%d", req.Tag, req.Epoch)
-	m.mu.Lock()
-	b, ok := m.barriers[key]
-	if !ok {
-		b = &barrier{release: make(chan struct{})}
-		m.barriers[key] = b
-	}
-	b.arrived++
-	if b.arrived >= req.Expect {
-		close(b.release)
-		delete(m.barriers, key)
-		m.mu.Unlock()
-		return
-	}
-	m.mu.Unlock()
-	<-b.release
 }
 
 // callWithRetry calls a server, waiting out transient unreachability (a

@@ -1,0 +1,168 @@
+package ps
+
+// Parameter prefetch: overlap communication with computation.
+//
+// A training loop that pulls its next mini-batch's rows only after
+// finishing the current one serializes RPC latency with compute. Emb
+// handles therefore offer PrefetchRows: it starts the pull immediately
+// and returns a handle the loop resolves right before the next batch, so
+// the wire round-trip runs under the current batch's gradient math
+// (TensorFlow's dataflow pipelining, PAPERS.md, applied to the PS pull
+// path).
+//
+// Prefetched rows land in a small per-(client, model) versioned cache.
+// The version is the consistency fence: every cache mutation checks it,
+// and InvalidateRows (wired to SSPClock.OnAdvance by the training loops)
+// bumps it and clears the cache, so rows pulled under clock c are never
+// served at clock c+1. A prefetch that was already in flight when the
+// clock advanced still resolves for its own caller, but the version
+// snapshot it took at launch no longer matches, so it cannot poison the
+// cache with stale rows. Rows are cloned on both insert and serve —
+// callers routinely mutate pulled vectors in place.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// rowCacheMax bounds each model's row cache; beyond it arbitrary entries
+// are evicted (recency is irrelevant at mini-batch granularity — the
+// whole cache dies at the next clock advance anyway).
+const rowCacheMax = 4096
+
+// rowCache is one model's client-side versioned row cache.
+type rowCache struct {
+	mu      sync.Mutex
+	version int64
+	rows    map[int64][]float64
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// rowCache returns the cache for model, creating it on first use.
+func (c *Client) rowCache(model string) *rowCache {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rowCaches == nil {
+		c.rowCaches = make(map[string]*rowCache)
+	}
+	rc := c.rowCaches[model]
+	if rc == nil {
+		rc = &rowCache{rows: make(map[int64][]float64)}
+		c.rowCaches[model] = rc
+	}
+	return rc
+}
+
+// CacheStats sums prefetch-cache hits and misses across this agent's
+// models.
+func (c *Client) CacheStats() (hits, misses int64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, rc := range c.rowCaches {
+		hits += rc.hits.Load()
+		misses += rc.misses.Load()
+	}
+	return hits, misses
+}
+
+// insert adds rows under the version fence: nothing lands if the cache
+// was invalidated after the snapshot was taken.
+func (rc *rowCache) insert(version int64, rows map[int64][]float64) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.version != version {
+		return
+	}
+	for id, v := range rows {
+		if len(rc.rows) >= rowCacheMax {
+			for k := range rc.rows {
+				delete(rc.rows, k)
+				break
+			}
+		}
+		rc.rows[id] = append([]float64(nil), v...)
+	}
+}
+
+// lookup splits ids into cached rows (cloned) and misses, returning the
+// version fence for a subsequent insert.
+func (rc *rowCache) lookup(ids []int64) (found map[int64][]float64, missing []int64, version int64) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	found = make(map[int64][]float64, len(ids))
+	for _, id := range ids {
+		if v, ok := rc.rows[id]; ok {
+			if _, dup := found[id]; dup {
+				continue
+			}
+			found[id] = append([]float64(nil), v...)
+		} else {
+			missing = append(missing, id)
+		}
+	}
+	rc.hits.Add(int64(len(found)))
+	rc.misses.Add(int64(len(missing)))
+	return found, missing, rc.version
+}
+
+// InvalidateRows drops every cached row of this model and bumps the
+// version so in-flight prefetches cannot re-insert stale rows. Training
+// loops wire it to SSPClock.OnAdvance; it is the rule that keeps cached
+// parameters no staler than the clock bound k already allows.
+func (e *Emb) InvalidateRows() {
+	rc := e.c.rowCache(e.Meta.Name)
+	rc.mu.Lock()
+	rc.version++
+	rc.rows = make(map[int64][]float64)
+	rc.mu.Unlock()
+}
+
+// Prefetch is an in-flight asynchronous row pull.
+type Prefetch struct {
+	done chan struct{}
+	rows map[int64][]float64
+	err  error
+}
+
+// Rows blocks until the prefetch resolves and returns the rows (cache
+// hits plus freshly pulled misses). Safe to call more than once.
+func (p *Prefetch) Rows() (map[int64][]float64, error) {
+	<-p.done
+	return p.rows, p.err
+}
+
+// PrefetchRows starts pulling ids in the background and returns a handle
+// to resolve before the next mini-batch. Cached rows are served without a
+// wire round-trip; only misses hit the servers.
+func (e *Emb) PrefetchRows(ids []int64) *Prefetch {
+	p := &Prefetch{done: make(chan struct{})}
+	rc := e.c.rowCache(e.Meta.Name)
+	found, missing, version := rc.lookup(ids)
+	if len(missing) == 0 {
+		p.rows = found
+		close(p.done)
+		return p
+	}
+	go func() {
+		defer close(p.done)
+		pulled, err := e.Pull(missing)
+		if err != nil {
+			p.err = err
+			return
+		}
+		rc.insert(version, pulled)
+		for id, v := range pulled {
+			found[id] = v
+		}
+		p.rows = found
+	}()
+	return p
+}
+
+// PullCached is Pull through the row cache: cache hits skip the wire,
+// misses are pulled and inserted under the version fence.
+func (e *Emb) PullCached(ids []int64) (map[int64][]float64, error) {
+	return e.PrefetchRows(ids).Rows()
+}

@@ -1,0 +1,332 @@
+package ps
+
+import (
+	"testing"
+	"time"
+)
+
+// tickDone runs clock.Tick in a goroutine and returns a channel that
+// closes when it completes.
+func tickDone(t *testing.T, clock *SSPClock) chan struct{} {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := clock.Tick(); err != nil {
+			t.Errorf("tick: %v", err)
+		}
+	}()
+	return done
+}
+
+func assertBlocked(t *testing.T, done chan struct{}, what string) {
+	t.Helper()
+	select {
+	case <-done:
+		t.Fatalf("%s: returned while it should be blocked", what)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func assertReleased(t *testing.T, done chan struct{}, what string) {
+	t.Helper()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("%s: still blocked", what)
+	}
+}
+
+// TestSSPFastestBlocksAtSlowestPlusK pins the SSP contract: with k=1 the
+// fast worker passes clock 1 freely (slowest at 0, 1-1 <= 0), blocks at
+// clock 2 until the slow worker reaches 1, and blocks at 3 until it
+// reaches 2 — exactly slowest+k, never more.
+func TestSSPFastestBlocksAtSlowestPlusK(t *testing.T) {
+	c, _ := newFaultyCluster(t, 1, "ssp-k")
+	agent := c.NewClient()
+	fast := agent.SSPClock("ring", 0, 2, 1)
+	slow := agent.SSPClock("ring", 1, 2, 1)
+
+	// Clock 1: min live is 0, target 1-1=0 — no block.
+	assertReleased(t, tickDone(t, fast), "fast tick 1 (k ahead allowed)")
+
+	// Clock 2: target 1, slow still at 0 — must block.
+	d2 := tickDone(t, fast)
+	assertBlocked(t, d2, "fast tick 2 before slow advanced")
+	if err := slow.Tick(); err != nil { // slow -> 1; releases fast
+		t.Fatal(err)
+	}
+	assertReleased(t, d2, "fast tick 2 after slow reached 1")
+
+	// Clock 3: target 2, slow at 1 — blocks again until slow hits 2.
+	d3 := tickDone(t, fast)
+	assertBlocked(t, d3, "fast tick 3 before slow reached 2")
+	if err := slow.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	assertReleased(t, d3, "fast tick 3 after slow reached 2")
+
+	if err := fast.Retire(); err != nil {
+		t.Fatal(err)
+	}
+	if err := slow.Retire(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSSPZeroIsLockStepBarrier: k=0 degenerates to the BSP barrier —
+// neither worker can start window n+1 until both finished window n.
+func TestSSPZeroIsLockStepBarrier(t *testing.T) {
+	c, _ := newFaultyCluster(t, 1, "ssp-k0")
+	agent := c.NewClient()
+	a := agent.SSPClock("ring0", 0, 2, 0)
+	b := agent.SSPClock("ring0", 1, 2, 0)
+
+	da := tickDone(t, a)
+	assertBlocked(t, da, "k=0 worker A before B arrived")
+	db := tickDone(t, b)
+	assertReleased(t, da, "worker A after B arrived")
+	assertReleased(t, db, "worker B")
+
+	// Lock-step over several windows from both sides concurrently.
+	const rounds = 10
+	fin := make(chan error, 2)
+	for _, cl := range []*SSPClock{a, b} {
+		cl := cl
+		go func() {
+			for i := 0; i < rounds; i++ {
+				if err := cl.Tick(); err != nil {
+					fin <- err
+					return
+				}
+			}
+			fin <- cl.Retire()
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-fin:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("k=0 lock-step run deadlocked")
+		}
+	}
+}
+
+// TestSSPRetireUnblocksWaiters: a worker that finishes its run retires;
+// a peer blocked on its frozen clock must be released.
+func TestSSPRetireUnblocksWaiters(t *testing.T) {
+	c, _ := newFaultyCluster(t, 1, "ssp-ret")
+	agent := c.NewClient()
+	a := agent.SSPClock("ringr", 0, 2, 0)
+	b := agent.SSPClock("ringr", 1, 2, 0)
+
+	da := tickDone(t, a)
+	assertBlocked(t, da, "worker A before B retired")
+	if err := b.Retire(); err != nil {
+		t.Fatal(err)
+	}
+	assertReleased(t, da, "worker A after B retired")
+
+	// The ring is deleted once the last worker retires.
+	if err := a.Retire(); err != nil {
+		t.Fatal(err)
+	}
+	c.Master.clocks.mu.Lock()
+	_, exists := c.Master.clocks.rings["ringr"]
+	c.Master.clocks.mu.Unlock()
+	if exists {
+		t.Fatal("ring not deleted after all workers retired")
+	}
+}
+
+// TestSSPLeaseExpiryUnblocks: a worker that dies silently mid-run (no
+// advance, no wait, no retire — modeled with an ASP handle that advances
+// once and then goes quiet) is lease-retired by its waiting peers, so a
+// dead executor cannot stall the ring — the failover composition the
+// issue requires.
+func TestSSPLeaseExpiryUnblocks(t *testing.T) {
+	c, _ := newFaultyCluster(t, 1, "ssp-lease2")
+	agent := c.NewClient()
+	alive := agent.SSPClock("ringl", 0, 2, 1)
+	alive.SetLease(100 * time.Millisecond)
+	dead := agent.SSPClock("ringl", 1, 2, -1) // ASP handle: advance, never wait
+	dead.SetLease(100 * time.Millisecond)
+
+	if err := dead.Tick(); err != nil { // dead -> 1, then silence
+		t.Fatal(err)
+	}
+	start := time.Now()
+	// alive -> 1 (free), 2 (target 1 <= dead's 1, free), 3 (target 2 >
+	// dead's 1: blocks until the lease retires the dead worker).
+	for i := 0; i < 3; i++ {
+		if err := alive.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("lease retirement took %v", elapsed)
+	}
+	// Further windows stay free: the ring's minimum now tracks only the
+	// live worker.
+	for i := 0; i < 3; i++ {
+		if err := alive.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := alive.Retire(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBarrierReleasedWatermark: a late (or dedup-evicted retried) arrival
+// for an epoch that already released must return immediately and leave no
+// per-epoch state behind — the map-growth bug the issue calls out.
+func TestBarrierReleasedWatermark(t *testing.T) {
+	c, _ := newFaultyCluster(t, 1, "bar-wm")
+	a1 := c.NewClient()
+	a2 := c.NewClient()
+
+	for epoch := 0; epoch < 5; epoch++ {
+		done := make(chan error, 1)
+		go func(e int) { done <- a1.Barrier("wm", e, 2) }(epoch)
+		if err := a2.Barrier("wm", epoch, 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Late re-arrival for a released epoch: must not block, must not
+	// resurrect barrier state. SetDedup(false) forces a fresh execution
+	// instead of a window replay, which is the path that used to leak.
+	SetDedup(false)
+	defer SetDedup(true)
+	doneLate := make(chan error, 1)
+	go func() { doneLate <- a1.Barrier("wm", 1, 2) }()
+	select {
+	case err := <-doneLate:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("late arrival for a released epoch blocked")
+	}
+	c.Master.clocks.mu.Lock()
+	r := c.Master.clocks.rings["barrier/wm"]
+	arrivals := -1
+	if r != nil {
+		arrivals = len(r.arrivals)
+	}
+	c.Master.clocks.mu.Unlock()
+	if arrivals != 0 {
+		t.Fatalf("barrier ring holds %d per-epoch arrival entries after release, want 0", arrivals)
+	}
+}
+
+// TestCoalescedPushExactlyOnceUnderDrops: a coalesced flush is one
+// ordinary enveloped push per partition, so a dropped response plus retry
+// must replay from the dedup window, never double-apply the merged batch.
+func TestCoalescedPushExactlyOnceUnderDrops(t *testing.T) {
+	c, f := newFaultyCluster(t, 2, "co-drop")
+	agent := c.NewClient()
+	e, err := agent.CreateEmbedding(EmbeddingSpec{Name: "ce", Dim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := e.Coalescer(3, false)
+	// Drop the next response on every server: whichever partition the
+	// flush lands on, its first attempt loses the ack and retries.
+	for _, srv := range c.ServerAddrs() {
+		f.DropResponses(srv, 1)
+	}
+	for i := 0; i < 3; i++ {
+		if err := co.Push(map[int64][]float64{1: {1, 2}, 9: {10, 20}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, flushes := co.Stats()
+	if flushes != 1 || merged != 2 {
+		t.Fatalf("coalescer flushed %d times merging %d pushes, want 1 flush merging 2", flushes, merged)
+	}
+	rows, err := e.Pull([]int64{1, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sum-combine of 3 pushes; a double-applied flush would read 6/12.
+	if rows[1][0] != 3 || rows[1][1] != 6 || rows[9][0] != 30 || rows[9][1] != 60 {
+		t.Fatalf("coalesced rows = %v, want exact 3x sums", rows)
+	}
+	assertExactlyOnce(t, c, agent)
+}
+
+// TestPrefetchCacheVersioning: cached rows are served without the wire,
+// survive pushes until invalidated (the documented staleness), and an
+// insert racing an invalidation is discarded by the version fence.
+func TestPrefetchCacheVersioning(t *testing.T) {
+	c, _ := newFaultyCluster(t, 1, "pf")
+	agent := c.NewClient()
+	e, err := agent.CreateEmbedding(EmbeddingSpec{Name: "pe", Dim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.PushSet(map[int64][]float64{5: {1, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	first, err := e.PullCached([]int64{5})
+	if err != nil || first[5][0] != 1 {
+		t.Fatalf("first cached pull: %v, %v", first, err)
+	}
+	if err := e.PushSet(map[int64][]float64{5: {2, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	stale, err := e.PullCached([]int64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale[5][0] != 1 {
+		t.Fatalf("cached row refetched before invalidation: %v", stale[5])
+	}
+	hits, _ := agent.CacheStats()
+	if hits == 0 {
+		t.Fatal("no cache hits recorded")
+	}
+	e.InvalidateRows()
+	fresh, err := e.PullCached([]int64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh[5][0] != 2 {
+		t.Fatalf("post-invalidation pull returned stale row: %v", fresh[5])
+	}
+
+	// Version fence: an insert whose snapshot predates an invalidation
+	// must not land.
+	rc := agent.rowCache("pe")
+	_, _, version := rc.lookup([]int64{77})
+	e.InvalidateRows()
+	rc.insert(version, map[int64][]float64{77: {9, 9}})
+	rc.mu.Lock()
+	_, poisoned := rc.rows[77]
+	rc.mu.Unlock()
+	if poisoned {
+		t.Fatal("stale prefetch inserted rows past an invalidation")
+	}
+
+	// Mutating the caller's copy must not corrupt the cache (rows are
+	// cloned on serve).
+	got, err := e.PullCached([]int64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got[5][0] = 999
+	again, err := e.PullCached([]int64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[5][0] == 999 {
+		t.Fatal("cache aliases rows handed to callers")
+	}
+}
