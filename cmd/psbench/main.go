@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	psbench [-scale small|medium] [-exp all|fig6|line|table1|table2|ablation|wire|server|dataflow|chaos|failover|ssp] [-wireout BENCH_ps_wire.json] [-serverout BENCH_ps_server.json] [-dataflowout BENCH_dataflow.json] [-chaosout BENCH_chaos.json] [-failoverout BENCH_failover.json] [-sspout BENCH_ssp.json] [-seed N]
+//	psbench [-scale small|medium] [-exp all|fig6|line|table1|table2|ablation|wire|server|dataflow|chaos|failover|ssp|rebalance] [-wireout BENCH_ps_wire.json] [-serverout BENCH_ps_server.json] [-dataflowout BENCH_dataflow.json] [-chaosout BENCH_chaos.json] [-failoverout BENCH_failover.json] [-sspout BENCH_ssp.json] [-rebalanceout BENCH_rebalance.json] [-seed N]
 package main
 
 import (
@@ -20,13 +20,14 @@ import (
 func main() {
 	log.SetFlags(0)
 	scaleName := flag.String("scale", "small", "dataset/resource scale preset (small|medium)")
-	exp := flag.String("exp", "all", "experiment to run (all|fig6|line|table1|table2|ablation|wire|server|dataflow|chaos|failover|ssp)")
+	exp := flag.String("exp", "all", "experiment to run (all|fig6|line|table1|table2|ablation|wire|server|dataflow|chaos|failover|ssp|rebalance)")
 	wireOut := flag.String("wireout", "BENCH_ps_wire.json", "where -exp wire (or all) writes its JSON report")
 	serverOut := flag.String("serverout", "BENCH_ps_server.json", "where -exp server (or all) writes its JSON report")
 	dataflowOut := flag.String("dataflowout", "BENCH_dataflow.json", "where -exp dataflow (or all) writes its JSON report")
 	chaosOut := flag.String("chaosout", "BENCH_chaos.json", "where -exp chaos (or all) writes its JSON report")
 	failoverOut := flag.String("failoverout", "BENCH_failover.json", "where -exp failover (or all) writes its JSON report")
 	sspOut := flag.String("sspout", "BENCH_ssp.json", "where -exp ssp (or all) writes its JSON report")
+	rebalanceOut := flag.String("rebalanceout", "BENCH_rebalance.json", "where -exp rebalance (or all) writes its JSON report")
 	seed := flag.Int64("seed", 7, "chaos fault-schedule seed")
 	flag.Parse()
 
@@ -44,7 +45,7 @@ func main() {
 	ok := true
 	switch *exp {
 	case "all":
-		ok = runFig6(scale) && runLine(scale) && runTable1(scale) && runTable2(scale) && runAblation(scale) && runWire(scale, *wireOut) && runServer(scale, *serverOut) && runDataflow(scale, *dataflowOut) && runChaos(scale, *seed, *chaosOut) && runFailover(scale, *failoverOut) && runSSP(scale, *sspOut)
+		ok = runFig6(scale) && runLine(scale) && runTable1(scale) && runTable2(scale) && runAblation(scale) && runWire(scale, *wireOut) && runServer(scale, *serverOut) && runDataflow(scale, *dataflowOut) && runChaos(scale, *seed, *chaosOut) && runFailover(scale, *failoverOut) && runSSP(scale, *sspOut) && runRebalance(scale, *rebalanceOut)
 	case "fig6":
 		ok = runFig6(scale)
 	case "line":
@@ -67,6 +68,8 @@ func main() {
 		ok = runFailover(scale, *failoverOut)
 	case "ssp":
 		ok = runSSP(scale, *sspOut)
+	case "rebalance":
+		ok = runRebalance(scale, *rebalanceOut)
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}
@@ -369,6 +372,41 @@ func runSSP(s bench.Scale, outPath string) bool {
 	}
 	fmt.Printf("  best SSP overlap: %s — %.2fx over plain BSP (%.3fs)\n",
 		rep.BestSSP, rep.Speedup, rep.BSPSeconds)
+	if outPath != "" {
+		if err := rep.WriteJSON(outPath); err != nil {
+			log.Printf("  writing %s FAILED: %v", outPath, err)
+			return false
+		}
+		fmt.Printf("  report written to %s\n", outPath)
+	}
+	fmt.Println()
+	return rep.Pass
+}
+
+// runRebalance drives a skewed push stream while the load-aware planner
+// splits the hot partition automatically, then drains a server
+// mid-stream. Passes when the split happened, the post-split epoch beat
+// the pre-split epoch, the drain lost zero acknowledged updates, and
+// exactly-once accounting held across every cutover.
+func runRebalance(s bench.Scale, outPath string) bool {
+	fmt.Println("== Rebalance: elastic partitions under a skewed push stream ==")
+	cfg := bench.DefaultRebalanceConfig(s)
+	rep, err := bench.RunRebalanceBench(cfg)
+	if err != nil {
+		log.Printf("  rebalance bench FAILED: %v", err)
+		return false
+	}
+	fmt.Printf("  %d servers, %d pushers x %d pushes of %d rows (dim %d), %.0f%% at the hub ids, %d-row universe\n",
+		rep.Servers, rep.Pushers, rep.PushesPerLeg, rep.Batch, rep.Dim, 100*rep.HotFrac, rep.Rows)
+	fmt.Printf("  %-14s %10s %12s %8s\n", "epoch", "wall", "hot p99", "parts")
+	for _, p := range []bench.RebalancePhase{rep.Before, rep.After} {
+		fmt.Printf("  %-14s %9.3fs %10.3fms %8d\n", p.Name, p.WallSeconds, p.HotP99Millis, p.Parts)
+	}
+	fmt.Printf("  automatic splits=%d moves=%d — hot partition's mutation share %.0f%% -> %.0f%% (%.2fx better spread)\n",
+		rep.Splits, rep.Moves, 100*rep.HotShareBefore, 100*rep.HotShareAfter, rep.BalanceGain)
+	fmt.Printf("  timing texture: hot p99 %.2fx, epoch wall %.2fx vs pre-split\n", rep.HotGain, rep.Speedup)
+	fmt.Printf("  mid-stream drain: %d pushes acked, %d mass lost; applied=%d sent=%d\n",
+		rep.DrainAcked, rep.LostMass, rep.Applied, rep.Sent)
 	if outPath != "" {
 		if err := rep.WriteJSON(outPath); err != nil {
 			log.Printf("  writing %s FAILED: %v", outPath, err)

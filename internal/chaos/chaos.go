@@ -90,6 +90,7 @@ func Run(cfg Config) *Report {
 		ShuffleGolden,
 		FailoverPromotion,
 		CheckpointCorruption,
+		MigrationKill,
 	} {
 		start := time.Now()
 		r := ph(cfg)
@@ -698,6 +699,174 @@ func FailoverPromotion(cfg Config) PhaseResult {
 		return failf(r, "fenced write leaked into the model: %v", vals[0])
 	}
 	r.Detail += " fenced=1"
+	r.Pass = true
+	return r
+}
+
+// MigrationKill kills a partition migration's destination server while
+// client pushes are in flight. The cutover layout (epoch bump, new
+// owner) is already published when the copy to the dead destination
+// fails, so this exercises the abort arm of the fenced cutover: the
+// master must roll the layout back to the source, which never dropped
+// its data (the source truncates only after the destination
+// acknowledges InstallPart). The phase asserts migration atomicity from
+// the outside — every concurrent push lands exactly once (applied ==
+// sent, vector sums to seed + pushes), the final layout is a disjoint
+// contiguous cover with each range owned by exactly one live server,
+// and the dead destination owns nothing. A retry of the same move to a
+// freshly added server must then complete, proving the abort left no
+// half-installed state behind.
+func MigrationKill(cfg Config) PhaseResult {
+	r := PhaseResult{Name: "migration-kill"}
+	// No monitor: the master must discover the dead destination the hard
+	// way — mid-migration, from the failed copy — not from a heartbeat.
+	cl, err := ps.NewCluster(ps.ClusterConfig{NumServers: 3, NamePrefix: "chaos-mig"})
+	if err != nil {
+		return failf(r, "cluster: %v", err)
+	}
+	defer cl.Close()
+	agent := cl.NewClient()
+	const size = 256
+	vec, err := agent.CreateDenseVector(ps.DenseVectorSpec{Name: "mig", Size: size, Partitions: 2})
+	if err != nil {
+		return failf(r, "create: %v", err)
+	}
+	seed := make([]float64, size)
+	for i := range seed {
+		seed[i] = float64(i)
+	}
+	if err := vec.SetAll(seed); err != nil {
+		return failf(r, "seed: %v", err)
+	}
+	// Partitions live on servers 0 and 1; server 2 is the migration
+	// destination, and it dies before the copy can reach it.
+	dest := cl.ServerAddrs()[2]
+	cl.KillServer(dest)
+
+	const workers, perWorker = 3, 40
+	var wg sync.WaitGroup
+	var pushErr atomic.Value
+	pushers := make([]*ps.Client, workers)
+	started := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		pushers[w] = cl.NewClient()
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wv, err := pushers[w].Vector("mig")
+			if err != nil {
+				pushErr.Store(err)
+				return
+			}
+			for k := 0; k < perWorker; k++ {
+				if w == 0 && k == 2 {
+					close(started)
+				}
+				idx := int64((w*perWorker + k) % size)
+				if err := wv.PushAdd([]int64{idx}, []float64{1}); err != nil {
+					pushErr.Store(fmt.Errorf("worker %d push %d: %w", w, k, err))
+					return
+				}
+			}
+		}(w)
+	}
+	<-started
+	// The master publishes the cutover (partition 1 -> dest, epoch bump)
+	// and only then learns the destination is gone when InstallPart
+	// fails. The move must abort and roll back, with the pushes racing
+	// the whole window.
+	moveErr := agent.MovePartition("mig", 1, dest)
+	wg.Wait()
+	if err, _ := pushErr.Load().(error); err != nil {
+		return failf(r, "concurrent push: %v", err)
+	}
+	if moveErr == nil {
+		return failf(r, "move to a dead destination reported success")
+	}
+
+	probe := cl.NewClient()
+	meta, err := probe.GetModel("mig")
+	if err != nil {
+		return failf(r, "layout after abort: %v", err)
+	}
+	// Single ownership: the ranges are a disjoint contiguous cover of
+	// [0, size) and none of them is homed on the dead destination.
+	var lo int64
+	for _, p := range meta.Parts {
+		if p.Lo != lo {
+			return failf(r, "layout hole or overlap at %d after abort: %+v", lo, meta.Parts)
+		}
+		if p.Server == dest {
+			return failf(r, "partition %d still owned by the dead destination after abort", p.Index)
+		}
+		lo = p.Hi
+	}
+	if lo != size {
+		return failf(r, "layout covers [0,%d), want [0,%d): %+v", lo, size, meta.Parts)
+	}
+
+	vals, err := vec.PullAll()
+	if err != nil {
+		return failf(r, "pull after abort: %v", err)
+	}
+	var sum, want float64
+	for i, v := range vals {
+		sum += v
+		want += seed[i]
+	}
+	want += workers * perWorker
+	if sum != want {
+		return failf(r, "vector sum %.0f != %.0f after aborted migration — pushes lost or double-applied", sum, want)
+	}
+
+	// The same move must complete atomically once a live destination
+	// exists: abort left no half-installed partition to collide with.
+	late, err := cl.AddServer("late")
+	if err != nil {
+		return failf(r, "add server: %v", err)
+	}
+	if err := agent.MovePartition("mig", 1, late); err != nil {
+		return failf(r, "retried move to live server: %v", err)
+	}
+	meta, err = cl.NewClient().GetModel("mig")
+	if err != nil {
+		return failf(r, "layout after retry: %v", err)
+	}
+	movedOK := false
+	for _, p := range meta.Parts {
+		if p.Index == 1 {
+			movedOK = p.Server == late
+		}
+	}
+	if !movedOK {
+		return failf(r, "partition 1 not on %q after retried move: %+v", late, meta.Parts)
+	}
+	vals, err = vec.PullAll()
+	if err != nil {
+		return failf(r, "pull after retry: %v", err)
+	}
+	sum = 0
+	for _, v := range vals {
+		sum += v
+	}
+	if sum != want {
+		return failf(r, "vector sum %.0f != %.0f after completed migration", sum, want)
+	}
+
+	r.Applied, _, err = cl.MutationTotals()
+	if err != nil {
+		return failf(r, "stats: %v", err)
+	}
+	r.Sent, _ = agent.MutationStats()
+	for _, p := range pushers {
+		s, _ := p.MutationStats()
+		r.Sent += s
+	}
+	r.Detail = fmt.Sprintf("aborted move rolled back, retry landed on %s; applied=%d sent=%d sum=%.0f",
+		late, r.Applied, r.Sent, sum)
+	if r.Applied != r.Sent {
+		return failf(r, "applied %d != sent %d across aborted+retried migration (%s)", r.Applied, r.Sent, r.Detail)
+	}
 	r.Pass = true
 	return r
 }

@@ -33,6 +33,8 @@ func TestFailoverPromotion(t *testing.T) { runPhase(t, FailoverPromotion) }
 
 func TestCheckpointCorruptionFallsBack(t *testing.T) { runPhase(t, CheckpointCorruption) }
 
+func TestMigrationDestinationKill(t *testing.T) { runPhase(t, MigrationKill) }
+
 // TestFullSuite exercises the aggregate Run entry point psbench uses.
 // The individual phase tests above already cover every phase, so the
 // duplicate work is skipped in -short mode.
@@ -41,8 +43,8 @@ func TestFullSuite(t *testing.T) {
 		t.Skip("phases covered individually in short mode")
 	}
 	rep := Run(testCfg(t))
-	if len(rep.Phases) != 7 {
-		t.Fatalf("expected 7 phases, got %d", len(rep.Phases))
+	if len(rep.Phases) != 8 {
+		t.Fatalf("expected 8 phases, got %d", len(rep.Phases))
 	}
 	if !rep.Pass {
 		for _, p := range rep.Phases {

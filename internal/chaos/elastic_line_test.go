@@ -1,0 +1,226 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"psgraph/internal/core"
+	"psgraph/internal/dataflow"
+	"psgraph/internal/gen"
+	"psgraph/internal/ps"
+)
+
+// TestLineTrainsThroughSplitAndMigration is the acceptance scenario of
+// the elastic-partition work: a LINE job on a planted two-community
+// graph keeps training — and lands in the clean run's convergence band
+// — while, mid-training, (a) a hash-routed embedding carrying a skewed
+// side stream has its hot partition split live, with pushes straddling
+// the cutover, and (b) one partition of LINE's own column-partitioned
+// embedding migrates to a server registered after CreateModel, so the
+// job's psFunc and pull traffic must follow it. Exactly-once holds
+// across both cutovers: cluster-wide applied == sent, and every pushed
+// unit of the side stream's mass is found exactly once afterwards.
+func TestLineTrainsThroughSplitAndMigration(t *testing.T) {
+	const vertices = 60
+	epochs := 12
+	if testing.Short() {
+		epochs = 8
+	}
+	raw, truth := gen.SBM(gen.SBMConfig{Vertices: vertices, Classes: 2, IntraDeg: 8, InterDeg: 0.3, Seed: 11})
+	es := make([]core.Edge, len(raw))
+	for i, e := range raw {
+		es[i] = core.Edge{Src: e.Src, Dst: e.Dst}
+	}
+	lineCfg := core.LineConfig{Dim: 16, Order: 2, Epochs: epochs, BatchSize: 256, NegSamples: 4, LR: 0.06, Seed: 1}
+
+	const (
+		hotDim    = 4
+		batchRows = 16
+		batches   = 20 // per leg, one leg each side of the split
+	)
+
+	run := func(elastic bool) (margin float64, applied, sent int64, err error) {
+		ctx, err := core.NewContext(core.Config{NumExecutors: 3, NumServers: 2})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		defer ctx.Close()
+
+		// The skewed side model: hash-routed, so its hot partition can be
+		// split at a bucket midpoint while LINE trains. (LINE's own
+		// embeddings are column-partitioned — movable, but never split.)
+		// It gets its own client so ctx.Agent's mutation counter isolates
+		// the LINE job's traffic.
+		hotCl := ctx.PS.NewClient()
+		hot, err := hotCl.CreateEmbedding(ps.EmbeddingSpec{Name: "hotside", Dim: hotDim, Partitions: 2})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		slot0 := 0
+		for i, p := range hot.Meta.Parts {
+			if p.Index == 0 {
+				slot0 = i
+			}
+		}
+		var hub []int64 // row ids that all route into partition 0
+		for id := int64(0); len(hub) < 64; id++ {
+			if hot.Meta.PartitionFor(id) == slot0 {
+				hub = append(hub, id)
+			}
+		}
+		row := make([]float64, hotDim)
+		for i := range row {
+			row[i] = 1
+		}
+		pushHub := func() error {
+			for k := 0; k < batches; k++ {
+				batch := make(map[int64][]float64, batchRows)
+				for j := 0; j < batchRows; j++ {
+					batch[hub[(k*batchRows+j)%len(hub)]] = row
+				}
+				if err := hot.PushAdd(batch); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+
+		done := make(chan struct{})
+		var elasticErr error
+		var lateAddr string
+		var sentAfterMove int64
+		if elastic {
+			go func() {
+				defer close(done)
+				// Wait until training mutations are flowing so both cutovers
+				// land mid-stream, never mid-CreateModel. The threshold is a
+				// small fraction of the run's ~150 mutations, so most of the
+				// training happens after (and concurrently with) the cutovers.
+				deadline := time.Now().Add(3 * time.Second)
+				for time.Now().Before(deadline) {
+					if s, _ := ctx.Agent.MutationStats(); s > 10 {
+						break
+					}
+					time.Sleep(time.Millisecond)
+				}
+				// Migrate first — the move completes within the first epochs,
+				// so the rest of the job trains against the moved partition.
+				late, err := ctx.PS.AddServer("line-late")
+				if err != nil {
+					elasticErr = err
+					return
+				}
+				lateAddr = late
+				// LINE's models in this context: "hotside" was named
+				// explicitly, so the ModelName counter makes them line.emb-1
+				// and line.ctx-2. Order-2 LINE's psFunc reads the context
+				// vector co-located with the vertex vector, so the paired
+				// column models migrate together; Func calls landing in the
+				// window where only one has moved are rejected and replay
+				// once the pair is whole again.
+				for _, model := range []string{"line.emb-1", "line.ctx-2"} {
+					meta, err := ctx.Agent.GetModel(model)
+					if err != nil {
+						elasticErr = err
+						return
+					}
+					if elasticErr = ctx.Agent.MovePartition(model, meta.Parts[0].Index, late); elasticErr != nil {
+						return
+					}
+				}
+				sentAfterMove, _ = ctx.Agent.MutationStats()
+				if elasticErr = pushHub(); elasticErr != nil {
+					return
+				}
+				if elasticErr = ctx.Agent.SplitPartition("hotside", 0, ""); elasticErr != nil {
+					return
+				}
+				// The second leg starts on a stale range table: its pushes are
+				// fenced, refetch, and replay under the same (clientID, seq).
+				elasticErr = pushHub()
+			}()
+		} else {
+			close(done)
+		}
+
+		res, err := core.Line(ctx, dataflow.Parallelize(ctx.Spark, es, 2), lineCfg)
+		<-done
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if elasticErr != nil {
+			return 0, 0, 0, elasticErr
+		}
+
+		if elastic {
+			// Mass audit on the side stream: both legs' pushes — including
+			// the ones that straddled the cutover — landed exactly once.
+			rows, err := hot.Pull(hub)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			var mass float64
+			for _, r := range rows {
+				for _, v := range r {
+					mass += v
+				}
+			}
+			if want := float64(2 * batches * batchRows * hotDim); mass != want {
+				t.Errorf("hub mass after split = %.0f, want %.0f", mass, want)
+			}
+			// The migrated partition really lives on the late server.
+			meta, err := ctx.PS.NewClient().GetModel("line.emb-1")
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			onLate := false
+			for _, p := range meta.Parts {
+				if p.Server == lateAddr {
+					onLate = true
+				}
+			}
+			if !onLate {
+				t.Errorf("no line.emb-1 partition on the late-registered server %s", lateAddr)
+			}
+			// Training really continued through the cutovers: LINE mutations
+			// landed after the migration completed.
+			if s, _ := ctx.Agent.MutationStats(); s <= sentAfterMove {
+				t.Errorf("no training traffic after the migration (sent %d at move, %d at end)", sentAfterMove, s)
+			}
+		}
+
+		ids := make([]int64, vertices)
+		for i := range ids {
+			ids[i] = int64(i)
+		}
+		embs, err := res.Embedding(ids)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if applied, _, err = ctx.PS.MutationTotals(); err != nil {
+			return 0, 0, 0, err
+		}
+		agentSent, _ := ctx.Agent.MutationStats()
+		hotSent, _ := hotCl.MutationStats()
+		return cosMargin(embs, truth), applied, agentSent + hotSent, nil
+	}
+
+	golden, _, _, err := run(false)
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	margin, applied, sent, err := run(true)
+	if err != nil {
+		t.Fatalf("elastic run: %v", err)
+	}
+	t.Logf("margin clean=%.3f elastic=%.3f applied=%d sent=%d", golden, margin, applied, sent)
+	if golden <= 0 {
+		t.Fatalf("clean run failed to separate communities (margin %.3f)", golden)
+	}
+	if margin <= 0 || margin < 0.25*golden {
+		t.Fatalf("elastic run left the convergence band: margin %.3f vs clean %.3f", margin, golden)
+	}
+	if applied != sent {
+		t.Fatalf("server applied %d != client sent %d across the cutovers", applied, sent)
+	}
+}

@@ -111,10 +111,14 @@ type resolveFunc func() (addr string, epoch int64)
 // maxStaleRetries bounds retries triggered by a stale-layout or
 // stale-epoch rejection (as opposed to plain unreachability). Transient
 // fencing — a server waiting out a heartbeat hiccup — heals within a
-// lease, which the backoff ladder comfortably covers; a persistent
-// rejection after this many refetches is a real error the caller must
-// see.
-const maxStaleRetries = 12
+// lease; a live migration is slower: the master publishes the
+// post-move layout before the destination has imported the partition,
+// so a push routed to the new owner bounces with a stale-layout error
+// until the transfer lands, and under a saturating stream that window
+// can run a few seconds. The ladder (5ms doubling to a 200ms cap)
+// covers ~4s at this depth; a rejection that persists past that is a
+// real error the caller must see.
+const maxStaleRetries = 24
 
 // callE is the retry engine behind every client RPC. Mutating methods
 // are wrapped in the dedup envelope with a sequence drawn ONCE, before
@@ -239,30 +243,83 @@ func (c *Client) invalidate(model string) {
 	c.mu.Unlock()
 }
 
+// currentMeta returns the freshest layout this client holds for model:
+// the cached copy when present (it may be newer than the snapshot baked
+// into a typed handle at construction — splits and moves republish the
+// layout), else fallback. Every operation snapshots its layout once
+// through this and groups keys against that snapshot, so one request is
+// never routed half by an old partition map and half by a new one.
+func (c *Client) currentMeta(model string, fallback ModelMeta) ModelMeta {
+	c.mu.RLock()
+	meta, ok := c.cache[model]
+	c.mu.RUnlock()
+	if ok {
+		return meta
+	}
+	return fallback
+}
+
+// cacheMeta installs a fetched layout and synchronizes the model's
+// prefetch row cache with it: rows cached under an older layout epoch
+// may live on a different server now and must not be served stale.
+func (c *Client) cacheMeta(meta ModelMeta) {
+	c.mu.Lock()
+	c.cache[meta.Name] = meta
+	rc := c.rowCaches[meta.Name]
+	c.mu.Unlock()
+	if rc != nil {
+		rc.syncLayout(meta.Epoch, len(meta.Parts))
+	}
+}
+
+// refreshMeta drops the cached layout and refetches it from the master.
+// When the master is unreachable the stale fallback is returned — the
+// caller's next per-partition call will then fail and retry through
+// callE's resolver, which keeps refetching with backoff.
+func (c *Client) refreshMeta(model string, fallback ModelMeta) ModelMeta {
+	c.invalidate(model)
+	meta, err := c.GetModel(model)
+	if err != nil {
+		return fallback
+	}
+	return meta
+}
+
+// rerouteRetries bounds how many times one operation re-groups its keys
+// under a refreshed layout after a range-moved rejection (a partition
+// split while the operation was routing with the old map). Each retry
+// covers one layout change; concurrent rebalancing deeper than this is
+// a planner runaway the caller should see.
+const rerouteRetries = 4
+
 // partInvoke is invoke for per-partition data-plane calls, plus the
-// failover path: the call prefers the client's cached layout over the
-// (possibly older) one baked into the typed handle, carries the cached
-// layout's epoch in the envelope, and installs a resolver so callE can
-// refetch the layout between retries — when the addressed server is
-// unreachable (killed primary), no longer holds the partition, or
-// fences the write as stale-epoch, the retry follows the partition to
-// its current owner under the current epoch. cancel aborts a retry
-// backoff early when a sibling fan-out call already failed.
+// failover path. part is the partition's stable ID (Partition.Index),
+// not its slot — slots renumber when a split inserts a range. The call
+// prefers the client's cached layout over the (possibly older) one
+// baked into the typed handle, carries the cached layout's epoch in the
+// envelope, and installs a resolver so callE can refetch the layout
+// between retries — when the addressed server is unreachable (killed
+// primary), no longer holds the partition, or fences the write as
+// stale-epoch, the retry follows the partition to its current owner
+// under the current epoch. cancel aborts a retry backoff early when a
+// sibling fan-out call already failed.
 func (c *Client) partInvoke(cancel <-chan struct{}, model string, part int, server, method string, req, resp any) error {
 	var epoch int64
 	c.mu.RLock()
-	if meta, ok := c.cache[model]; ok && part < len(meta.Parts) {
-		server = meta.Parts[part].Server
-		epoch = meta.Epoch
+	if meta, ok := c.cache[model]; ok {
+		if slot := meta.slotByID(part); slot >= 0 {
+			server = meta.Parts[slot].Server
+			epoch = meta.Epoch
+		}
 	}
 	c.mu.RUnlock()
 	resolve := func() (string, int64) {
-		c.invalidate(model)
-		meta, err := c.GetModel(model)
-		if err != nil || part >= len(meta.Parts) {
+		meta := c.refreshMeta(model, ModelMeta{})
+		slot := meta.slotByID(part)
+		if slot < 0 {
 			return "", 0
 		}
-		return meta.Parts[part].Server, meta.Epoch
+		return meta.Parts[slot].Server, meta.Epoch
 	}
 	var body []byte
 	if req != nil {
@@ -286,9 +343,7 @@ func (c *Client) CreateModel(meta ModelMeta) (ModelMeta, error) {
 	if err := c.invoke(c.masterAddr, "CreateModel", createModelReq{Meta: meta}, &out); err != nil {
 		return ModelMeta{}, err
 	}
-	c.mu.Lock()
-	c.cache[out.Meta.Name] = out.Meta
-	c.mu.Unlock()
+	c.cacheMeta(out.Meta)
 	return out.Meta, nil
 }
 
@@ -304,9 +359,7 @@ func (c *Client) GetModel(name string) (ModelMeta, error) {
 	if err := c.invoke(c.masterAddr, "GetModel", getModelReq{Name: name}, &out); err != nil {
 		return ModelMeta{}, err
 	}
-	c.mu.Lock()
-	c.cache[out.Meta.Name] = out.Meta
-	c.mu.Unlock()
+	c.cacheMeta(out.Meta)
 	return out.Meta, nil
 }
 
@@ -469,45 +522,77 @@ func (c *Client) Vector(name string) (*Vector, error) {
 	return &Vector{c: c, Meta: meta}, nil
 }
 
-// PullAll assembles the full vector from every partition.
+// PullAll assembles the full vector from every partition. Full-range
+// pulls have a coverage check the per-key paths do not need: a stale
+// layout that predates a split still routes to live partitions (the
+// narrowed source answers for its kept half without error), so the only
+// tell that elements were missed is the assembled total falling short
+// of the model size — which triggers a layout refresh and a re-pull.
 func (v *Vector) PullAll() ([]float64, error) {
-	out := make([]float64, v.Meta.Size)
-	err := v.c.fanOut(v.Meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
-		var r vecPullResp
-		if err := v.c.partInvoke(cancel, v.Meta.Name, i, p.Server, "VecPull", vecPullReq{Model: v.Meta.Name, Part: i}, &r); err != nil {
-			return err
+	meta := v.c.currentMeta(v.Meta.Name, v.Meta)
+	for attempt := 0; ; attempt++ {
+		out := make([]float64, meta.Size)
+		var got atomic.Int64
+		err := v.c.fanOut(meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
+			var r vecPullResp
+			if err := v.c.partInvoke(cancel, meta.Name, p.Index, p.Server, "VecPull", vecPullReq{Model: meta.Name, Part: p.Index}, &r); err != nil {
+				return err
+			}
+			got.Add(int64(len(r.Values)))
+			copy(out[r.Lo:], r.Values)
+			return nil
+		})
+		if err == nil && got.Load() == meta.Size {
+			return out, nil
 		}
-		copy(out[r.Lo:], r.Values)
-		return nil
-	})
-	if err != nil {
-		return nil, err
+		if err != nil && !IsRangeMovedErr(err) {
+			return nil, err
+		}
+		if attempt >= rerouteRetries {
+			if err == nil {
+				err = fmt.Errorf("ps: PullAll assembled %d of %d elements under a changing layout", got.Load(), meta.Size)
+			}
+			return nil, err
+		}
+		meta = v.c.refreshMeta(meta.Name, meta)
 	}
-	return out, nil
 }
 
-// vecPartFor returns a partition-lookup function for a dense vector
+// vecPartFor returns a partition-lookup function over meta's partitions
 // that checks the previously matched range first: pull/push index
 // streams have strong partition locality (often fully sorted), which
 // turns the per-index lookup into one compare instead of a scan.
-func (v *Vector) vecPartFor() func(idx int64) int {
+func vecPartFor(meta *ModelMeta) func(idx int64) int {
 	last := 0
 	return func(idx int64) int {
-		if p := &v.Meta.Parts[last]; idx >= p.Lo && idx < p.Hi {
+		if p := &meta.Parts[last]; idx >= p.Lo && idx < p.Hi {
 			return last
 		}
-		last = v.Meta.PartitionFor(idx)
+		last = meta.PartitionFor(idx)
 		return last
 	}
 }
 
-// Pull fetches the given indices, returned in the same order.
+// Pull fetches the given indices, returned in the same order. Pulls are
+// idempotent, so a range-moved rejection (the layout snapshot predates
+// a split) simply refreshes the layout and re-runs the whole pull.
 func (v *Vector) Pull(indices []int64) ([]float64, error) {
-	nparts := len(v.Meta.Parts)
+	meta := v.c.currentMeta(v.Meta.Name, v.Meta)
+	for attempt := 0; ; attempt++ {
+		out, err := v.pullMeta(meta, indices)
+		if err == nil || !IsRangeMovedErr(err) || attempt >= rerouteRetries {
+			return out, err
+		}
+		meta = v.c.refreshMeta(meta.Name, meta)
+	}
+}
+
+func (v *Vector) pullMeta(meta ModelMeta, indices []int64) ([]float64, error) {
+	nparts := len(meta.Parts)
 	byPart := make([][]int64, nparts)
 	pos := make([][]int, nparts) // original positions
 	est := len(indices)/nparts + 1
-	partFor := v.vecPartFor()
+	partFor := vecPartFor(&meta)
 	for i, idx := range indices {
 		p := partFor(idx)
 		if byPart[p] == nil {
@@ -518,13 +603,13 @@ func (v *Vector) Pull(indices []int64) ([]float64, error) {
 		pos[p] = append(pos[p], i)
 	}
 	out := make([]float64, len(indices))
-	err := v.c.fanOut(v.Meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
+	err := v.c.fanOut(meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
 		idxs := byPart[i]
 		if len(idxs) == 0 {
 			return nil
 		}
 		var r vecPullResp
-		if err := v.c.partInvoke(cancel, v.Meta.Name, i, p.Server, "VecPull", vecPullReq{Model: v.Meta.Name, Part: i, Indices: idxs}, &r); err != nil {
+		if err := v.c.partInvoke(cancel, meta.Name, p.Index, p.Server, "VecPull", vecPullReq{Model: meta.Name, Part: p.Index, Indices: idxs}, &r); err != nil {
 			return err
 		}
 		// Each partition writes disjoint slots of out, so no lock is needed.
@@ -540,11 +625,21 @@ func (v *Vector) Pull(indices []int64) ([]float64, error) {
 }
 
 func (v *Vector) push(indices []int64, values []float64, op vecOp) error {
-	nparts := len(v.Meta.Parts)
+	return v.pushMeta(v.c.currentMeta(v.Meta.Name, v.Meta), indices, values, op, 0)
+}
+
+// pushMeta groups one push against a layout snapshot. A batch rejected
+// with range-moved straddles a split the snapshot predates; the server
+// validated the whole batch before applying anything, so re-grouping
+// just that batch under a refreshed layout — with fresh sequences —
+// cannot double-apply. Batches that landed inside still-valid ranges
+// are untouched by the re-route.
+func (v *Vector) pushMeta(meta ModelMeta, indices []int64, values []float64, op vecOp, depth int) error {
+	nparts := len(meta.Parts)
 	byPartIdx := make([][]int64, nparts)
 	byPartVal := make([][]float64, nparts)
 	est := len(indices)/nparts + 1
-	partFor := v.vecPartFor()
+	partFor := vecPartFor(&meta)
 	for i, idx := range indices {
 		p := partFor(idx)
 		if byPartIdx[p] == nil {
@@ -554,12 +649,16 @@ func (v *Vector) push(indices []int64, values []float64, op vecOp) error {
 		byPartIdx[p] = append(byPartIdx[p], idx)
 		byPartVal[p] = append(byPartVal[p], values[i])
 	}
-	return v.c.fanOut(v.Meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
+	return v.c.fanOut(meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
 		if len(byPartIdx[i]) == 0 {
 			return nil
 		}
-		req := vecPushReq{Model: v.Meta.Name, Part: i, Indices: byPartIdx[i], Values: byPartVal[i], Op: op}
-		return v.c.partInvoke(cancel, v.Meta.Name, i, p.Server, "VecPush", req, nil)
+		req := vecPushReq{Model: meta.Name, Part: p.Index, Indices: byPartIdx[i], Values: byPartVal[i], Op: op}
+		err := v.c.partInvoke(cancel, meta.Name, p.Index, p.Server, "VecPush", req, nil)
+		if err != nil && IsRangeMovedErr(err) && depth < rerouteRetries {
+			return v.pushMeta(v.c.refreshMeta(meta.Name, meta), byPartIdx[i], byPartVal[i], op, depth+1)
+		}
+		return err
 	})
 }
 
@@ -589,9 +688,47 @@ func (v *Vector) SetAll(values []float64) error {
 	if int64(len(values)) != v.Meta.Size {
 		return fmt.Errorf("ps: SetAll size %d != model size %d", len(values), v.Meta.Size)
 	}
-	return v.c.fanOut(v.Meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
-		req := vecPushReq{Model: v.Meta.Name, Part: i, Values: values[p.Lo:p.Hi], Op: vecSet}
-		return v.c.partInvoke(cancel, v.Meta.Name, i, p.Server, "VecPush", req, nil)
+	meta := v.c.currentMeta(v.Meta.Name, v.Meta)
+	return v.setRange(meta, 0, meta.Size, values, 0)
+}
+
+// setRange overwrites [lo, hi) from vals (len(vals) == hi-lo) across
+// the partitions of a layout snapshot. A partition that narrowed under
+// the snapshot rejects its full-range set as range-moved; only that
+// partition's slice is re-set under a refreshed layout (set is
+// idempotent, so overlap with a concurrent re-route is harmless).
+// Ranges only ever narrow — splits never merge or shift boundaries —
+// so a fresh layout's partitions overlapping [lo, hi) always lie
+// wholly inside it, but the indexed fallback below keeps partial
+// overlap correct regardless.
+func (v *Vector) setRange(meta ModelMeta, lo, hi int64, vals []float64, depth int) error {
+	var parts []Partition
+	for _, p := range meta.Parts {
+		if p.Lo < hi && p.Hi > lo {
+			parts = append(parts, p)
+		}
+	}
+	return v.c.fanOut(parts, func(i int, p Partition, cancel <-chan struct{}) error {
+		plo, phi := p.Lo, p.Hi
+		if plo < lo {
+			plo = lo
+		}
+		if phi > hi {
+			phi = hi
+		}
+		req := vecPushReq{Model: meta.Name, Part: p.Index, Values: vals[plo-lo : phi-lo], Op: vecSet}
+		if plo != p.Lo || phi != p.Hi {
+			idxs := make([]int64, phi-plo)
+			for j := range idxs {
+				idxs[j] = plo + int64(j)
+			}
+			req.Indices = idxs
+		}
+		err := v.c.partInvoke(cancel, meta.Name, p.Index, p.Server, "VecPush", req, nil)
+		if err != nil && IsRangeMovedErr(err) && depth < rerouteRetries {
+			return v.setRange(v.c.refreshMeta(meta.Name, meta), plo, phi, vals[plo-lo:phi-lo], depth+1)
+		}
+		return err
 	})
 }
 
@@ -629,17 +766,28 @@ func (c *Client) CreateSparseVectorWithScheme(name string, scheme Scheme, size i
 }
 
 func (s *SparseVec) pull(keys []int64) (map[int64]float64, error) {
-	byPart := make([][]int64, len(s.Meta.Parts))
+	meta := s.c.currentMeta(s.Meta.Name, s.Meta)
+	for attempt := 0; ; attempt++ {
+		out, err := s.pullMeta(meta, keys)
+		if err == nil || !IsRangeMovedErr(err) || attempt >= rerouteRetries {
+			return out, err
+		}
+		meta = s.c.refreshMeta(meta.Name, meta)
+	}
+}
+
+func (s *SparseVec) pullMeta(meta ModelMeta, keys []int64) (map[int64]float64, error) {
+	byPart := make([][]int64, len(meta.Parts))
 	if keys != nil {
 		for _, k := range keys {
-			p := s.Meta.PartitionFor(k)
+			p := meta.PartitionFor(k)
 			byPart[p] = append(byPart[p], k)
 		}
 	}
 	out := make(map[int64]float64)
 	var mu sync.Mutex
-	err := s.c.fanOut(s.Meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
-		req := mapPullReq{Model: s.Meta.Name, Part: i}
+	err := s.c.fanOut(meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
+		req := mapPullReq{Model: meta.Name, Part: p.Index}
 		if keys != nil {
 			req.Keys = byPart[i]
 			if len(req.Keys) == 0 {
@@ -647,7 +795,7 @@ func (s *SparseVec) pull(keys []int64) (map[int64]float64, error) {
 			}
 		}
 		var r mapPullResp
-		if err := s.c.partInvoke(cancel, s.Meta.Name, i, p.Server, "MapPull", req, &r); err != nil {
+		if err := s.c.partInvoke(cancel, meta.Name, p.Index, p.Server, "MapPull", req, &r); err != nil {
 			return err
 		}
 		mu.Lock()
@@ -670,20 +818,31 @@ func (s *SparseVec) Pull(keys []int64) (map[int64]float64, error) { return s.pul
 func (s *SparseVec) PullAll() (map[int64]float64, error) { return s.pull(nil) }
 
 func (s *SparseVec) push(m map[int64]float64, set bool) error {
-	byPart := make([]map[int64]float64, len(s.Meta.Parts))
+	return s.pushMeta(s.c.currentMeta(s.Meta.Name, s.Meta), m, set, 0)
+}
+
+func (s *SparseVec) pushMeta(meta ModelMeta, m map[int64]float64, set bool, depth int) error {
+	byPart := make([]map[int64]float64, len(meta.Parts))
 	for k, v := range m {
-		p := s.Meta.PartitionFor(k)
+		p := meta.PartitionFor(k)
 		if byPart[p] == nil {
 			byPart[p] = make(map[int64]float64)
 		}
 		byPart[p][k] = v
 	}
-	return s.c.fanOut(s.Meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
+	return s.c.fanOut(meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
 		if len(byPart[i]) == 0 {
 			return nil
 		}
-		req := mapPushReq{Model: s.Meta.Name, Part: i, M: byPart[i], Set: set}
-		return s.c.partInvoke(cancel, s.Meta.Name, i, p.Server, "MapPush", req, nil)
+		req := mapPushReq{Model: meta.Name, Part: p.Index, M: byPart[i], Set: set}
+		err := s.c.partInvoke(cancel, meta.Name, p.Index, p.Server, "MapPush", req, nil)
+		if err != nil && IsRangeMovedErr(err) && depth < rerouteRetries {
+			// Nothing applied (the engine validates the whole batch before
+			// the first write), so re-grouping this batch under a fresh
+			// layout with fresh sequences cannot double-apply.
+			return s.pushMeta(s.c.refreshMeta(meta.Name, meta), byPart[i], set, depth+1)
+		}
+		return err
 	})
 }
 
@@ -745,15 +904,26 @@ func (c *Client) Embedding(name string) (*Emb, error) {
 // Pull fetches full vectors for the given ids. For ColumnEmbedding models
 // the per-partition column slices are reassembled.
 func (e *Emb) Pull(ids []int64) (map[int64][]float64, error) {
+	meta := e.c.currentMeta(e.Meta.Name, e.Meta)
+	for attempt := 0; ; attempt++ {
+		out, err := e.pullMeta(meta, ids)
+		if err == nil || !IsRangeMovedErr(err) || attempt >= rerouteRetries {
+			return out, err
+		}
+		meta = e.c.refreshMeta(meta.Name, meta)
+	}
+}
+
+func (e *Emb) pullMeta(meta ModelMeta, ids []int64) (map[int64][]float64, error) {
 	out := make(map[int64][]float64, len(ids))
 	var mu sync.Mutex
-	if e.Meta.Kind == ColumnEmbedding {
+	if meta.Kind == ColumnEmbedding {
 		for _, id := range ids {
-			out[id] = make([]float64, e.Meta.Dim)
+			out[id] = make([]float64, meta.Dim)
 		}
-		err := e.c.fanOut(e.Meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
+		err := e.c.fanOut(meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
 			var r embPullResp
-			if err := e.c.partInvoke(cancel, e.Meta.Name, i, p.Server, "EmbPull", embPullReq{Model: e.Meta.Name, Part: i, IDs: ids}, &r); err != nil {
+			if err := e.c.partInvoke(cancel, meta.Name, p.Index, p.Server, "EmbPull", embPullReq{Model: meta.Name, Part: p.Index, IDs: ids}, &r); err != nil {
 				return err
 			}
 			mu.Lock()
@@ -768,17 +938,17 @@ func (e *Emb) Pull(ids []int64) (map[int64][]float64, error) {
 		}
 		return out, nil
 	}
-	byPart := make([][]int64, len(e.Meta.Parts))
+	byPart := make([][]int64, len(meta.Parts))
 	for _, id := range ids {
-		pi := e.Meta.PartitionFor(id)
+		pi := meta.PartitionFor(id)
 		byPart[pi] = append(byPart[pi], id)
 	}
-	err := e.c.fanOut(e.Meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
+	err := e.c.fanOut(meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
 		if len(byPart[i]) == 0 {
 			return nil
 		}
 		var r embPullResp
-		if err := e.c.partInvoke(cancel, e.Meta.Name, i, p.Server, "EmbPull", embPullReq{Model: e.Meta.Name, Part: i, IDs: byPart[i]}, &r); err != nil {
+		if err := e.c.partInvoke(cancel, meta.Name, p.Index, p.Server, "EmbPull", embPullReq{Model: meta.Name, Part: p.Index, IDs: byPart[i]}, &r); err != nil {
 			return err
 		}
 		mu.Lock()
@@ -795,30 +965,40 @@ func (e *Emb) Pull(ids []int64) (map[int64][]float64, error) {
 }
 
 func (e *Emb) push(vecs map[int64][]float64, grad, set bool) error {
-	if e.Meta.Kind == ColumnEmbedding {
-		return e.c.fanOut(e.Meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
+	return e.pushMeta(e.c.currentMeta(e.Meta.Name, e.Meta), vecs, grad, set, 0)
+}
+
+func (e *Emb) pushMeta(meta ModelMeta, vecs map[int64][]float64, grad, set bool, depth int) error {
+	if meta.Kind == ColumnEmbedding {
+		// Column partitions are structural (every row spans all of them)
+		// and never split or re-range, so no range-moved handling here.
+		return e.c.fanOut(meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
 			slice := make(map[int64][]float64, len(vecs))
 			for id, v := range vecs {
 				slice[id] = v[p.Col0:p.Col1]
 			}
-			req := embPushReq{Model: e.Meta.Name, Part: i, Vecs: slice, Grad: grad, Set: set}
-			return e.c.partInvoke(cancel, e.Meta.Name, i, p.Server, "EmbPush", req, nil)
+			req := embPushReq{Model: meta.Name, Part: p.Index, Vecs: slice, Grad: grad, Set: set}
+			return e.c.partInvoke(cancel, meta.Name, p.Index, p.Server, "EmbPush", req, nil)
 		})
 	}
-	byPart := make([]map[int64][]float64, len(e.Meta.Parts))
+	byPart := make([]map[int64][]float64, len(meta.Parts))
 	for id, v := range vecs {
-		pi := e.Meta.PartitionFor(id)
+		pi := meta.PartitionFor(id)
 		if byPart[pi] == nil {
 			byPart[pi] = make(map[int64][]float64)
 		}
 		byPart[pi][id] = v
 	}
-	return e.c.fanOut(e.Meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
+	return e.c.fanOut(meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
 		if len(byPart[i]) == 0 {
 			return nil
 		}
-		req := embPushReq{Model: e.Meta.Name, Part: i, Vecs: byPart[i], Grad: grad, Set: set}
-		return e.c.partInvoke(cancel, e.Meta.Name, i, p.Server, "EmbPush", req, nil)
+		req := embPushReq{Model: meta.Name, Part: p.Index, Vecs: byPart[i], Grad: grad, Set: set}
+		err := e.c.partInvoke(cancel, meta.Name, p.Index, p.Server, "EmbPush", req, nil)
+		if err != nil && IsRangeMovedErr(err) && depth < rerouteRetries {
+			return e.pushMeta(e.c.refreshMeta(meta.Name, meta), byPart[i], grad, set, depth+1)
+		}
+		return err
 	})
 }
 
@@ -869,39 +1049,60 @@ func (c *Client) Neighbor(name string) (*Nbr, error) {
 // Push appends neighbor lists (concatenating with any existing entries,
 // so different executors can push disjoint chunks of the same vertex).
 func (n *Nbr) Push(tables map[int64][]int64) error {
-	byPart := make([]map[int64][]int64, len(n.Meta.Parts))
+	return n.pushMeta(n.c.currentMeta(n.Meta.Name, n.Meta), tables, 0)
+}
+
+func (n *Nbr) pushMeta(meta ModelMeta, tables map[int64][]int64, depth int) error {
+	byPart := make([]map[int64][]int64, len(meta.Parts))
 	for id, ns := range tables {
-		pi := n.Meta.PartitionFor(id)
+		pi := meta.PartitionFor(id)
 		if byPart[pi] == nil {
 			byPart[pi] = make(map[int64][]int64)
 		}
 		byPart[pi][id] = ns
 	}
-	return n.c.fanOut(n.Meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
+	return n.c.fanOut(meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
 		if len(byPart[i]) == 0 {
 			return nil
 		}
-		req := nbrPushReq{Model: n.Meta.Name, Part: i, Tables: byPart[i]}
-		return n.c.partInvoke(cancel, n.Meta.Name, i, p.Server, "NbrPush", req, nil)
+		req := nbrPushReq{Model: meta.Name, Part: p.Index, Tables: byPart[i]}
+		err := n.c.partInvoke(cancel, meta.Name, p.Index, p.Server, "NbrPush", req, nil)
+		if err != nil && IsRangeMovedErr(err) && depth < rerouteRetries {
+			// Appends are not idempotent, but nothing was appended: the
+			// engine rejects the whole batch before touching any list.
+			return n.pushMeta(n.c.refreshMeta(meta.Name, meta), byPart[i], depth+1)
+		}
+		return err
 	})
 }
 
 // Pull fetches neighbor tables for the given ids; vertices with no
 // neighbors are omitted.
 func (n *Nbr) Pull(ids []int64) (map[int64][]int64, error) {
-	byPart := make([][]int64, len(n.Meta.Parts))
+	meta := n.c.currentMeta(n.Meta.Name, n.Meta)
+	for attempt := 0; ; attempt++ {
+		out, err := n.pullMeta(meta, ids)
+		if err == nil || !IsRangeMovedErr(err) || attempt >= rerouteRetries {
+			return out, err
+		}
+		meta = n.c.refreshMeta(meta.Name, meta)
+	}
+}
+
+func (n *Nbr) pullMeta(meta ModelMeta, ids []int64) (map[int64][]int64, error) {
+	byPart := make([][]int64, len(meta.Parts))
 	for _, id := range ids {
-		pi := n.Meta.PartitionFor(id)
+		pi := meta.PartitionFor(id)
 		byPart[pi] = append(byPart[pi], id)
 	}
 	out := make(map[int64][]int64, len(ids))
 	var mu sync.Mutex
-	err := n.c.fanOut(n.Meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
+	err := n.c.fanOut(meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
 		if len(byPart[i]) == 0 {
 			return nil
 		}
 		var r nbrPullResp
-		if err := n.c.partInvoke(cancel, n.Meta.Name, i, p.Server, "NbrPull", nbrPullReq{Model: n.Meta.Name, Part: i, IDs: byPart[i]}, &r); err != nil {
+		if err := n.c.partInvoke(cancel, meta.Name, p.Index, p.Server, "NbrPull", nbrPullReq{Model: meta.Name, Part: p.Index, IDs: byPart[i]}, &r); err != nil {
 			return err
 		}
 		mu.Lock()
@@ -956,12 +1157,13 @@ func (c *Client) Matrix(name string) (*Mat, error) {
 
 // PullAll assembles the full rows×cols matrix (row-major).
 func (m *Mat) PullAll() ([]float64, error) {
-	rows := int(m.Meta.Size)
-	cols := m.Meta.Dim
+	meta := m.c.currentMeta(m.Meta.Name, m.Meta)
+	rows := int(meta.Size)
+	cols := meta.Dim
 	out := make([]float64, rows*cols)
-	err := m.c.fanOut(m.Meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
+	err := m.c.fanOut(meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
 		var r matPullResp
-		if err := m.c.partInvoke(cancel, m.Meta.Name, i, p.Server, "MatPull", matPullReq{Model: m.Meta.Name, Part: i}, &r); err != nil {
+		if err := m.c.partInvoke(cancel, meta.Name, p.Index, p.Server, "MatPull", matPullReq{Model: meta.Name, Part: p.Index}, &r); err != nil {
 			return err
 		}
 		w := r.Col1 - r.Col0
@@ -977,19 +1179,20 @@ func (m *Mat) PullAll() ([]float64, error) {
 }
 
 func (m *Mat) push(data []float64, grad, set bool) error {
-	rows := int(m.Meta.Size)
-	cols := m.Meta.Dim
+	meta := m.c.currentMeta(m.Meta.Name, m.Meta)
+	rows := int(meta.Size)
+	cols := meta.Dim
 	if len(data) != rows*cols {
 		return fmt.Errorf("ps: matrix push size %d != %dx%d", len(data), rows, cols)
 	}
-	return m.c.fanOut(m.Meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
+	return m.c.fanOut(meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
 		w := p.Col1 - p.Col0
 		slice := make([]float64, rows*w)
 		for row := 0; row < rows; row++ {
 			copy(slice[row*w:(row+1)*w], data[row*cols+p.Col0:row*cols+p.Col1])
 		}
-		req := matPushReq{Model: m.Meta.Name, Part: i, Data: slice, Grad: grad, Set: set}
-		return m.c.partInvoke(cancel, m.Meta.Name, i, p.Server, "MatPush", req, nil)
+		req := matPushReq{Model: meta.Name, Part: p.Index, Data: slice, Grad: grad, Set: set}
+		return m.c.partInvoke(cancel, meta.Name, p.Index, p.Server, "MatPush", req, nil)
 	})
 }
 
@@ -1012,9 +1215,9 @@ func (c *Client) CallFunc(model, fn string, argFor func(p Partition) []byte) ([]
 	}
 	out := make([][]byte, len(meta.Parts))
 	err = c.fanOut(meta.Parts, func(i int, p Partition, cancel <-chan struct{}) error {
-		req := funcReq{Model: model, Part: i, Name: fn, Arg: argFor(p)}
+		req := funcReq{Model: model, Part: p.Index, Name: fn, Arg: argFor(p)}
 		var r funcResp
-		if err := c.partInvoke(cancel, model, i, p.Server, "Func", req, &r); err != nil {
+		if err := c.partInvoke(cancel, model, p.Index, p.Server, "Func", req, &r); err != nil {
 			return err
 		}
 		out[i] = r.Out

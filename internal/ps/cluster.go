@@ -20,6 +20,7 @@ type Cluster struct {
 	Master     *Master
 	MasterAddr string
 
+	prefix       string
 	restartDelay time.Duration
 	hbInterval   time.Duration
 	lease        time.Duration
@@ -75,6 +76,10 @@ type ClusterConfig struct {
 	// replicated) — lower latency, but mutations still queued die with
 	// the primary. Sync is the default.
 	ReplAsync bool
+	// RebalanceInterval enables the master's automatic load-aware
+	// rebalancer: every interval it polls per-partition load and splits
+	// or moves hot partitions (see Master.Rebalance).
+	RebalanceInterval time.Duration
 }
 
 // NewCluster starts a master and NumServers servers.
@@ -107,6 +112,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	c := &Cluster{
 		Transport:    cfg.Transport,
 		FS:           cfg.FS,
+		prefix:       cfg.NamePrefix,
 		MasterAddr:   cfg.NamePrefix + "-master",
 		restartDelay: cfg.RestartDelay,
 		hbInterval:   cfg.HeartbeatInterval,
@@ -165,6 +171,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.MonitorInterval > 0 {
 		c.Master.StartMonitor(cfg.MonitorInterval)
 	}
+	if cfg.RebalanceInterval > 0 {
+		c.Master.EnableAutoRebalance(cfg.RebalanceInterval)
+	}
 	return c, nil
 }
 
@@ -196,6 +205,43 @@ func (c *Cluster) ServerAddrs() []string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return append([]string(nil), c.addrs...)
+}
+
+// AddServer launches and registers one more parameter server at
+// runtime — scale-out after models already exist. The new server starts
+// empty; it receives partitions when the master's rebalancer (or an
+// explicit MovePartition) migrates load onto it.
+func (c *Cluster) AddServer(name string) (string, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return "", fmt.Errorf("ps: cluster closed")
+	}
+	if name == "" {
+		name = fmt.Sprintf("server-x%d", len(c.addrs))
+	}
+	c.mu.Unlock()
+	addr := c.prefix + "-" + name
+	srv := NewServer(addr, c.FS)
+	if rpc.CanListen(c.Transport) {
+		bound, err := rpc.Listen(c.Transport, srv.Handle)
+		if err != nil {
+			return "", err
+		}
+		addr = bound
+		srv.Addr = bound
+	} else if err := c.Transport.Register(addr, srv.Handle); err != nil {
+		return "", err
+	}
+	c.mu.Lock()
+	c.servers[addr] = srv
+	c.addrs = append(c.addrs, addr)
+	c.mu.Unlock()
+	if _, err := c.Transport.Call(c.MasterAddr, "RegisterServer", enc(registerServerReq{Addr: addr})); err != nil {
+		return "", err
+	}
+	c.wireServer(srv)
+	return addr, nil
 }
 
 // KillServer simulates a server crash: its endpoint vanishes and its
@@ -248,6 +294,7 @@ func (c *Cluster) Close() {
 	c.mu.Unlock()
 	c.Master.StopMonitor()
 	c.Master.StopLeases()
+	c.Master.StopAutoRebalance()
 	c.Transport.Deregister(c.MasterAddr)
 	c.mu.Lock()
 	servers := make([]*Server, 0, len(c.servers))

@@ -211,6 +211,82 @@ func (t *dedupTable) handle(clientID, seq uint64, exec func() ([]byte, error)) (
 	return resp, err
 }
 
+// dedupExport is one client's completed window entries in wire form.
+// Migrations ship it alongside the partition data so that a retry of an
+// already-applied push — re-routed to the new owner after the epoch
+// fence rejected it at the old one — replays its cached ack there
+// instead of double-applying. (clientID, seq) exactly-once therefore
+// holds across a move.
+type dedupExport struct {
+	Client uint64
+	Seqs   []uint64
+	Resps  [][]byte
+	Errs   []string
+	MaxSeq uint64
+}
+
+// export snapshots every client's completed entries. In-flight entries
+// (done not yet closed) are skipped: they belong to mutations blocked on
+// the write gate the migration holds, which will execute — and fail or
+// be range-rejected — after the cutover, so their outcome must not be
+// frozen mid-flight.
+func (t *dedupTable) export() []dedupExport {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]dedupExport, 0, len(t.clients))
+	for id, w := range t.clients {
+		de := dedupExport{Client: id, MaxSeq: w.maxSeq}
+		for seq, e := range w.entries {
+			select {
+			case <-e.done:
+			default:
+				continue // in flight
+			}
+			de.Seqs = append(de.Seqs, seq)
+			de.Resps = append(de.Resps, e.resp)
+			if e.hasErr {
+				de.Errs = append(de.Errs, e.errMsg)
+			} else {
+				de.Errs = append(de.Errs, "")
+			}
+		}
+		out = append(out, de)
+	}
+	return out
+}
+
+// merge installs exported windows, keeping whatever entries the receiver
+// already has (its own execution history wins on collision).
+func (t *dedupTable) merge(states []dedupExport) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, de := range states {
+		w := t.clients[de.Client]
+		if w == nil {
+			w = &dedupWindow{entries: make(map[uint64]*dedupEntry)}
+			t.clients[de.Client] = w
+		}
+		for i, seq := range de.Seqs {
+			if _, ok := w.entries[seq]; ok {
+				continue
+			}
+			e := &dedupEntry{done: make(chan struct{})}
+			if de.Errs[i] != "" {
+				e.hasErr = true
+				e.errMsg = de.Errs[i]
+			} else {
+				e.resp = de.Resps[i]
+			}
+			close(e.done)
+			w.entries[seq] = e
+		}
+		if de.MaxSeq > w.maxSeq {
+			w.maxSeq = de.MaxSeq
+		}
+		w.evict()
+	}
+}
+
 // dedupGuarded lists the client methods that mutate server or master
 // state and therefore carry the envelope. Everything else (pulls, layout
 // queries, stats, recovery-count reads) is retry-safe without it.
@@ -234,4 +310,10 @@ var dedupGuarded = map[string]bool{
 	"CheckpointModels": true,
 	"RestoreModel":     true,
 	"RestoreModels":    true,
+	// Elastic-partition control plane: a retried SplitPartition must not
+	// split the (already narrowed) partition a second time.
+	"SplitPartition": true,
+	"MovePartition":  true,
+	"DrainServer":    true,
+	"Rebalance":      true,
 }

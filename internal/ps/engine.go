@@ -10,10 +10,33 @@ package ps
 // partition lock, and vice versa).
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
+	"sync/atomic"
 )
+
+// rangeMovedMsg is the wire-stable marker of a key rejected because its
+// route range no longer belongs to the addressed partition (it was split
+// or migrated away). Deliberately distinct from the "not on this server"
+// layout error and from the stale-epoch fence: the client reacts by
+// refetching the layout and re-grouping the rejected batch, knowing the
+// server applied none of it.
+const rangeMovedMsg = "ps: key outside partition range (moved)"
+
+// ErrRangeMoved is the local form of a range-moved rejection.
+var ErrRangeMoved = errors.New(rangeMovedMsg)
+
+// IsRangeMovedErr classifies an error — local or carried through a
+// RemoteError — as a range-moved rejection.
+func IsRangeMovedErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, ErrRangeMoved) || strings.Contains(err.Error(), rangeMovedMsg)
+}
 
 // engine is one model partition's storage. Implementations lock
 // internally: every method is safe for concurrent use.
@@ -29,25 +52,93 @@ type engine interface {
 	sizeBytes() int64
 	// partIdx returns the partition index the engine holds.
 	partIdx() int
+	// exportRange encodes the rows whose route keys fall in [lo, hi) as a
+	// ckptSnapshot, including their optimizer state, under the engine's
+	// own locks. Column-partitioned kinds ignore the range and export
+	// everything (they migrate wholesale, never split).
+	exportRange(lo, hi int64) ([]byte, error)
+	// importRange merges a decoded export into this engine. Used on the
+	// migration destination after newEngine, so install is expressible as
+	// create-empty + merge and a retried install stays idempotent.
+	importRange(snap ckptSnapshot) error
+	// splitAt discards the rows with route keys >= mid and narrows the
+	// engine's route range to [lo, mid). The migration source calls this
+	// after the destination acknowledged the export of [mid, hi).
+	splitAt(mid int64) error
 }
 
-// engineBase carries the identity every engine shares.
+// engineBase carries the identity every engine shares, plus the route
+// range the engine enforces: pushes and keyed pulls whose route keys
+// fall outside [rlo, rhi) are rejected whole with ErrRangeMoved. The
+// bounds are read on every request and narrowed by splitAt while pulls
+// proceed, so they are accessed atomically.
 type engineBase struct {
-	meta ModelMeta
-	idx  int
+	meta   ModelMeta
+	idx    int
+	routed bool
+	rlo    int64
+	rhi    int64
 }
 
 func (b *engineBase) modelMeta() ModelMeta { return b.meta }
 
 func (b *engineBase) partIdx() int { return b.idx }
 
-// newEngine creates an empty engine for one partition of meta.
+func (b *engineBase) rangeLo() int64 { return atomic.LoadInt64(&b.rlo) }
+
+func (b *engineBase) rangeHi() int64 { return atomic.LoadInt64(&b.rhi) }
+
+// narrowTo shrinks the enforced route range to [rlo, mid).
+func (b *engineBase) narrowTo(mid int64) { atomic.StoreInt64(&b.rhi, mid) }
+
+// checkKey validates that key still routes into this engine's range.
+func (b *engineBase) checkKey(key int64) error {
+	if !b.routed {
+		return nil
+	}
+	rk := b.meta.RouteKey(key)
+	if lo, hi := b.rangeLo(), b.rangeHi(); rk < lo || rk >= hi {
+		return fmt.Errorf("%s: key %d (route %d) not in [%d,%d) of %s/%d",
+			rangeMovedMsg, key, rk, lo, hi, b.meta.Name, b.idx)
+	}
+	return nil
+}
+
+// inExport reports whether a stored key belongs to an export of [lo, hi).
+func (b *engineBase) inExport(key, lo, hi int64) bool {
+	rk := b.meta.RouteKey(key)
+	return rk >= lo && rk < hi
+}
+
+// keepOnSplit reports whether a stored key survives splitAt(mid).
+func (b *engineBase) keepOnSplit(key, mid int64) bool {
+	return b.meta.RouteKey(key) < mid
+}
+
+// baseFor builds the shared engine identity for partition id of meta,
+// looking the route range up by stable identity. A routed partition the
+// meta does not know (defensive: an engine restored under a layout that
+// predates it) enforces the full route span rather than rejecting
+// everything.
+func baseFor(meta ModelMeta, id int) engineBase {
+	base := engineBase{meta: meta, idx: id, routed: meta.routed()}
+	if pm, ok := meta.partByID(id); ok && (pm.Lo != 0 || pm.Hi != 0) {
+		base.rlo, base.rhi = pm.Lo, pm.Hi
+	} else if base.routed {
+		base.rhi = meta.routeSpan()
+	}
+	return base
+}
+
+// newEngine creates an empty engine for one partition of meta, addressed
+// by its stable identity.
 func newEngine(meta ModelMeta, idx int) (engine, error) {
-	if idx < 0 || idx >= len(meta.Parts) {
+	slot := meta.slotByID(idx)
+	if slot < 0 {
 		return nil, fmt.Errorf("ps: partition %d out of range for %s", idx, meta.Name)
 	}
-	pm := meta.Parts[idx]
-	base := engineBase{meta: meta, idx: idx}
+	pm := meta.Parts[slot]
+	base := baseFor(meta, idx)
 	switch meta.Kind {
 	case DenseVector:
 		return newVecEngine(base, pm), nil
@@ -66,7 +157,7 @@ func newEngine(meta ModelMeta, idx int) (engine, error) {
 
 // engineFromSnapshot rebuilds an engine from a decoded checkpoint.
 func engineFromSnapshot(meta ModelMeta, idx int, snap ckptSnapshot) (engine, error) {
-	base := engineBase{meta: meta, idx: idx}
+	base := baseFor(meta, idx)
 	switch meta.Kind {
 	case DenseVector:
 		return restoreVecEngine(base, snap), nil
@@ -139,6 +230,19 @@ func (s *Store) put(e engine) {
 func (s *Store) delete(model string) {
 	s.mu.Lock()
 	delete(s.parts, model)
+	s.mu.Unlock()
+}
+
+// deletePart removes a single partition (the source side of a completed
+// migration); the model entry stays if other partitions remain.
+func (s *Store) deletePart(model string, idx int) {
+	s.mu.Lock()
+	if byIdx, ok := s.parts[model]; ok {
+		delete(byIdx, idx)
+		if len(byIdx) == 0 {
+			delete(s.parts, model)
+		}
+	}
 	s.mu.Unlock()
 }
 

@@ -148,6 +148,11 @@ func (sh *embShard) rowLocked(id int64, ri *rowIniter) []float64 {
 // initialized them in between). Under the single-lock compat mode the
 // whole request runs under one exclusive lock, as the old server did.
 func (e *embEngine) pull(req embPullReq) (embPullResp, error) {
+	for _, id := range req.IDs {
+		if err := e.checkKey(id); err != nil {
+			return embPullResp{}, err
+		}
+	}
 	out := make(map[int64][]float64, len(req.IDs))
 	ri := e.initer()
 	if e.single {
@@ -211,9 +216,12 @@ func (e *embEngine) groupIDs(ids []int64) [][]int64 {
 // so a malformed batch rejects cleanly instead of half-applying.
 func (e *embEngine) push(req embPushReq) error {
 	w := e.width()
-	for _, vals := range req.Vecs {
+	for id, vals := range req.Vecs {
 		if len(vals) != w {
 			return fmt.Errorf("ps: push width %d != row width %d", len(vals), w)
+		}
+		if err := e.checkKey(id); err != nil {
+			return err
 		}
 	}
 	var step int64
@@ -381,6 +389,116 @@ func (e *embEngine) checkpointData() []byte {
 		}
 	}
 	return enc(snap)
+}
+
+// exportRange merges the shards into flat maps like checkpointData, but
+// keeps only the rows (and their optimizer moments) whose route keys
+// fall in [lo, hi). Column-partitioned engines export everything — they
+// migrate wholesale. The engine-global Adam step travels with the
+// export so bias correction stays monotone on the destination.
+func (e *embEngine) exportRange(lo, hi int64) ([]byte, error) {
+	for i := range e.shards {
+		e.shards[i].mu.RLock()
+	}
+	defer func() {
+		for i := len(e.shards) - 1; i >= 0; i-- {
+			e.shards[i].mu.RUnlock()
+		}
+	}()
+	keep := func(id int64) bool { return !e.routed || e.inExport(id, lo, hi) }
+	snap := ckptSnapshot{
+		Kind: e.meta.Kind,
+		Emb:  make(map[int64][]float64),
+		Col0: e.col0, Col1: e.col1,
+		Step: int(e.step.Load()),
+	}
+	for i := range e.shards {
+		sh := &e.shards[i]
+		for id, row := range sh.rows {
+			if keep(id) {
+				snap.Emb[id] = row
+			}
+		}
+		for id, m := range sh.mom {
+			if keep(id) {
+				if snap.Mom == nil {
+					snap.Mom = make(map[int64][]float64)
+				}
+				snap.Mom[id] = m
+			}
+		}
+		for id, v := range sh.vel {
+			if keep(id) {
+				if snap.Vel == nil {
+					snap.Vel = make(map[int64][]float64)
+				}
+				snap.Vel[id] = v
+			}
+		}
+	}
+	return enc(snap), nil
+}
+
+// importRange scatters an exported row set over the shards.
+func (e *embEngine) importRange(snap ckptSnapshot) error {
+	for i := range e.shards {
+		e.shards[i].mu.Lock()
+	}
+	defer func() {
+		for i := len(e.shards) - 1; i >= 0; i-- {
+			e.shards[i].mu.Unlock()
+		}
+	}()
+	for id, row := range snap.Emb {
+		e.shard(id).rows[id] = row
+	}
+	for id, m := range snap.Mom {
+		sh := e.shard(id)
+		if sh.mom == nil {
+			sh.mom = make(map[int64][]float64)
+		}
+		sh.mom[id] = m
+	}
+	for id, v := range snap.Vel {
+		sh := e.shard(id)
+		if sh.vel == nil {
+			sh.vel = make(map[int64][]float64)
+		}
+		sh.vel[id] = v
+	}
+	if s := int64(snap.Step); s > e.step.Load() {
+		e.step.Store(s)
+	}
+	return nil
+}
+
+// splitAt drops the upper half's rows from every shard: the shard hash
+// is independent of the route hash, so a split lands mid-shard by
+// construction and each shard gives up just its moved keys.
+func (e *embEngine) splitAt(mid int64) error {
+	if !e.routed {
+		return fmt.Errorf("ps: cannot split column-partitioned model %s", e.meta.Name)
+	}
+	for i := range e.shards {
+		e.shards[i].mu.Lock()
+	}
+	defer func() {
+		for i := len(e.shards) - 1; i >= 0; i-- {
+			e.shards[i].mu.Unlock()
+		}
+	}()
+	for i := range e.shards {
+		sh := &e.shards[i]
+		for id := range sh.rows {
+			if !e.keepOnSplit(id, mid) {
+				delete(sh.rows, id)
+				delete(sh.mom, id)
+				delete(sh.vel, id)
+			}
+		}
+	}
+	e.narrowTo(mid)
+	return nil
 }
 
 func (e *embEngine) sizeBytes() int64 {

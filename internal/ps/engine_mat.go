@@ -113,6 +113,30 @@ func (e *matEngine) checkpointData() []byte {
 	})
 }
 
+// exportRange ignores the range: DenseMatrix is column-partitioned, so
+// partitions migrate wholesale (moves), never split.
+func (e *matEngine) exportRange(int64, int64) ([]byte, error) {
+	return e.checkpointData(), nil
+}
+
+// importRange adopts an exported column slab wholesale, moments and
+// step included (a migrated matrix partition must resume Adam exactly).
+func (e *matEngine) importRange(snap ckptSnapshot) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(snap.Mat) != len(e.mat) {
+		return fmt.Errorf("ps: matrix import size %d != partition size %d", len(snap.Mat), len(e.mat))
+	}
+	copy(e.mat, snap.Mat)
+	e.col0, e.col1 = snap.Col0, snap.Col1
+	e.step, e.mom, e.vel = snap.Step, snap.MatMom, snap.MatVel
+	return nil
+}
+
+func (e *matEngine) splitAt(int64) error {
+	return fmt.Errorf("ps: cannot split column-partitioned model %s", e.meta.Name)
+}
+
 func (e *matEngine) sizeBytes() int64 {
 	e.mu.RLock()
 	defer e.mu.RUnlock()

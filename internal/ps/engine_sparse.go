@@ -35,6 +35,9 @@ func (e *sparseEngine) pull(req mapPullReq) (mapPullResp, error) {
 		}
 	} else {
 		for _, k := range req.Keys {
+			if err := e.checkKey(k); err != nil {
+				return mapPullResp{}, err
+			}
 			if v, ok := e.m[k]; ok {
 				out[k] = v
 			}
@@ -43,9 +46,17 @@ func (e *sparseEngine) pull(req mapPullReq) (mapPullResp, error) {
 	return mapPullResp{M: out}, nil
 }
 
+// push validates the whole request against the engine's route range
+// before the first key is written, so a batch that straddles a split
+// rejects without a partial apply.
 func (e *sparseEngine) push(req mapPushReq) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	for k := range req.M {
+		if err := e.checkKey(k); err != nil {
+			return err
+		}
+	}
 	for k, v := range req.M {
 		if req.Set {
 			e.m[k] = v
@@ -67,6 +78,41 @@ func (e *sparseEngine) checkpointData() []byte {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return enc(ckptSnapshot{Kind: e.meta.Kind, M: e.m})
+}
+
+// exportRange snapshots the entries whose route keys fall in [lo, hi).
+func (e *sparseEngine) exportRange(lo, hi int64) ([]byte, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make(map[int64]float64)
+	for k, v := range e.m {
+		if e.inExport(k, lo, hi) {
+			out[k] = v
+		}
+	}
+	return enc(ckptSnapshot{Kind: e.meta.Kind, M: out}), nil
+}
+
+func (e *sparseEngine) importRange(snap ckptSnapshot) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for k, v := range snap.M {
+		e.m[k] = v
+	}
+	return nil
+}
+
+// splitAt drops the entries handed off to the new upper-half partition.
+func (e *sparseEngine) splitAt(mid int64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for k := range e.m {
+		if !e.keepOnSplit(k, mid) {
+			delete(e.m, k)
+		}
+	}
+	e.narrowTo(mid)
+	return nil
 }
 
 func (e *sparseEngine) sizeBytes() int64 {

@@ -38,11 +38,20 @@ func (e *vecEngine) pull(req vecPullReq) (vecPullResp, error) {
 	out := make([]float64, len(req.Indices))
 	for i, idx := range req.Indices {
 		if idx < e.lo || idx >= e.hi {
-			return vecPullResp{}, fmt.Errorf("ps: index %d outside partition [%d,%d)", idx, e.lo, e.hi)
+			return vecPullResp{}, e.rangeErr(idx)
 		}
 		out[i] = e.vec[idx-e.lo]
 	}
 	return vecPullResp{Values: out, Lo: e.lo}, nil
+}
+
+// rangeErr reports an index outside the partition's current range. Since
+// ranges narrow when partitions split, this is a routing-staleness signal
+// (rangeMovedMsg) the client reacts to by refetching the layout and
+// re-grouping the rejected batch.
+func (e *vecEngine) rangeErr(idx int64) error {
+	return fmt.Errorf("%s: index %d not in [%d,%d) of %s/%d",
+		rangeMovedMsg, idx, e.lo, e.hi, e.meta.Name, e.idx)
 }
 
 // push applies one combine request. The whole request is validated
@@ -53,7 +62,11 @@ func (e *vecEngine) push(req vecPushReq) error {
 	defer e.mu.Unlock()
 	if req.Indices == nil {
 		if len(req.Values) != len(e.vec) {
-			return fmt.Errorf("ps: full push size %d != partition size %d", len(req.Values), len(e.vec))
+			// A correctly sized full-range push that stopped fitting means
+			// the partition narrowed under a stale layout — signal it like
+			// any other range rejection so the client refetches and regroups.
+			return fmt.Errorf("%s: full push size %d != partition size %d of %s/%d",
+				rangeMovedMsg, len(req.Values), len(e.vec), e.meta.Name, e.idx)
 		}
 	} else {
 		if len(req.Values) != len(req.Indices) {
@@ -61,7 +74,7 @@ func (e *vecEngine) push(req vecPushReq) error {
 		}
 		for _, idx := range req.Indices {
 			if idx < e.lo || idx >= e.hi {
-				return fmt.Errorf("ps: index %d outside partition [%d,%d)", idx, e.lo, e.hi)
+				return e.rangeErr(idx)
 			}
 		}
 	}
@@ -104,6 +117,51 @@ func (e *vecEngine) checkpointData() []byte {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return enc(ckptSnapshot{Kind: e.meta.Kind, Vec: e.vec, Lo: e.lo, Hi: e.hi})
+}
+
+// exportRange snapshots the [lo, hi) ∩ [e.lo, e.hi) slice.
+func (e *vecEngine) exportRange(lo, hi int64) ([]byte, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if lo < e.lo {
+		lo = e.lo
+	}
+	if hi > e.hi {
+		hi = e.hi
+	}
+	if lo > hi {
+		lo, hi = e.lo, e.lo
+	}
+	out := make([]float64, hi-lo)
+	copy(out, e.vec[lo-e.lo:hi-e.lo])
+	return enc(ckptSnapshot{Kind: e.meta.Kind, Vec: out, Lo: lo, Hi: hi}), nil
+}
+
+// importRange copies an exported slice into place; the engine must
+// already cover the incoming range (newEngine sized it from the layout).
+func (e *vecEngine) importRange(snap ckptSnapshot) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if snap.Lo < e.lo || snap.Hi > e.hi {
+		return fmt.Errorf("ps: import range [%d,%d) not in partition [%d,%d)", snap.Lo, snap.Hi, e.lo, e.hi)
+	}
+	copy(e.vec[snap.Lo-e.lo:snap.Hi-e.lo], snap.Vec)
+	return nil
+}
+
+// splitAt keeps [e.lo, mid) and releases the upper half's memory.
+func (e *vecEngine) splitAt(mid int64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if mid <= e.lo || mid >= e.hi {
+		return fmt.Errorf("ps: split point %d not inside (%d,%d)", mid, e.lo, e.hi)
+	}
+	kept := make([]float64, mid-e.lo)
+	copy(kept, e.vec[:mid-e.lo])
+	e.vec = kept
+	e.hi = mid
+	e.narrowTo(mid)
+	return nil
 }
 
 func (e *vecEngine) sizeBytes() int64 {

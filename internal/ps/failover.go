@@ -133,6 +133,11 @@ type FailoverStats struct {
 	Degraded int64
 	// Replicating reports whether primary/backup replication is on.
 	Replicating bool
+	// Splits and Moves count completed elastic-partition cutovers
+	// (elastic.go): hot-partition midpoint splits and whole-partition
+	// migrations, including drains.
+	Splits int64
+	Moves  int64
 }
 
 // SetReplication enables primary/backup replication: CreateModel assigns
@@ -272,11 +277,13 @@ func (m *Master) checkLeases() {
 }
 
 // liveRingLocked returns the registered servers, in registration order,
-// minus the ones declared dead. Callers hold m.mu.
+// minus the ones declared dead or being drained for scale-in (a drained
+// server keeps serving what it still holds but receives no new
+// placements). Callers hold m.mu.
 func (m *Master) liveRingLocked() []string {
 	out := make([]string, 0, len(m.servers))
 	for _, s := range m.servers {
-		if !m.dead[s] {
+		if !m.dead[s] && !m.drained[s] {
 			out = append(out, s)
 		}
 	}
@@ -313,7 +320,7 @@ func (m *Master) failoverServer(deadAddr string) int {
 			case parts[i].Server == deadAddr:
 				if b := parts[i].Backup; b != "" && !m.dead[b] {
 					parts[i].Server, parts[i].Backup = b, ""
-					promos = append(promos, promo{addr: b, model: name, part: i})
+					promos = append(promos, promo{addr: b, model: name, part: parts[i].Index})
 				} else {
 					orphans = true
 				}
@@ -410,7 +417,7 @@ func (m *Master) reseed() {
 	}
 	var seeds []seed
 	for _, meta := range m.models {
-		for i, p := range meta.Parts {
+		for _, p := range meta.Parts {
 			if m.dead[p.Server] {
 				continue
 			}
@@ -418,7 +425,7 @@ func (m *Master) reseed() {
 			if b == "" || p.Backup == b {
 				continue
 			}
-			seeds = append(seeds, seed{meta: meta, part: i, primary: p.Server, backup: b})
+			seeds = append(seeds, seed{meta: meta, part: p.Index, primary: p.Server, backup: b})
 		}
 	}
 	m.mu.Unlock()
@@ -435,10 +442,12 @@ func (m *Master) reseed() {
 			continue
 		}
 		m.mu.Lock()
-		if meta, ok := m.models[sd.meta.Name]; ok && sd.part < len(meta.Parts) && meta.Parts[sd.part].Server == sd.primary {
-			meta.Parts[sd.part].Backup = sd.backup
-			m.models[sd.meta.Name] = meta
-			m.reseeds++
+		if meta, ok := m.models[sd.meta.Name]; ok {
+			if slot := meta.slotByID(sd.part); slot >= 0 && meta.Parts[slot].Server == sd.primary {
+				meta.Parts[slot].Backup = sd.backup
+				m.models[sd.meta.Name] = meta
+				m.reseeds++
+			}
 		}
 		m.mu.Unlock()
 		mtrace("reseeded %s/%d: %s -> %s", sd.meta.Name, sd.part, sd.primary, sd.backup)
@@ -454,6 +463,8 @@ func (m *Master) failoverStats() FailoverStats {
 		Promotions:  m.promotions,
 		Reseeds:     m.reseeds,
 		Replicating: m.replicate,
+		Splits:      m.splits,
+		Moves:       m.moves,
 	}
 	if m.replicate {
 		for _, meta := range m.models {

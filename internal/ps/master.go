@@ -58,6 +58,18 @@ type Master struct {
 	dropSeen     map[string]int64
 	reseedQueued bool
 
+	// Elastic-partition state (elastic.go): servers being drained for
+	// scale-in (excluded from placement but still serving), completed
+	// split/move counters, the per-partition load baseline of the last
+	// rebalance pass, planner thresholds, and the auto-rebalance loop.
+	drained  map[string]bool
+	splits   int64
+	moves    int64
+	loadPrev map[string]map[int]int64
+	rebOpts  RebalanceOptions
+	rebStop  chan struct{}
+	rebDone  chan struct{}
+
 	// dedup replays retried control-plane mutations (CreateModel, Barrier,
 	// Checkpoint...) from their cached acks — the same exactly-once window
 	// the servers keep for pushes. Barrier especially: a retried arrival
@@ -139,6 +151,9 @@ func (m *Master) dispatch(method string, body []byte) ([]byte, error) {
 		}
 		m.mu.Lock()
 		m.servers = append(m.servers, req.Addr)
+		// A returning server starts with a clean slate: if it was drained
+		// out before, registering again opts it back into placements.
+		delete(m.drained, req.Addr)
 		// Seed the lease of a late-registered server (mirroring what
 		// EnableLeases does for pre-registered ones): without an entry the
 		// checker would skip it, and a server whose heartbeats never arrive
@@ -184,6 +199,32 @@ func (m *Master) dispatch(method string, body []byte) ([]byte, error) {
 		return enc(m.heartbeat(req)), nil
 	case "FailoverStats":
 		return enc(m.failoverStats()), nil
+	case "LoadReport":
+		return enc(m.loadReport()), nil
+	case "Rebalance":
+		res, err := m.Rebalance()
+		if err != nil {
+			return nil, err
+		}
+		return enc(res), nil
+	case "SplitPartition":
+		var req partOpReq
+		if err := dec(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, m.SplitPartition(req.Model, req.Part, req.Dest)
+	case "MovePartition":
+		var req partOpReq
+		if err := dec(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, m.MovePartition(req.Model, req.Part, req.Dest)
+	case "DrainServer":
+		var req drainReq
+		if err := dec(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, m.DrainServer(req.Addr)
 	case "DeleteModel":
 		var req deleteModelReq
 		if err := dec(body, &req); err != nil {
@@ -298,21 +339,29 @@ func (m *Master) createModel(meta ModelMeta) (ModelMeta, error) {
 			}
 		}
 	}
-	for i, part := range meta.Parts {
-		body := enc(createPartReq{Meta: meta, Part: i})
+	for _, part := range meta.Parts {
+		// Partitions are addressed by their stable identity (Partition.Index),
+		// which a later split or migration preserves — not by slot.
+		body := enc(createPartReq{Meta: meta, Part: part.Index})
 		if _, err := m.tr.Call(part.Server, "CreatePart", body); err != nil {
-			return ModelMeta{}, fmt.Errorf("ps: create partition %d on %s: %w", i, part.Server, err)
+			return ModelMeta{}, fmt.Errorf("ps: create partition %d on %s: %w", part.Index, part.Server, err)
 		}
 		if part.Backup != "" {
-			body := enc(createPartReq{Meta: meta, Part: i, Replica: true})
+			body := enc(createPartReq{Meta: meta, Part: part.Index, Replica: true})
 			if _, err := m.tr.Call(part.Backup, "CreatePart", body); err != nil {
-				return ModelMeta{}, fmt.Errorf("ps: create replica %d on %s: %w", i, part.Backup, err)
+				return ModelMeta{}, fmt.Errorf("ps: create replica %d on %s: %w", part.Index, part.Backup, err)
 			}
 		}
 	}
 	m.mu.Lock()
 	m.models[meta.Name] = meta
+	fs := m.fs
 	m.mu.Unlock()
+	if fs != nil {
+		// A manifest left by a deleted model of the same name must not be
+		// adopted by this one's first restore.
+		fs.Delete(layoutManifestPath(meta.Name))
+	}
 	return meta, nil
 }
 
@@ -396,34 +445,40 @@ func (m *Master) checkpointModels(names []string, fence int64) (raced bool, err 
 		// Manually wired master without a DFS handle: single-shot
 		// server-side checkpoints, still serialized against recovery.
 		for _, meta := range metas {
-			for i, p := range meta.Parts {
-				if _, err := m.tr.Call(p.Server, "Checkpoint", enc(ckptReq{Model: meta.Name, Part: i})); err != nil {
+			for _, p := range meta.Parts {
+				if _, err := m.tr.Call(p.Server, "Checkpoint", enc(ckptReq{Model: meta.Name, Part: p.Index})); err != nil {
 					if errors.Is(err, rpc.ErrUnreachable) {
 						return true, nil
 					}
-					return false, fmt.Errorf("ps: checkpoint %s partition %d: %w", meta.Name, i, err)
+					return false, fmt.Errorf("ps: checkpoint %s partition %d: %w", meta.Name, p.Index, err)
 				}
 			}
 		}
 		return false, nil
 	}
 	for _, meta := range metas {
-		for i, p := range meta.Parts {
-			if _, err := m.tr.Call(p.Server, "CkptPrepare", enc(ckptReq{Model: meta.Name, Part: i})); err != nil {
+		for _, p := range meta.Parts {
+			if _, err := m.tr.Call(p.Server, "CkptPrepare", enc(ckptReq{Model: meta.Name, Part: p.Index})); err != nil {
 				if errors.Is(err, rpc.ErrUnreachable) {
 					mtrace("checkpoint %v aborted: %s unreachable", names, p.Server)
 					return true, nil
 				}
-				return false, fmt.Errorf("ps: checkpoint %s partition %d: %w", meta.Name, i, err)
+				return false, fmt.Errorf("ps: checkpoint %s partition %d: %w", meta.Name, p.Index, err)
 			}
 		}
 	}
 	for _, meta := range metas {
-		for i := range meta.Parts {
-			if err := publishCheckpoint(fs, meta.Name, i); err != nil {
-				return false, fmt.Errorf("ps: publish checkpoint %s partition %d: %w", meta.Name, i, err)
+		for _, p := range meta.Parts {
+			if err := publishCheckpoint(fs, meta.Name, p.Index); err != nil {
+				return false, fmt.Errorf("ps: publish checkpoint %s partition %d: %w", meta.Name, p.Index, err)
 			}
-			mtrace("checkpointed %s/%d", meta.Name, i)
+			mtrace("checkpointed %s/%d", meta.Name, p.Index)
+		}
+		// Record the partition table the files were written under: a
+		// checkpoint taken after a split must restore post-split, and one
+		// taken before must roll the table back along with the data.
+		if err := writeLayoutManifest(fs, meta); err != nil {
+			return false, fmt.Errorf("ps: write layout manifest of %s: %w", meta.Name, err)
 		}
 	}
 	return false, nil
@@ -434,13 +489,13 @@ func (m *Master) checkpointModels(names []string, fence int64) (raced bool, err 
 // to partitions on that server; prev selects the previous checkpoint
 // generation.
 func (m *Master) restoreParts(meta ModelMeta, onlyServer string, prev bool) error {
-	for i, p := range meta.Parts {
+	for _, p := range meta.Parts {
 		if onlyServer != "" && p.Server != onlyServer && !meta.ConsistentRecovery {
 			continue
 		}
-		body := enc(restoreReq{Meta: meta, Part: i, Prev: prev})
+		body := enc(restoreReq{Meta: meta, Part: p.Index, Prev: prev})
 		if _, err := m.callWithRetry(p.Server, "Restore", body); err != nil {
-			return fmt.Errorf("ps: restore %s/%d on %s: %w", meta.Name, i, p.Server, err)
+			return fmt.Errorf("ps: restore %s/%d on %s: %w", meta.Name, p.Index, p.Server, err)
 		}
 	}
 	return nil
@@ -464,6 +519,21 @@ func (m *Master) restoreModels(names []string) error {
 		metas = append(metas, meta)
 	}
 	m.mu.Unlock()
+	// Reconcile each model's layout with its checkpoint manifest first:
+	// when a split or migration happened after the checkpoint was taken,
+	// the partition files on the DFS were written under the manifest's
+	// table and must be restored under it. Adoption is a layout edit and
+	// holds recMu so it serializes with recoveries and checkpoints — but
+	// only the adoption: the restore RPCs below must run outside recMu,
+	// or a restore addressed at a dead server would block the very
+	// recovery that restarts it.
+	m.recMu.Lock()
+	for i := range metas {
+		if adopted, changed := m.adoptManifest(metas[i]); changed {
+			metas[i] = adopted
+		}
+	}
+	m.recMu.Unlock()
 	var latestErr error
 	for _, meta := range metas {
 		if latestErr = m.restoreParts(meta, "", false); latestErr != nil {
@@ -632,7 +702,15 @@ func (m *Master) recoverServer(addr string) error {
 		return fmt.Errorf("ps: restart %s: %w", addr, err)
 	}
 	for _, meta := range models {
-		err := m.restoreParts(meta, addr, false)
+		only := addr
+		if adopted, changed := m.adoptManifest(meta); changed {
+			// The checkpoint was taken under a different partition table
+			// (pre-split, say): every partition must come back from it, not
+			// just the dead server's, or ranges would mix two layouts.
+			meta = adopted
+			only = ""
+		}
+		err := m.restoreParts(meta, only, false)
 		if err != nil && isCorruptCheckpointErr(err) {
 			// The latest snapshot of this model is torn or bit-flipped.
 			// Fall back to the previous generation — and restore EVERY

@@ -2,7 +2,7 @@ package ps
 
 import (
 	"fmt"
-	"hash/maphash"
+	"sort"
 )
 
 // Kind identifies the storage layout of a model on the parameter server.
@@ -110,19 +110,31 @@ const (
 	SchemeHashRange
 )
 
-// hashRangeBuckets is the coarse bucket count of SchemeHashRange.
-const hashRangeBuckets = 256
+// routeBuckets is the size of the hash route space: keys of
+// hash-partitioned kinds are hashed into [0, routeBuckets) and each
+// partition owns a contiguous bucket range. A large bucket count keeps
+// range midpoints meaningful when hot partitions are split repeatedly.
+const routeBuckets = 1 << 16
 
 // Partition locates one shard of a model.
 type Partition struct {
+	// Index is the partition's stable identity. At CreateModel it equals
+	// the slice position, but splits append new identities (allocated from
+	// ModelMeta.NextID) while the slice stays sorted by route range, so
+	// the two diverge over the life of an elastic model. Every RPC that
+	// names a partition carries the Index, never the slice position.
 	Index  int
 	Server string // transport address of the primary
 	// Backup is the transport address of the replica server that mirrors
 	// this partition (live primary/backup replication), or "" when the
 	// partition runs unreplicated (degraded single-copy mode).
 	Backup string
-	Lo, Hi int64 // row/index range for range-partitioned kinds
-	Col0   int   // column range for column-partitioned kinds
+	// Lo, Hi is the partition's route range: the half-open interval of
+	// route keys (raw indices for range-partitioned kinds, hash buckets
+	// for hash-partitioned ones) this partition owns. Column-partitioned
+	// kinds leave it zero — every key lives on every partition there.
+	Lo, Hi int64
+	Col0   int // column range for column-partitioned kinds
 	Col1   int
 }
 
@@ -150,7 +162,12 @@ type ModelMeta struct {
 	// server). More partitions than servers spread round-robin, giving
 	// finer units for recovery and rebalancing.
 	NumPartitions int
-	Parts         []Partition
+	// Parts is kept sorted by route range (Lo ascending) for routed kinds
+	// so clients can binary-search it; splits insert in place.
+	Parts []Partition
+	// NextID is the next unused partition identity. layout() sets it to
+	// the initial partition count; every split consumes one.
+	NextID int
 	// Epoch is the layout epoch this meta was handed out at. The master
 	// bumps it on every failover promotion; mutating client calls carry
 	// it and servers fence writes whose epoch is older than their own
@@ -162,87 +179,134 @@ type ModelMeta struct {
 // NumParts returns the number of partitions.
 func (m *ModelMeta) NumParts() int { return len(m.Parts) }
 
-var hashSeed = maphash.MakeSeed()
-
-// hashKey maps a vertex id to a partition index for hash-partitioned kinds.
-func hashKey(key int64, nparts int) int {
-	var h maphash.Hash
-	h.SetSeed(hashSeed)
-	var b [8]byte
-	for i := 0; i < 8; i++ {
-		b[i] = byte(key >> (8 * i))
-	}
-	h.Write(b[:])
-	return int(h.Sum64() % uint64(nparts))
+// routeBucket hashes a key into the [0, routeBuckets) route space. The
+// hash is a pure function (SplitMix64 over a golden-ratio step), so every
+// process — client routing, server-side range validation, migration
+// export filters — agrees on where a key lives without sharing a seed.
+func routeBucket(key int64) int64 {
+	return int64(splitmix64(uint64(key)*0x9e3779b97f4a7c15+0x1d8e4e27c47d124f) % routeBuckets)
 }
 
-// PartitionFor returns the partition index that owns key.
-func (m *ModelMeta) PartitionFor(key int64) int {
+// routed reports whether keys of this model map to exactly one partition
+// through a [Lo, Hi) route range. Column-partitioned kinds are not
+// routed: every key lives on every partition.
+func (m *ModelMeta) routed() bool {
 	switch m.Kind {
-	case DenseVector:
-		// Range partitioning over [0, Size).
-		for i, p := range m.Parts {
-			if key >= p.Lo && key < p.Hi {
-				return i
-			}
-		}
-		return len(m.Parts) - 1
-	case SparseVector, Embedding, Neighbor:
-		switch m.Scheme {
-		case SchemeRange:
-			if m.Size <= 0 {
-				return hashKey(key, len(m.Parts))
-			}
-			k := key
-			if k < 0 {
-				k = 0
-			}
-			if k >= m.Size {
-				k = m.Size - 1
-			}
-			p := int(k * int64(len(m.Parts)) / m.Size)
-			if p >= len(m.Parts) {
-				p = len(m.Parts) - 1
-			}
-			return p
-		case SchemeHashRange:
-			bucket := hashKey(key, hashRangeBuckets)
-			return bucket * len(m.Parts) / hashRangeBuckets
-		default:
-			return hashKey(key, len(m.Parts))
-		}
+	case DenseVector, SparseVector, Embedding, Neighbor:
+		return true
 	default:
-		// Column-partitioned kinds have every key on every partition.
+		return false
+	}
+}
+
+// rangeScheme reports whether route keys are (clamped) raw key values,
+// i.e. partitions own contiguous slices of the key domain [0, Size).
+// Otherwise route keys are hash buckets in [0, routeBuckets).
+func (m *ModelMeta) rangeScheme() bool {
+	if m.Kind == DenseVector {
+		return true
+	}
+	return m.routed() && m.Scheme == SchemeRange && m.Size > 0
+}
+
+// routeSpan returns the exclusive upper bound of the route space.
+func (m *ModelMeta) routeSpan() int64 {
+	if m.rangeScheme() {
+		return m.Size
+	}
+	return routeBuckets
+}
+
+// RouteKey maps a key into the model's route space. Out-of-domain keys
+// clamp into the edge partitions instead of panicking.
+func (m *ModelMeta) RouteKey(key int64) int64 {
+	if m.rangeScheme() {
+		if key < 0 {
+			return 0
+		}
+		if key >= m.Size {
+			return m.Size - 1
+		}
+		return key
+	}
+	return routeBucket(key)
+}
+
+// PartitionFor returns the slice position (not the stable Index) of the
+// partition that owns key: a binary search over the sorted range table.
+func (m *ModelMeta) PartitionFor(key int64) int {
+	if !m.routed() || len(m.Parts) <= 1 {
 		return 0
 	}
+	rk := m.RouteKey(key)
+	// Last partition whose Lo <= rk; clamps keys outside [Parts[0].Lo,
+	// Parts[last].Hi) into the edge partitions.
+	lo, hi := 0, len(m.Parts)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if m.Parts[mid].Lo <= rk {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// slotByID returns the slice position of the partition with stable
+// identity id, or -1 when the layout no longer carries it.
+func (m *ModelMeta) slotByID(id int) int {
+	for i := range m.Parts {
+		if m.Parts[i].Index == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// partByID returns the partition with stable identity id.
+func (m *ModelMeta) partByID(id int) (Partition, bool) {
+	if i := m.slotByID(id); i >= 0 {
+		return m.Parts[i], true
+	}
+	return Partition{}, false
+}
+
+// sortParts re-establishes the route-range sort order after an insert.
+func sortParts(parts []Partition) {
+	sort.Slice(parts, func(i, j int) bool {
+		if parts[i].Lo != parts[j].Lo {
+			return parts[i].Lo < parts[j].Lo
+		}
+		return parts[i].Index < parts[j].Index
+	})
 }
 
 // layout computes partition boundaries over the given server addresses.
 // Partitions are assigned to servers round-robin; by default there is one
-// partition per server.
+// partition per server. Every routed kind gets a real route range so the
+// same split/migrate machinery covers range- and hash-partitioned models.
 func layout(meta ModelMeta, servers []string) ModelMeta {
 	n := meta.NumPartitions
 	if n <= 0 {
 		n = len(servers)
 	}
 	meta.Parts = make([]Partition, n)
+	meta.NextID = n
 	serverOf := func(i int) string { return servers[i%len(servers)] }
 	switch meta.Kind {
-	case DenseVector:
-		for i := 0; i < n; i++ {
-			lo := meta.Size * int64(i) / int64(n)
-			hi := meta.Size * int64(i+1) / int64(n)
-			meta.Parts[i] = Partition{Index: i, Server: serverOf(i), Lo: lo, Hi: hi}
-		}
 	case ColumnEmbedding, DenseMatrix:
 		for i := 0; i < n; i++ {
 			c0 := meta.Dim * i / n
 			c1 := meta.Dim * (i + 1) / n
 			meta.Parts[i] = Partition{Index: i, Server: serverOf(i), Col0: c0, Col1: c1}
 		}
-	default: // hash partitioned
+	default:
+		span := meta.routeSpan()
 		for i := 0; i < n; i++ {
-			meta.Parts[i] = Partition{Index: i, Server: serverOf(i)}
+			lo := span * int64(i) / int64(n)
+			hi := span * int64(i+1) / int64(n)
+			meta.Parts[i] = Partition{Index: i, Server: serverOf(i), Lo: lo, Hi: hi}
 		}
 	}
 	return meta

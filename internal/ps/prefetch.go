@@ -36,11 +36,22 @@ type rowCache struct {
 	version int64
 	rows    map[int64][]float64
 
+	// layoutEpoch/layoutParts record the layout the cached rows were
+	// pulled under. cacheMeta calls syncLayout whenever the client
+	// refetches a model's layout; a change means partitions split or
+	// moved while rows sat here, so the cache is invalidated the same
+	// way a clock advance invalidates it.
+	layoutEpoch int64
+	layoutParts int
+
 	hits   atomic.Int64
 	misses atomic.Int64
 }
 
-// rowCache returns the cache for model, creating it on first use.
+// rowCache returns the cache for model, creating it on first use. The
+// new cache's layout baseline comes from the currently cached meta, so
+// the first syncLayout after a genuine layout change still registers as
+// a change.
 func (c *Client) rowCache(model string) *rowCache {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -50,9 +61,34 @@ func (c *Client) rowCache(model string) *rowCache {
 	rc := c.rowCaches[model]
 	if rc == nil {
 		rc = &rowCache{rows: make(map[int64][]float64)}
+		if meta, ok := c.cache[model]; ok {
+			rc.layoutEpoch = meta.Epoch
+			rc.layoutParts = len(meta.Parts)
+		}
 		c.rowCaches[model] = rc
 	}
 	return rc
+}
+
+// syncLayout reconciles the cache with a freshly fetched layout: if the
+// epoch or partition count moved since the cached rows were pulled, the
+// rows may now live elsewhere (split or migration) and are dropped
+// under a version bump so in-flight prefetches cannot re-insert them.
+// The first observation is a baseline, not a change.
+func (rc *rowCache) syncLayout(epoch int64, nparts int) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.layoutEpoch == epoch && rc.layoutParts == nparts {
+		return
+	}
+	fresh := rc.layoutEpoch == 0 && rc.layoutParts == 0
+	rc.layoutEpoch = epoch
+	rc.layoutParts = nparts
+	if fresh {
+		return
+	}
+	rc.version++
+	rc.rows = make(map[int64][]float64)
 }
 
 // CacheStats sums prefetch-cache hits and misses across this agent's

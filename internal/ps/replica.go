@@ -171,6 +171,14 @@ func (s *Server) role(model string, part int) *partRole {
 // bump counts one applied mutation against the partition's role.
 func (s *Server) bump(model string, part int) { s.role(model, part).muts.Add(1) }
 
+// dropRole forgets one partition's role (the source side of a completed
+// migration hands its apply counter to the destination first).
+func (s *Server) dropRole(model string, part int) {
+	s.repl.pmu.Lock()
+	delete(s.repl.roles, partKey{model, part})
+	s.repl.pmu.Unlock()
+}
+
 // dropRoles forgets the roles of a deleted model.
 func (s *Server) dropRoles(model string) {
 	s.repl.pmu.Lock()
