@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	psbench [-scale small|medium] [-exp all|fig6|line|table1|table2|ablation|wire|server|dataflow|chaos|failover|ssp|rebalance] [-wireout BENCH_ps_wire.json] [-serverout BENCH_ps_server.json] [-dataflowout BENCH_dataflow.json] [-chaosout BENCH_chaos.json] [-failoverout BENCH_failover.json] [-sspout BENCH_ssp.json] [-rebalanceout BENCH_rebalance.json] [-seed N]
+//	psbench [-scale small|medium] [-exp all|fig6|line|table1|table2|ablation|wire|server|dataflow|chaos|failover|ssp|rebalance|serve] [-wireout BENCH_ps_wire.json] [-serverout BENCH_ps_server.json] [-dataflowout BENCH_dataflow.json] [-chaosout BENCH_chaos.json] [-failoverout BENCH_failover.json] [-sspout BENCH_ssp.json] [-rebalanceout BENCH_rebalance.json] [-serveout BENCH_serve.json] [-seed N]
 package main
 
 import (
@@ -20,7 +20,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	scaleName := flag.String("scale", "small", "dataset/resource scale preset (small|medium)")
-	exp := flag.String("exp", "all", "experiment to run (all|fig6|line|table1|table2|ablation|wire|server|dataflow|chaos|failover|ssp|rebalance)")
+	exp := flag.String("exp", "all", "experiment to run (all|fig6|line|table1|table2|ablation|wire|server|dataflow|chaos|failover|ssp|rebalance|serve)")
 	wireOut := flag.String("wireout", "BENCH_ps_wire.json", "where -exp wire (or all) writes its JSON report")
 	serverOut := flag.String("serverout", "BENCH_ps_server.json", "where -exp server (or all) writes its JSON report")
 	dataflowOut := flag.String("dataflowout", "BENCH_dataflow.json", "where -exp dataflow (or all) writes its JSON report")
@@ -28,6 +28,7 @@ func main() {
 	failoverOut := flag.String("failoverout", "BENCH_failover.json", "where -exp failover (or all) writes its JSON report")
 	sspOut := flag.String("sspout", "BENCH_ssp.json", "where -exp ssp (or all) writes its JSON report")
 	rebalanceOut := flag.String("rebalanceout", "BENCH_rebalance.json", "where -exp rebalance (or all) writes its JSON report")
+	serveOut := flag.String("serveout", "BENCH_serve.json", "where -exp serve (or all) writes its JSON report")
 	seed := flag.Int64("seed", 7, "chaos fault-schedule seed")
 	flag.Parse()
 
@@ -45,7 +46,7 @@ func main() {
 	ok := true
 	switch *exp {
 	case "all":
-		ok = runFig6(scale) && runLine(scale) && runTable1(scale) && runTable2(scale) && runAblation(scale) && runWire(scale, *wireOut) && runServer(scale, *serverOut) && runDataflow(scale, *dataflowOut) && runChaos(scale, *seed, *chaosOut) && runFailover(scale, *failoverOut) && runSSP(scale, *sspOut) && runRebalance(scale, *rebalanceOut)
+		ok = runFig6(scale) && runLine(scale) && runTable1(scale) && runTable2(scale) && runAblation(scale) && runWire(scale, *wireOut) && runServer(scale, *serverOut) && runDataflow(scale, *dataflowOut) && runChaos(scale, *seed, *chaosOut) && runFailover(scale, *failoverOut) && runSSP(scale, *sspOut) && runRebalance(scale, *rebalanceOut) && runServe(scale, *serveOut)
 	case "fig6":
 		ok = runFig6(scale)
 	case "line":
@@ -70,6 +71,8 @@ func main() {
 		ok = runSSP(scale, *sspOut)
 	case "rebalance":
 		ok = runRebalance(scale, *rebalanceOut)
+	case "serve":
+		ok = runServe(scale, *serveOut)
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}
@@ -407,6 +410,44 @@ func runRebalance(s bench.Scale, outPath string) bool {
 	fmt.Printf("  timing texture: hot p99 %.2fx, epoch wall %.2fx vs pre-split\n", rep.HotGain, rep.Speedup)
 	fmt.Printf("  mid-stream drain: %d pushes acked, %d mass lost; applied=%d sent=%d\n",
 		rep.DrainAcked, rep.LostMass, rep.Applied, rep.Sent)
+	if outPath != "" {
+		if err := rep.WriteJSON(outPath); err != nil {
+			log.Printf("  writing %s FAILED: %v", outPath, err)
+			return false
+		}
+		fmt.Printf("  report written to %s\n", outPath)
+	}
+	fmt.Println()
+	return rep.Pass
+}
+
+// runServe drives skewed mixed pulls from the read-optimized serving
+// tier while the trainers keep pushing. Passes when the snapshot tier
+// (row caches, replicated hot head, snapshot replicas) absorbed >=90%
+// of the served rows, the hot head hit the local cache >=80% of the
+// time, and exactly-once accounting held across both phases.
+func runServe(s bench.Scale, outPath string) bool {
+	fmt.Println("== Serve: read-optimized serving tier under a mixed read/train load ==")
+	cfg := bench.DefaultServeConfig(s)
+	rep, err := bench.RunServeBench(cfg)
+	if err != nil {
+		log.Printf("  serve bench FAILED: %v", err)
+		return false
+	}
+	fmt.Printf("  %d servers, %d trainers, %d serve agents, %d-row universe (hot head %d), dim %d, batch %d, %.0f%% hot\n",
+		rep.Servers, rep.Trainers, rep.Agents, rep.Rows, rep.HotHead, rep.Dim, rep.Batch, 100*rep.HotFrac)
+	fmt.Printf("  %-10s %9s %10s %12s %10s %10s %10s\n",
+		"phase", "wall", "pushes/s", "pull QPS", "pulls", "p50", "p99")
+	for _, p := range []bench.ServePhase{rep.Control, rep.Mixed} {
+		fmt.Printf("  %-10s %8.3fs %10.0f %12.0f %10d %8.3fms %8.3fms\n",
+			p.Name, p.WallSeconds, p.PushesPerSec, p.QPS, p.Pulls, p.P50Millis, p.P99Millis)
+	}
+	fmt.Printf("  row provenance: cache=%d hot-replica=%d snapshot=%d primary=%d — offload share %.1f%%\n",
+		rep.CacheRows, rep.HotRows, rep.SnapRows, rep.PrimaryRows, 100*rep.OffloadShare)
+	fmt.Printf("  hot head: %d/%d workload head ids mined into generation %d; cache hit ratio %.1f%% (%d/%d)\n",
+		rep.HotMined, rep.HotHead, rep.SnapEpoch, 100*rep.HotHitRatio, rep.HotCacheHits, rep.HotLookups)
+	fmt.Printf("  training texture: mixed-phase push throughput %.2fx of control; applied=%d sent=%d\n",
+		rep.TrainRatio, rep.Applied, rep.Sent)
 	if outPath != "" {
 		if err := rep.WriteJSON(outPath); err != nil {
 			log.Printf("  writing %s FAILED: %v", outPath, err)

@@ -23,6 +23,7 @@ package chaos
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -91,6 +92,7 @@ func Run(cfg Config) *Report {
 		FailoverPromotion,
 		CheckpointCorruption,
 		MigrationKill,
+		ServeKill,
 	} {
 		start := time.Now()
 		r := ph(cfg)
@@ -925,6 +927,98 @@ func CheckpointCorruption(cfg Config) PhaseResult {
 		}
 	}
 	r.Detail = fmt.Sprintf("killed %s; latest generation rejected, all %d elements restored from previous fence", victim, size)
+	r.Pass = true
+	return r
+}
+
+// ServeKill drives verified reads through the serving tier while one of
+// the serving endpoints is killed mid-stream. Every pull must keep
+// returning the exact published values from the surviving snapshot
+// replicas and hot-head holders — zero failed pulls, zero wrong rows,
+// and no silent fallback to the mutable primaries.
+func ServeKill(cfg Config) PhaseResult {
+	r := PhaseResult{Name: "serve-kill"}
+	cl, err := ps.NewCluster(ps.ClusterConfig{NumServers: 3, NamePrefix: "chaos-serve"})
+	if err != nil {
+		return failf(r, "cluster: %v", err)
+	}
+	defer cl.Close()
+	cl.Master.SetServeOptions(ps.ServeOptions{Replicas: 2, HotKeys: 8})
+	agent := cl.NewClient()
+	const dim = 4
+	nIDs := int64(256)
+	pulls := 4000
+	if cfg.Short {
+		nIDs, pulls = 64, 800
+	}
+	emb, err := agent.CreateEmbedding(ps.EmbeddingSpec{Name: "serve-chaos", Dim: dim, Partitions: 3})
+	if err != nil {
+		return failf(r, "create: %v", err)
+	}
+	rows := make(map[int64][]float64, nIDs)
+	for id := int64(0); id < nIDs; id++ {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = float64(id*dim + int64(j))
+		}
+		rows[id] = row
+	}
+	if err := emb.PushSet(rows); err != nil {
+		return failf(r, "seed rows: %v", err)
+	}
+	// Skew the pull counters so the publication mines a real hot head.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	hotIDs := []int64{1, 2, 3, 5, 8, 13, 21, 34}
+	for i := 0; i < 40; i++ {
+		if _, err := emb.Pull(hotIDs); err != nil {
+			return failf(r, "warm pulls: %v", err)
+		}
+	}
+	sl, err := agent.PublishSnapshot("serve-chaos")
+	if err != nil {
+		return failf(r, "publish: %v", err)
+	}
+	sc, err := agent.Serve("serve-chaos")
+	if err != nil {
+		return failf(r, "serve handle: %v", err)
+	}
+	check := func(i int) error {
+		var id int64
+		if rng.Intn(10) < 9 { // 90% hot head, 10% uniform tail
+			id = hotIDs[rng.Intn(len(hotIDs))]
+		} else {
+			id = rng.Int63n(nIDs)
+		}
+		got, err := sc.Pull([]int64{id})
+		if err != nil {
+			return fmt.Errorf("pull %d (id %d): %w", i, id, err)
+		}
+		want := rows[id]
+		for j := range want {
+			if got[id][j] != want[j] {
+				return fmt.Errorf("pull %d: row %d = %v, want %v", i, id, got[id], want)
+			}
+		}
+		return nil
+	}
+	for i := 0; i < pulls/2; i++ {
+		if err := check(i); err != nil {
+			return failf(r, "pre-kill %v", err)
+		}
+	}
+	victim := sl.Endpoints[int(cfg.Seed)%len(sl.Endpoints)]
+	cl.KillServer(victim)
+	for i := pulls / 2; i < pulls; i++ {
+		if err := check(i); err != nil {
+			return failf(r, "post-kill %v", err)
+		}
+	}
+	st := sc.Stats()
+	if st.PrimaryRows != 0 {
+		return failf(r, "%d rows leaked to the mutable primaries", st.PrimaryRows)
+	}
+	r.Detail = fmt.Sprintf("killed %s after %d pulls; %d total pulls all exact (cache %d, hot %d, snap %d, primary 0)",
+		victim, pulls/2, pulls, st.CacheRows, st.HotRows, st.SnapRows)
 	r.Pass = true
 	return r
 }

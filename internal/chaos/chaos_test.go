@@ -35,6 +35,8 @@ func TestCheckpointCorruptionFallsBack(t *testing.T) { runPhase(t, CheckpointCor
 
 func TestMigrationDestinationKill(t *testing.T) { runPhase(t, MigrationKill) }
 
+func TestServeEndpointKill(t *testing.T) { runPhase(t, ServeKill) }
+
 // TestFullSuite exercises the aggregate Run entry point psbench uses.
 // The individual phase tests above already cover every phase, so the
 // duplicate work is skipped in -short mode.
@@ -43,8 +45,8 @@ func TestFullSuite(t *testing.T) {
 		t.Skip("phases covered individually in short mode")
 	}
 	rep := Run(testCfg(t))
-	if len(rep.Phases) != 8 {
-		t.Fatalf("expected 8 phases, got %d", len(rep.Phases))
+	if len(rep.Phases) != 9 {
+		t.Fatalf("expected 9 phases, got %d", len(rep.Phases))
 	}
 	if !rep.Pass {
 		for _, p := range rep.Phases {

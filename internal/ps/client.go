@@ -36,6 +36,11 @@ type Client struct {
 	// (prefetch.go), lazily created, guarded by mu like cache.
 	rowCaches map[string]*rowCache
 
+	// rowCacheRows/rowCacheBytes are the caps newly created row caches
+	// adopt (SetRowCacheLimits; <= 0 disables a cap).
+	rowCacheRows  int
+	rowCacheBytes int64
+
 	sentBytes atomic.Int64
 	recvBytes atomic.Int64
 
@@ -80,6 +85,7 @@ func NewClient(tr rpc.Transport, masterAddr string) *Client {
 		id:           nextClientID.Add(1),
 		cache:        make(map[string]ModelMeta),
 		RetryTimeout: 30 * time.Second,
+		rowCacheRows: defaultRowCacheRows,
 	}
 }
 

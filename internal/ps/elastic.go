@@ -87,6 +87,9 @@ type partStat struct {
 	Replica bool
 	Muts    int64
 	Bytes   int64
+	// Hot is the partition's pull-frequency head (engine counters),
+	// mined by the serving tier's hot-key replication (serve.go).
+	Hot []HotKey
 }
 
 type partStatsResp struct {
@@ -222,10 +225,16 @@ func (s *Server) partStats() partStatsResp {
 		part  int
 	}
 	bytes := make(map[key]int64)
+	hot := make(map[key][]HotKey)
 	s.store.mu.RLock()
 	for model, parts := range s.store.parts {
 		for idx, e := range parts {
 			bytes[key{model, idx}] = e.sizeBytes()
+			if ht, ok := e.(interface{ hotTop(int) []HotKey }); ok {
+				if hk := ht.hotTop(partStatHotK); len(hk) > 0 {
+					hot[key{model, idx}] = hk
+				}
+			}
 		}
 	}
 	s.store.mu.RUnlock()
@@ -242,13 +251,14 @@ func (s *Server) partStats() partStatsResp {
 			Replica: r.replica.Load(),
 			Muts:    r.muts.Load(),
 			Bytes:   b,
+			Hot:     hot[key{k.model, k.part}],
 		})
 		delete(bytes, key{k.model, k.part})
 	}
 	s.repl.pmu.RUnlock()
 	// Partitions never pushed to have no role yet; report them at zero.
 	for k, b := range bytes {
-		resp.Parts = append(resp.Parts, partStat{Model: k.model, Part: k.part, Bytes: b})
+		resp.Parts = append(resp.Parts, partStat{Model: k.model, Part: k.part, Bytes: b, Hot: hot[k]})
 	}
 	sort.Slice(resp.Parts, func(i, j int) bool {
 		if resp.Parts[i].Model != resp.Parts[j].Model {
@@ -272,6 +282,9 @@ type PartLoad struct {
 	Lo, Hi int64
 	Muts   int64
 	Bytes  int64
+	// Hot is the partition's pull-frequency head, the training-side
+	// signal the serving tier's hot-key replication is seeded from.
+	Hot []HotKey
 }
 
 // LoadReport is the master's cluster-wide per-partition load view,
@@ -325,7 +338,7 @@ func (m *Master) loadReport() LoadReport {
 			st := stats[key{name, p.Index}]
 			rep.Parts = append(rep.Parts, PartLoad{
 				Model: name, Part: p.Index, Server: p.Server, Backup: p.Backup,
-				Lo: p.Lo, Hi: p.Hi, Muts: st.Muts, Bytes: st.Bytes,
+				Lo: p.Lo, Hi: p.Hi, Muts: st.Muts, Bytes: st.Bytes, Hot: st.Hot,
 			})
 		}
 	}

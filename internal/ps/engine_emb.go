@@ -30,6 +30,10 @@ type embEngine struct {
 	single bool
 	step   atomic.Int64
 	shards []embShard
+
+	// hot counts pull frequency per row; the serving tier mines it for
+	// the power-law head to replicate (serve.go).
+	hot hotCounter
 }
 
 type embShard struct {
@@ -165,6 +169,7 @@ func (e *embEngine) pull(req embPullReq) (embPullResp, error) {
 			out[id] = cp
 		}
 		sh.mu.Unlock()
+		e.hot.bump(req.IDs)
 		return embPullResp{Vecs: out}, nil
 	}
 	groups := e.groupIDs(req.IDs)
@@ -197,8 +202,12 @@ func (e *embEngine) pull(req embPullReq) (embPullResp, error) {
 		}
 		sh.mu.Unlock()
 	}
+	e.hot.bump(req.IDs)
 	return embPullResp{Vecs: out}, nil
 }
+
+// hotTop exposes the engine's pull-frequency head for LoadReport.
+func (e *embEngine) hotTop(k int) []HotKey { return e.hot.top(k) }
 
 // groupIDs buckets ids by shard index.
 func (e *embEngine) groupIDs(ids []int64) [][]int64 {

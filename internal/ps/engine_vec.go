@@ -13,6 +13,11 @@ type vecEngine struct {
 	mu     sync.RWMutex
 	lo, hi int64
 	vec    []float64
+
+	// hot counts indexed-pull frequency for the serving tier's hot-head
+	// mining (serve.go). Full-range pulls are not counted — they carry
+	// no per-key signal.
+	hot hotCounter
 }
 
 func newVecEngine(base engineBase, pm Partition) *vecEngine {
@@ -42,8 +47,12 @@ func (e *vecEngine) pull(req vecPullReq) (vecPullResp, error) {
 		}
 		out[i] = e.vec[idx-e.lo]
 	}
+	e.hot.bump(req.Indices)
 	return vecPullResp{Values: out, Lo: e.lo}, nil
 }
+
+// hotTop exposes the engine's pull-frequency head for LoadReport.
+func (e *vecEngine) hotTop(k int) []HotKey { return e.hot.top(k) }
 
 // rangeErr reports an index outside the partition's current range. Since
 // ranges narrow when partitions split, this is a routing-staleness signal

@@ -70,6 +70,11 @@ type Master struct {
 	rebStop  chan struct{}
 	rebDone  chan struct{}
 
+	// Serving-tier state (serve_master.go): options and the current
+	// published serving generation per model.
+	serveOpts    ServeOptions
+	serveLayouts map[string]ServeLayout
+
 	// dedup replays retried control-plane mutations (CreateModel, Barrier,
 	// Checkpoint...) from their cached acks — the same exactly-once window
 	// the servers keep for pushes. Barrier especially: a retried arrival
@@ -231,6 +236,26 @@ func (m *Master) dispatch(method string, body []byte) ([]byte, error) {
 			return nil, err
 		}
 		return nil, m.deleteModel(req.Name)
+	case "PublishSnapshot":
+		var req deleteModelReq // just a name
+		if err := dec(body, &req); err != nil {
+			return nil, err
+		}
+		sl, err := m.PublishSnapshot(req.Name)
+		if err != nil {
+			return nil, err
+		}
+		return enc(sl), nil
+	case "GetServeLayout":
+		var req deleteModelReq // just a name
+		if err := dec(body, &req); err != nil {
+			return nil, err
+		}
+		sl, err := m.GetServeLayout(req.Name)
+		if err != nil {
+			return nil, err
+		}
+		return enc(sl), nil
 	case "Barrier":
 		var req barrierReq
 		if err := dec(body, &req); err != nil {
@@ -369,6 +394,7 @@ func (m *Master) deleteModel(name string) error {
 	m.mu.Lock()
 	_, ok := m.models[name]
 	delete(m.models, name)
+	delete(m.serveLayouts, name)
 	// Broadcast to every live server, not only the primaries: with
 	// replication on, backups hold replica partitions of the model too.
 	servers := m.liveRingLocked()
@@ -454,6 +480,7 @@ func (m *Master) checkpointModels(names []string, fence int64) (raced bool, err 
 				}
 			}
 		}
+		m.maybeAutoPublishLocked(metas)
 		return false, nil
 	}
 	for _, meta := range metas {
@@ -481,6 +508,7 @@ func (m *Master) checkpointModels(names []string, fence int64) (raced bool, err 
 			return false, fmt.Errorf("ps: write layout manifest of %s: %w", meta.Name, err)
 		}
 	}
+	m.maybeAutoPublishLocked(metas)
 	return false, nil
 }
 

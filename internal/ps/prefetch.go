@@ -10,7 +10,7 @@ package ps
 // (TensorFlow's dataflow pipelining, PAPERS.md, applied to the PS pull
 // path).
 //
-// Prefetched rows land in a small per-(client, model) versioned cache.
+// Prefetched rows land in a per-(client, model) versioned cache.
 // The version is the consistency fence: every cache mutation checks it,
 // and InvalidateRows (wired to SSPClock.OnAdvance by the training loops)
 // bumps it and clears the cache, so rows pulled under clock c are never
@@ -19,22 +19,50 @@ package ps
 // snapshot it took at launch no longer matches, so it cannot poison the
 // cache with stale rows. Rows are cloned on both insert and serve —
 // callers routinely mutate pulled vectors in place.
+//
+// The cache is a bounded LRU: every lookup hit and insert moves the row
+// to the front of an intrusive recency list, and inserts evict from the
+// tail until both the row cap and the byte cap hold. Training prefetch
+// rarely feels the bound (the whole cache dies at the next clock
+// advance), but the serving tier (serve.go) reuses this cache for
+// long-lived read traffic where the working set exceeds memory and
+// recency is the whole game.
 
 import (
 	"sync"
 	"sync/atomic"
 )
 
-// rowCacheMax bounds each model's row cache; beyond it arbitrary entries
-// are evicted (recency is irrelevant at mini-batch granularity — the
-// whole cache dies at the next clock advance anyway).
-const rowCacheMax = 4096
+// defaultRowCacheRows bounds each model's row cache when the client does
+// not configure limits (SetRowCacheLimits). The byte cap is off by
+// default: mini-batch prefetch rows are uniform, so the row cap governs.
+const defaultRowCacheRows = 4096
 
-// rowCache is one model's client-side versioned row cache.
+// cacheEnt is one cached row on the intrusive LRU list.
+type cacheEnt struct {
+	id         int64
+	row        []float64
+	prev, next *cacheEnt
+}
+
+// entBytes is the accounting cost of a cached row: the float64 payload
+// plus fixed per-entry overhead (key + list pointers).
+func entBytes(row []float64) int64 {
+	return int64(8*len(row)) + 40
+}
+
+// rowCache is one model's client-side versioned LRU row cache.
 type rowCache struct {
 	mu      sync.Mutex
 	version int64
-	rows    map[int64][]float64
+	rows    map[int64]*cacheEnt
+	head    *cacheEnt // most recently used
+	tail    *cacheEnt // least recently used; next eviction victim
+	bytes   int64
+
+	// maxRows/maxBytes bound the cache; <= 0 means that cap is off.
+	maxRows  int
+	maxBytes int64
 
 	// layoutEpoch/layoutParts record the layout the cached rows were
 	// pulled under. cacheMeta calls syncLayout whenever the client
@@ -44,8 +72,18 @@ type rowCache struct {
 	layoutEpoch int64
 	layoutParts int
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+// newRowCache builds a cache with the given caps (<= 0 disables a cap).
+func newRowCache(maxRows int, maxBytes int64) *rowCache {
+	return &rowCache{
+		rows:     make(map[int64]*cacheEnt),
+		maxRows:  maxRows,
+		maxBytes: maxBytes,
+	}
 }
 
 // rowCache returns the cache for model, creating it on first use. The
@@ -60,7 +98,7 @@ func (c *Client) rowCache(model string) *rowCache {
 	}
 	rc := c.rowCaches[model]
 	if rc == nil {
-		rc = &rowCache{rows: make(map[int64][]float64)}
+		rc = newRowCache(c.rowCacheRows, c.rowCacheBytes)
 		if meta, ok := c.cache[model]; ok {
 			rc.layoutEpoch = meta.Epoch
 			rc.layoutParts = len(meta.Parts)
@@ -68,6 +106,23 @@ func (c *Client) rowCache(model string) *rowCache {
 		c.rowCaches[model] = rc
 	}
 	return rc
+}
+
+// SetRowCacheLimits configures the per-model row-cache caps for this
+// client: at most maxRows rows and maxBytes bytes per model (<= 0
+// disables that cap). Existing caches adopt the new caps immediately;
+// oversize ones shed LRU entries on their next insert.
+func (c *Client) SetRowCacheLimits(maxRows int, maxBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rowCacheRows = maxRows
+	c.rowCacheBytes = maxBytes
+	for _, rc := range c.rowCaches {
+		rc.mu.Lock()
+		rc.maxRows = maxRows
+		rc.maxBytes = maxBytes
+		rc.mu.Unlock()
+	}
 }
 
 // syncLayout reconciles the cache with a freshly fetched layout: if the
@@ -87,8 +142,77 @@ func (rc *rowCache) syncLayout(epoch int64, nparts int) {
 	if fresh {
 		return
 	}
+	rc.resetLocked()
+}
+
+// resetLocked bumps the version fence and drops every row. Callers hold
+// rc.mu.
+func (rc *rowCache) resetLocked() {
 	rc.version++
-	rc.rows = make(map[int64][]float64)
+	rc.rows = make(map[int64]*cacheEnt)
+	rc.head, rc.tail = nil, nil
+	rc.bytes = 0
+}
+
+// invalidate drops every cached row and bumps the version so in-flight
+// inserts under the old version cannot land.
+func (rc *rowCache) invalidate() {
+	rc.mu.Lock()
+	rc.resetLocked()
+	rc.mu.Unlock()
+}
+
+// unlink removes e from the recency list. Callers hold rc.mu.
+func (rc *rowCache) unlink(e *cacheEnt) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		rc.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		rc.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// pushFront makes e the most recently used entry. Callers hold rc.mu.
+func (rc *rowCache) pushFront(e *cacheEnt) {
+	e.next = rc.head
+	if rc.head != nil {
+		rc.head.prev = e
+	}
+	rc.head = e
+	if rc.tail == nil {
+		rc.tail = e
+	}
+}
+
+// touch moves an existing entry to the front. Callers hold rc.mu.
+func (rc *rowCache) touch(e *cacheEnt) {
+	if rc.head == e {
+		return
+	}
+	rc.unlink(e)
+	rc.pushFront(e)
+}
+
+// evictLocked sheds LRU entries until both caps hold. Callers hold
+// rc.mu.
+func (rc *rowCache) evictLocked() {
+	for rc.tail != nil {
+		overRows := rc.maxRows > 0 && len(rc.rows) > rc.maxRows
+		overBytes := rc.maxBytes > 0 && rc.bytes > rc.maxBytes
+		if !overRows && !overBytes {
+			return
+		}
+		victim := rc.tail
+		rc.unlink(victim)
+		delete(rc.rows, victim.id)
+		rc.bytes -= entBytes(victim.row)
+		rc.evictions.Add(1)
+	}
 }
 
 // CacheStats sums prefetch-cache hits and misses across this agent's
@@ -103,8 +227,20 @@ func (c *Client) CacheStats() (hits, misses int64) {
 	return hits, misses
 }
 
+// CacheEvictions sums LRU evictions across this agent's model caches.
+func (c *Client) CacheEvictions() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var n int64
+	for _, rc := range c.rowCaches {
+		n += rc.evictions.Load()
+	}
+	return n
+}
+
 // insert adds rows under the version fence: nothing lands if the cache
-// was invalidated after the snapshot was taken.
+// was invalidated after the snapshot was taken. Inserted rows become the
+// most recently used; the tail is evicted until the caps hold.
 func (rc *rowCache) insert(version int64, rows map[int64][]float64) {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
@@ -112,28 +248,35 @@ func (rc *rowCache) insert(version int64, rows map[int64][]float64) {
 		return
 	}
 	for id, v := range rows {
-		if len(rc.rows) >= rowCacheMax {
-			for k := range rc.rows {
-				delete(rc.rows, k)
-				break
-			}
+		row := append([]float64(nil), v...)
+		if e, ok := rc.rows[id]; ok {
+			rc.bytes += entBytes(row) - entBytes(e.row)
+			e.row = row
+			rc.touch(e)
+			continue
 		}
-		rc.rows[id] = append([]float64(nil), v...)
+		e := &cacheEnt{id: id, row: row}
+		rc.rows[id] = e
+		rc.bytes += entBytes(row)
+		rc.pushFront(e)
 	}
+	rc.evictLocked()
 }
 
 // lookup splits ids into cached rows (cloned) and misses, returning the
-// version fence for a subsequent insert.
+// version fence for a subsequent insert. Hits are promoted to most
+// recently used.
 func (rc *rowCache) lookup(ids []int64) (found map[int64][]float64, missing []int64, version int64) {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	found = make(map[int64][]float64, len(ids))
 	for _, id := range ids {
-		if v, ok := rc.rows[id]; ok {
+		if e, ok := rc.rows[id]; ok {
 			if _, dup := found[id]; dup {
 				continue
 			}
-			found[id] = append([]float64(nil), v...)
+			found[id] = append([]float64(nil), e.row...)
+			rc.touch(e)
 		} else {
 			missing = append(missing, id)
 		}
@@ -143,16 +286,24 @@ func (rc *rowCache) lookup(ids []int64) (found map[int64][]float64, missing []in
 	return found, missing, rc.version
 }
 
+// stats returns the cache's hit/miss/eviction counters and current size.
+func (rc *rowCache) stats() (hits, misses, evictions int64, rows int, bytes int64) {
+	hits = rc.hits.Load()
+	misses = rc.misses.Load()
+	evictions = rc.evictions.Load()
+	rc.mu.Lock()
+	rows = len(rc.rows)
+	bytes = rc.bytes
+	rc.mu.Unlock()
+	return
+}
+
 // InvalidateRows drops every cached row of this model and bumps the
 // version so in-flight prefetches cannot re-insert stale rows. Training
 // loops wire it to SSPClock.OnAdvance; it is the rule that keeps cached
 // parameters no staler than the clock bound k already allows.
 func (e *Emb) InvalidateRows() {
-	rc := e.c.rowCache(e.Meta.Name)
-	rc.mu.Lock()
-	rc.version++
-	rc.rows = make(map[int64][]float64)
-	rc.mu.Unlock()
+	e.c.rowCache(e.Meta.Name).invalidate()
 }
 
 // Prefetch is an in-flight asynchronous row pull.

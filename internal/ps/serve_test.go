@@ -1,0 +1,570 @@
+package ps
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestServePublishAndPull pins the basic serving contract: published
+// rows are readable through the serving tier, never-pushed rows
+// materialize deterministically (same init the primary would use), and
+// none of it touches the primaries.
+func TestServePublishAndPull(t *testing.T) {
+	_, cl := newTestCluster(t, 2)
+	e, err := cl.CreateEmbedding(EmbeddingSpec{Name: "sv", Dim: 4, Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int64][]float64{1: {1, 1, 1, 1}, 2: {2, 2, 2, 2}, 3: {3, 3, 3, 3}}
+	if err := e.PushSet(want); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.PublishSnapshot("sv"); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	sc, err := cl.Serve("sv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sc.Pull([]int64{1, 2, 3})
+	if err != nil {
+		t.Fatalf("serve pull: %v", err)
+	}
+	for id, w := range want {
+		if !reflect.DeepEqual(got[id], w) {
+			t.Fatalf("row %d = %v, want %v", id, got[id], w)
+		}
+	}
+	// A never-pushed row must match what the primary would lazily init.
+	fromServe, err := sc.Pull([]int64{99})
+	if err != nil {
+		t.Fatalf("serve pull of absent row: %v", err)
+	}
+	fromPrimary, err := e.Pull([]int64{99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromServe[99], fromPrimary[99]) {
+		t.Fatalf("deterministic init mismatch: serve %v, primary %v", fromServe[99], fromPrimary[99])
+	}
+	if st := sc.Stats(); st.PrimaryRows != 0 {
+		t.Fatalf("serve pulls touched the primaries: %+v", st)
+	}
+}
+
+// TestServeSnapshotImmutability: rows pushed after a publication are
+// invisible to the serving tier until the next publication; a republish
+// plus Refresh (which invalidates the row cache via the snapshot-epoch
+// advance) exposes them.
+func TestServeSnapshotImmutability(t *testing.T) {
+	_, cl := newTestCluster(t, 2)
+	e, err := cl.CreateEmbedding(EmbeddingSpec{Name: "im", Dim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.PushSet(map[int64][]float64{7: {1, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.PublishSnapshot("im"); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := cl.Serve("im")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := sc.Pull([]int64{7}); err != nil || got[7][0] != 1 {
+		t.Fatalf("pre-overwrite pull: %v, %v", got, err)
+	}
+	if err := e.PushSet(map[int64][]float64{7: {9, 9}}); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := sc.Pull([]int64{7}); err != nil || got[7][0] != 1 {
+		t.Fatalf("snapshot leaked a post-publication push: %v, %v", got, err)
+	}
+	if _, err := cl.PublishSnapshot("im"); err != nil {
+		t.Fatal(err)
+	}
+	sc.Refresh()
+	if got, err := sc.Pull([]int64{7}); err != nil || got[7][0] != 9 {
+		t.Fatalf("republish not visible after refresh: %v, %v", got, err)
+	}
+}
+
+// TestServeFallbackBeforePublish: a handle opened before any publication
+// answers from the primaries, and switches to the serving path once a
+// snapshot appears — without being recreated.
+func TestServeFallbackBeforePublish(t *testing.T) {
+	_, cl := newTestCluster(t, 2)
+	e, err := cl.CreateEmbedding(EmbeddingSpec{Name: "fb", Dim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.PushSet(map[int64][]float64{1: {5, 5}}); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := cl.Serve("fb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := sc.Pull([]int64{1}); err != nil || got[1][0] != 5 {
+		t.Fatalf("fallback pull: %v, %v", got, err)
+	}
+	if st := sc.Stats(); st.PrimaryRows == 0 {
+		t.Fatalf("pre-publication pull not attributed to primaries: %+v", st)
+	}
+	if _, err := cl.PublishSnapshot("fb"); err != nil {
+		t.Fatal(err)
+	}
+	// Primary-served rows are never cached, so this miss re-resolves —
+	// now through the snapshot path.
+	before := sc.Stats()
+	if got, err := sc.Pull([]int64{1}); err != nil || got[1][0] != 5 {
+		t.Fatalf("post-publication pull: %v, %v", got, err)
+	}
+	after := sc.Stats()
+	if after.SnapRows+after.HotRows == before.SnapRows+before.HotRows {
+		t.Fatalf("post-publication pull did not use the serving path: %+v -> %+v", before, after)
+	}
+	if after.PrimaryRows != before.PrimaryRows {
+		t.Fatalf("post-publication pull still hit the primaries: %+v -> %+v", before, after)
+	}
+}
+
+// TestServeHotHeadReplication: heavily pulled ids are mined from the
+// engine counters into the published hot set, the head is installed on
+// every serving endpoint, and hot pulls are answered from it.
+func TestServeHotHeadReplication(t *testing.T) {
+	c, cl := newTestCluster(t, 3)
+	c.Master.SetServeOptions(ServeOptions{Replicas: 2, HotKeys: 4})
+	e, err := cl.CreateEmbedding(EmbeddingSpec{Name: "hh", Dim: 2, Partitions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.PushSet(map[int64][]float64{10: {1, 0}, 11: {2, 0}, 500: {3, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	// Skew the training-side pull counters toward 10 and 11.
+	for i := 0; i < 50; i++ {
+		if _, err := e.Pull([]int64{10, 11}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sl, err := cl.PublishSnapshot("hh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := make(map[int64]bool)
+	for _, id := range sl.HotIDs {
+		hot[id] = true
+	}
+	if !hot[10] || !hot[11] {
+		t.Fatalf("hot head %v missing the skewed ids", sl.HotIDs)
+	}
+	// Every serving endpoint answers the full head locally.
+	for _, ep := range sl.Endpoints {
+		body, err := c.Transport.Call(ep, "ServeHotPull", enc(serveHotPullReq{
+			Model: "hh", SnapEpoch: sl.SnapEpoch, IDs: []int64{10, 11},
+		}))
+		if err != nil {
+			t.Fatalf("hot pull on %s: %v", ep, err)
+		}
+		var resp servePullResp
+		if err := dec(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Rows) != 2 || resp.Rows[10][0] != 1 || resp.Rows[11][0] != 2 {
+			t.Fatalf("hot head on %s = %v", ep, resp.Rows)
+		}
+	}
+	sc, err := cl.Serve("hh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := sc.Pull([]int64{10, 11, 500}); err != nil || got[10][0] != 1 || got[500][0] != 3 {
+		t.Fatalf("mixed pull: %v, %v", got, err)
+	}
+	if st := sc.Stats(); st.HotRows == 0 {
+		t.Fatalf("hot ids not served from the replicated head: %+v", st)
+	}
+}
+
+// TestServeThroughSplit is the satellite-2 regression: a reader keeps
+// pulling while a partition splits mid-stream, and when enough
+// republishes retire its snapshot generation the handle recovers by
+// refetching the serve layout — the same resolve-and-retry the mutation
+// path does on ErrStaleEpoch/range-moved.
+func TestServeThroughSplit(t *testing.T) {
+	c, cl := newTestCluster(t, 2)
+	e, err := cl.CreateEmbedding(EmbeddingSpec{Name: "sp", Dim: 2, Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[int64][]float64)
+	for id := int64(0); id < 64; id++ {
+		want[id] = []float64{float64(id), 1}
+	}
+	if err := e.PushSet(want); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.PublishSnapshot("sp"); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := cl.Serve("sp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(stage string) {
+		t.Helper()
+		for id := int64(0); id < 64; id++ {
+			got, err := sc.Pull([]int64{id})
+			if err != nil {
+				t.Fatalf("%s: pull %d: %v", stage, id, err)
+			}
+			if !reflect.DeepEqual(got[id], want[id]) {
+				t.Fatalf("%s: row %d = %v, want %v", stage, id, got[id], want[id])
+			}
+		}
+	}
+	check("pre-split")
+	if err := cl.SplitPartition("sp", 0, ""); err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	// Mid-split stream: the published generation still serves under its
+	// own layout; the split must not disturb it.
+	check("mid-split")
+	// Republish twice: the generation the handle reads at is retired
+	// (servers keep two), so its next miss is rejected stale and the
+	// handle must refetch the layout to recover.
+	if _, err := cl.PublishSnapshot("sp"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.PublishSnapshot("sp"); err != nil {
+		t.Fatal(err)
+	}
+	before := sc.Stats().Refreshes
+	// Invalidate the local cache so pulls actually hit the wire at the
+	// retired epoch (mirrors a reader whose cache was cold).
+	sc.cache.invalidate()
+	check("post-retirement")
+	if sc.Stats().Refreshes == before {
+		t.Fatal("handle recovered without refetching the serve layout")
+	}
+	if sc.SnapEpoch() < 3 {
+		t.Fatalf("handle still at snap epoch %d after recovery", sc.SnapEpoch())
+	}
+	_ = c
+}
+
+// TestServeSnapshotConsistency is the satellite-3 race test: writers
+// push whole batches (one equal delta to every id, ids spread across
+// engine shards) while publications run concurrently. Because the seed
+// exports under the replication write gate, a snapshot must reflect
+// each batch entirely or not at all — so in every published generation
+// all ids carry the same value. A torn multi-shard push would show
+// unequal values. Run with -race.
+func TestServeSnapshotConsistency(t *testing.T) {
+	_, cl := newTestCluster(t, 1)
+	e, err := cl.CreateEmbedding(EmbeddingSpec{Name: "cons", Dim: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]int64, 48)
+	batch := make(map[int64][]float64, len(ids))
+	zero := make(map[int64][]float64, len(ids))
+	for i := range ids {
+		ids[i] = int64(i * 7) // spread over the 32-way shard hash
+		batch[ids[i]] = []float64{1}
+		zero[ids[i]] = []float64{0}
+	}
+	if err := e.PushSet(zero); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wcl := cl // clients are concurrency-safe; share the agent
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				we, err := wcl.Embedding("cons")
+				if err != nil {
+					continue
+				}
+				if err := we.PushAdd(batch); err != nil {
+					t.Errorf("push: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	sc, err := cl.Serve("cons")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 8; round++ {
+		if _, err := cl.PublishSnapshot("cons"); err != nil {
+			t.Fatalf("publish %d: %v", round, err)
+		}
+		sc.Refresh()
+		got, err := sc.Pull(ids)
+		if err != nil {
+			t.Fatalf("pull %d: %v", round, err)
+		}
+		first := got[ids[0]][0]
+		for _, id := range ids {
+			if got[id][0] != first {
+				close(stop)
+				wg.Wait()
+				t.Fatalf("round %d: torn snapshot: id %d = %v, id %d = %v",
+					round, ids[0], first, id, got[id][0])
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestServeEndpointFailover: killing one serving endpoint must not fail
+// reads — the client rotates to the partition's surviving replica (and
+// the surviving hot-head holder).
+func TestServeEndpointFailover(t *testing.T) {
+	c, cl := newTestCluster(t, 2)
+	c.Master.SetServeOptions(ServeOptions{Replicas: 2, HotKeys: 2})
+	e, err := cl.CreateEmbedding(EmbeddingSpec{Name: "fo", Dim: 2, Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[int64][]float64)
+	for id := int64(0); id < 32; id++ {
+		want[id] = []float64{float64(id), 2}
+	}
+	if err := e.PushSet(want); err != nil {
+		t.Fatal(err)
+	}
+	sl, err := cl.PublishSnapshot("fo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sl.Endpoints) != 2 {
+		t.Fatalf("endpoints = %v, want both servers", sl.Endpoints)
+	}
+	sc, err := cl.Serve("fo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.KillServer(sl.Endpoints[0])
+	for id := int64(0); id < 32; id++ {
+		got, err := sc.Pull([]int64{id})
+		if err != nil {
+			t.Fatalf("pull %d with a dead endpoint: %v", id, err)
+		}
+		if !reflect.DeepEqual(got[id], want[id]) {
+			t.Fatalf("row %d = %v, want %v", id, got[id], want[id])
+		}
+	}
+	if st := sc.Stats(); st.PrimaryRows != 0 {
+		t.Fatalf("failover leaked reads to the primaries: %+v", st)
+	}
+}
+
+// TestServeColumnEmbedding pins full-width reassembly across column
+// partitions — the layout LINE trains (ByColumn), so this is the path
+// examples/serve exercises.
+func TestServeColumnEmbedding(t *testing.T) {
+	_, cl := newTestCluster(t, 2)
+	e, err := cl.CreateEmbedding(EmbeddingSpec{Name: "col", Dim: 8, ByColumn: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[int64][]float64)
+	for id := int64(1); id <= 5; id++ {
+		row := make([]float64, 8)
+		for j := range row {
+			row[j] = float64(id)*10 + float64(j)
+		}
+		want[id] = row
+	}
+	if err := e.PushSet(want); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.PublishSnapshot("col"); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := cl.Serve("col")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sc.Pull([]int64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, w := range want {
+		if !reflect.DeepEqual(got[id], w) {
+			t.Fatalf("column row %d = %v, want %v", id, got[id], w)
+		}
+	}
+	if st := sc.Stats(); st.PrimaryRows != 0 {
+		t.Fatalf("column serve leaked to primaries: %+v", st)
+	}
+}
+
+// TestServeDenseVector pins the DenseVector serving path end to end.
+func TestServeDenseVector(t *testing.T) {
+	_, cl := newTestCluster(t, 2)
+	v, err := cl.CreateDenseVector(DenseVectorSpec{Name: "dv", Size: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.PushSet([]int64{3, 50, 99}, []float64{3, 50, 99}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.PublishSnapshot("dv"); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := cl.Serve("dv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := sc.PullFloats([]int64{3, 50, 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 3 || vals[1] != 50 || vals[2] != 99 {
+		t.Fatalf("dense serve = %v", vals)
+	}
+}
+
+// TestRowCacheLRUEviction is the satellite-1 regression: the row cache
+// holds its caps by evicting least-recently-used entries, recency is
+// refreshed by lookups, and a byte cap works independently of the row
+// cap.
+func TestRowCacheLRUEviction(t *testing.T) {
+	rc := newRowCache(4, 0)
+	row := func(v float64) []float64 { return []float64{v} }
+	for i := int64(0); i < 4; i++ {
+		rc.insert(0, map[int64][]float64{i: row(float64(i))})
+	}
+	// Touch id 0 so id 1 becomes the LRU victim.
+	if found, _, _ := rc.lookup([]int64{0}); len(found) != 1 {
+		t.Fatal("warm lookup missed")
+	}
+	rc.insert(0, map[int64][]float64{10: row(10)})
+	rc.insert(0, map[int64][]float64{11: row(11)})
+	rc.mu.Lock()
+	n := len(rc.rows)
+	_, has0 := rc.rows[0]
+	_, has1 := rc.rows[1]
+	_, has2 := rc.rows[2]
+	rc.mu.Unlock()
+	if n != 4 {
+		t.Fatalf("cache size = %d, want 4", n)
+	}
+	if !has0 {
+		t.Fatal("recently used row 0 was evicted")
+	}
+	if has1 || has2 {
+		t.Fatalf("LRU rows not evicted: has1=%v has2=%v", has1, has2)
+	}
+	if ev := rc.evictions.Load(); ev != 2 {
+		t.Fatalf("evictions = %d, want 2", ev)
+	}
+
+	// Byte cap: 3-wide rows cost 8*3+40 = 64 bytes; cap at two rows.
+	bc := newRowCache(0, 128)
+	wide := []float64{1, 2, 3}
+	for i := int64(0); i < 5; i++ {
+		bc.insert(0, map[int64][]float64{i: wide})
+	}
+	bc.mu.Lock()
+	bn, bb := len(bc.rows), bc.bytes
+	bc.mu.Unlock()
+	if bn != 2 || bb > 128 {
+		t.Fatalf("byte-capped cache: %d rows, %d bytes", bn, bb)
+	}
+	if bc.evictions.Load() != 3 {
+		t.Fatalf("byte-cap evictions = %d, want 3", bc.evictions.Load())
+	}
+}
+
+// TestRowCacheLimitsEndToEnd: a client-configured row cap bounds the
+// prefetch cache under real PullCached traffic and reports evictions.
+func TestRowCacheLimitsEndToEnd(t *testing.T) {
+	_, cl := newTestCluster(t, 2)
+	cl.SetRowCacheLimits(8, 0)
+	e, err := cl.CreateEmbedding(EmbeddingSpec{Name: "lim", Dim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 32; i++ {
+		if _, err := e.PullCached([]int64{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rc := cl.rowCache("lim")
+	rc.mu.Lock()
+	n := len(rc.rows)
+	rc.mu.Unlock()
+	if n > 8 {
+		t.Fatalf("cache holds %d rows past its cap of 8", n)
+	}
+	if cl.CacheEvictions() == 0 {
+		t.Fatal("no evictions recorded under a tight cap")
+	}
+	// The hottest (most recent) ids are the survivors.
+	found, _, _ := rc.lookup([]int64{31, 30, 29})
+	if len(found) != 3 {
+		t.Fatalf("recent rows evicted: found %d of 3", len(found))
+	}
+}
+
+// TestServeHotStatsFeedback: serve-side pull traffic (snapshot hot
+// counters) feeds the NEXT publication's hot set even without training
+// pulls — the steady-state feedback loop.
+func TestServeHotStatsFeedback(t *testing.T) {
+	c, cl := newTestCluster(t, 2)
+	c.Master.SetServeOptions(ServeOptions{HotKeys: 2})
+	e, err := cl.CreateEmbedding(EmbeddingSpec{Name: "fbk", Dim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make(map[int64][]float64)
+	for id := int64(0); id < 20; id++ {
+		rows[id] = []float64{float64(id), 0}
+	}
+	if err := e.PushSet(rows); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.PublishSnapshot("fbk"); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := cl.Serve("fbk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hammer two ids through the serving tier only. Bypass the local
+	// cache so every pull registers on the server-side counters.
+	for i := 0; i < 40; i++ {
+		sc.cache.invalidate()
+		if _, err := sc.Pull([]int64{4, 17}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sl, err := cl.PublishSnapshot("fbk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := make(map[int64]bool)
+	for _, id := range sl.HotIDs {
+		hot[id] = true
+	}
+	if !hot[4] || !hot[17] {
+		t.Fatalf("serve traffic did not shape the hot set: %v", sl.HotIDs)
+	}
+}

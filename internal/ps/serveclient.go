@@ -1,0 +1,444 @@
+package ps
+
+// ServeClient: the read-side handle of the serving tier (serve.go).
+//
+// A pull resolves in tiers, cheapest first:
+//
+//  1. the agent-local versioned LRU row cache (prefetch.go's rowCache,
+//     bounded; invalidated whenever the serve layout's snapshot epoch
+//     advances),
+//  2. the replicated hot head — any single endpoint answers for every
+//     hot id in one call,
+//  3. the partition snapshot replicas, grouped by the PUBLISHED layout
+//     (ServeLayout.Meta, the table the snapshots were cut under),
+//  4. the mutable primaries — only when the tiers above cannot answer
+//     (nothing published yet, or the layout went irrecoverably stale).
+//
+// Staleness handling mirrors the mutation path exactly (satellite rule):
+// a pull rejected with a stale-snapshot / stale-epoch / range-moved
+// error refetches the serve layout from the master and retries under the
+// new routing, bounded by serveRetries; an unreachable endpoint fails
+// over to the partition's next replica before that. Rows served by the
+// primary fallback are NOT cached — they are mutable reads with no
+// snapshot epoch to fence them.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"psgraph/internal/rpc"
+)
+
+// serveRetries bounds layout-refetch attempts before a pull falls back
+// to the mutable primaries.
+const serveRetries = 4
+
+// ServeClient is a read-only handle onto one model's serving tier.
+type ServeClient struct {
+	c     *Client
+	model string
+	meta  ModelMeta // creation-time meta; primary fallback + kind checks
+
+	mu  sync.RWMutex
+	sl  ServeLayout
+	has bool
+	hot map[int64]bool
+
+	cache *rowCache
+	rr    atomic.Uint64
+
+	cacheRows   atomic.Int64 // rows answered by the local LRU
+	hotRows     atomic.Int64 // rows answered by the replicated hot head
+	snapRows    atomic.Int64 // rows answered by partition snapshots
+	primaryRows atomic.Int64 // rows that fell back to the primaries
+
+	hotLookups   atomic.Int64 // hot-head ids requested
+	hotCacheHits atomic.Int64 // of those, answered by the local LRU
+	refreshes    atomic.Int64 // serve-layout refetches
+}
+
+// ServeStats is a point-in-time read of a ServeClient's counters.
+type ServeStats struct {
+	CacheRows   int64
+	HotRows     int64
+	SnapRows    int64
+	PrimaryRows int64
+
+	HotLookups   int64
+	HotCacheHits int64
+	Refreshes    int64
+}
+
+// OffloadedRows is how many rows were served without touching a mutable
+// primary.
+func (s ServeStats) OffloadedRows() int64 { return s.CacheRows + s.HotRows + s.SnapRows }
+
+// TotalRows is every row this handle has served.
+func (s ServeStats) TotalRows() int64 { return s.OffloadedRows() + s.PrimaryRows }
+
+// PublishSnapshot asks the master to publish a new serving generation of
+// model and returns its layout.
+func (c *Client) PublishSnapshot(model string) (ServeLayout, error) {
+	var sl ServeLayout
+	err := c.invoke(c.masterAddr, "PublishSnapshot", deleteModelReq{Name: model}, &sl)
+	return sl, err
+}
+
+// GetServeLayout fetches the model's current serving generation.
+func (c *Client) GetServeLayout(model string) (ServeLayout, error) {
+	var sl ServeLayout
+	err := c.invoke(c.masterAddr, "GetServeLayout", deleteModelReq{Name: model}, &sl)
+	return sl, err
+}
+
+// Serve opens a serving-tier read handle for model. The model needs no
+// published snapshot yet — pulls fall back to the primaries until the
+// first publication, and pick up the serving path on their own once a
+// layout appears.
+func (c *Client) Serve(model string) (*ServeClient, error) {
+	meta, err := c.GetModel(model)
+	if err != nil {
+		return nil, err
+	}
+	if !servable(meta.Kind) {
+		return nil, fmt.Errorf("ps: model %q (%s) is not servable", model, meta.Kind)
+	}
+	c.mu.RLock()
+	maxRows, maxBytes := c.rowCacheRows, c.rowCacheBytes
+	c.mu.RUnlock()
+	sc := &ServeClient{c: c, model: model, meta: meta, cache: newRowCache(maxRows, maxBytes)}
+	sc.refresh() // best effort; ok to start unpublished
+	return sc, nil
+}
+
+// SnapEpoch returns the snapshot epoch this handle is currently reading
+// at (0 before the first layout fetch succeeds).
+func (sc *ServeClient) SnapEpoch() int64 {
+	sc.mu.RLock()
+	defer sc.mu.RUnlock()
+	if !sc.has {
+		return 0
+	}
+	return sc.sl.SnapEpoch
+}
+
+// Stats reads the handle's counters.
+func (sc *ServeClient) Stats() ServeStats {
+	return ServeStats{
+		CacheRows:    sc.cacheRows.Load(),
+		HotRows:      sc.hotRows.Load(),
+		SnapRows:     sc.snapRows.Load(),
+		PrimaryRows:  sc.primaryRows.Load(),
+		HotLookups:   sc.hotLookups.Load(),
+		HotCacheHits: sc.hotCacheHits.Load(),
+		Refreshes:    sc.refreshes.Load(),
+	}
+}
+
+// Refresh refetches the serve layout now. Handles also refresh on their
+// own whenever a pull hits a staleness rejection, so Refresh is only
+// needed to adopt a republished generation eagerly — cached rows from
+// the previous generation are served until the epoch advance is
+// observed (bounded staleness, same contract as the SSP clock cache).
+func (sc *ServeClient) Refresh() {
+	sc.refresh()
+}
+
+func (sc *ServeClient) layout() (ServeLayout, bool) {
+	sc.mu.RLock()
+	defer sc.mu.RUnlock()
+	return sc.sl, sc.has
+}
+
+// refresh refetches the serve layout — the serving analogue of the
+// mutation path's layout resolver.
+func (sc *ServeClient) refresh() (ServeLayout, bool) {
+	sc.refreshes.Add(1)
+	sl, err := sc.c.GetServeLayout(sc.model)
+	if err != nil {
+		return ServeLayout{}, false
+	}
+	sc.adopt(sl)
+	return sc.layout()
+}
+
+// adopt installs a fetched layout. A snapshot-epoch advance invalidates
+// the row cache: rows pulled under generation N must never be served as
+// generation N+1 answers. Layouts never move backwards.
+func (sc *ServeClient) adopt(sl ServeLayout) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.has && sl.SnapEpoch <= sc.sl.SnapEpoch {
+		return
+	}
+	sc.sl = sl
+	sc.has = true
+	sc.hot = make(map[int64]bool, len(sl.HotIDs))
+	for _, id := range sl.HotIDs {
+		sc.hot[id] = true
+	}
+	sc.cache.invalidate()
+}
+
+// Pull reads rows through the serving tier. For DenseVector models ids
+// are vector indices and rows are 1-wide.
+func (sc *ServeClient) Pull(ids []int64) (map[int64][]float64, error) {
+	found, missing, version := sc.cache.lookup(ids)
+	sc.mu.RLock()
+	hot := sc.hot
+	sc.mu.RUnlock()
+	if len(hot) > 0 {
+		seen := make(map[int64]bool)
+		for _, id := range ids {
+			if !hot[id] || seen[id] {
+				continue
+			}
+			seen[id] = true
+			sc.hotLookups.Add(1)
+			if _, ok := found[id]; ok {
+				sc.hotCacheHits.Add(1)
+			}
+		}
+	}
+	sc.cacheRows.Add(int64(len(found)))
+	if len(missing) == 0 {
+		return found, nil
+	}
+	// Dedup: repeated misses of the same id resolve to one fetch.
+	uniq := missing[:0:0]
+	seen := make(map[int64]bool, len(missing))
+	for _, id := range missing {
+		if !seen[id] {
+			seen[id] = true
+			uniq = append(uniq, id)
+		}
+	}
+	rows, cacheable, err := sc.pullMissing(uniq)
+	if err != nil {
+		return nil, err
+	}
+	if len(cacheable) > 0 {
+		sc.cache.insert(version, cacheable)
+	}
+	for id, row := range rows {
+		found[id] = row
+	}
+	return found, nil
+}
+
+// PullFloats is Pull for DenseVector models, returning values parallel
+// to indices.
+func (sc *ServeClient) PullFloats(indices []int64) ([]float64, error) {
+	rows, err := sc.Pull(indices)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(indices))
+	for i, idx := range indices {
+		row, ok := rows[idx]
+		if !ok || len(row) == 0 {
+			return nil, fmt.Errorf("ps: serve %s: no value for index %d", sc.model, idx)
+		}
+		out[i] = row[0]
+	}
+	return out, nil
+}
+
+// pullMissing resolves cache misses: snapshot tiers with stale-layout
+// refetch (bounded), then the primary fallback. Returns the rows plus
+// the subset safe to cache (snapshot-served only).
+func (sc *ServeClient) pullMissing(ids []int64) (rows, cacheable map[int64][]float64, err error) {
+	for attempt := 0; attempt <= serveRetries; attempt++ {
+		sl, ok := sc.layout()
+		if !ok {
+			if sl, ok = sc.refresh(); !ok {
+				break // never published: straight to the primaries
+			}
+		}
+		out, perr := sc.pullSnap(sl, ids)
+		if perr == nil {
+			return out, out, nil
+		}
+		if !isServeRouteErr(perr) && !errors.Is(perr, rpc.ErrUnreachable) {
+			return nil, nil, perr
+		}
+		// Stale snapshot epoch / moved range / every replica unreachable:
+		// refetch the serve layout and retry, exactly like the mutation
+		// path's resolve-and-retry on ErrStaleEpoch.
+		sc.refresh()
+	}
+	prim, perr := sc.primaryPull(ids)
+	if perr != nil {
+		return nil, nil, perr
+	}
+	sc.primaryRows.Add(int64(len(prim)))
+	return prim, nil, nil
+}
+
+// pullSnap answers ids from one serving generation: hot head first, then
+// per-partition snapshot replicas under the published layout.
+func (sc *ServeClient) pullSnap(sl ServeLayout, ids []int64) (map[int64][]float64, error) {
+	out := make(map[int64][]float64, len(ids))
+	rest := ids
+	if len(sl.HotIDs) > 0 && len(sl.Endpoints) > 0 {
+		sc.mu.RLock()
+		hot := sc.hot
+		sc.mu.RUnlock()
+		var hotIDs, cold []int64
+		for _, id := range rest {
+			if hot[id] {
+				hotIDs = append(hotIDs, id)
+			} else {
+				cold = append(cold, id)
+			}
+		}
+		if len(hotIDs) > 0 {
+			got, err := sc.hotPull(sl, hotIDs)
+			if err != nil {
+				return nil, err
+			}
+			for id, row := range got {
+				out[id] = row
+			}
+			sc.hotRows.Add(int64(len(got)))
+			// Ids the head did not carry resolve through the partitions.
+			for _, id := range hotIDs {
+				if _, ok := out[id]; !ok {
+					cold = append(cold, id)
+				}
+			}
+		}
+		rest = cold
+	}
+	if len(rest) == 0 {
+		return out, nil
+	}
+	if sl.Meta.Kind == ColumnEmbedding {
+		for _, id := range rest {
+			out[id] = make([]float64, sl.Meta.Dim)
+		}
+		for _, p := range sl.Meta.Parts {
+			rows, err := sc.partPull(sl, p.Index, rest)
+			if err != nil {
+				return nil, err
+			}
+			for id, vals := range rows {
+				if row, ok := out[id]; ok {
+					copy(row[p.Col0:p.Col1], vals)
+				}
+			}
+		}
+		sc.snapRows.Add(int64(len(rest)))
+		return out, nil
+	}
+	groups := make(map[int][]int64)
+	for _, id := range rest {
+		slot := sl.Meta.PartitionFor(id)
+		idx := sl.Meta.Parts[slot].Index
+		groups[idx] = append(groups[idx], id)
+	}
+	for part, pids := range groups {
+		rows, err := sc.partPull(sl, part, pids)
+		if err != nil {
+			return nil, err
+		}
+		for id, row := range rows {
+			out[id] = row
+		}
+		sc.snapRows.Add(int64(len(rows)))
+	}
+	return out, nil
+}
+
+// partPull reads one partition's snapshot, rotating over its replicas
+// and failing over on unreachability. Staleness errors surface to the
+// caller, which refetches the layout.
+func (sc *ServeClient) partPull(sl ServeLayout, part int, ids []int64) (map[int64][]float64, error) {
+	eps := sl.Replicas[part]
+	if len(eps) == 0 {
+		return nil, fmt.Errorf("%s: no serving endpoints for %s/%d", noServeSnapMsg, sc.model, part)
+	}
+	start := int(sc.rr.Add(1)) % len(eps)
+	var lastErr error
+	for j := 0; j < len(eps); j++ {
+		ep := eps[(start+j)%len(eps)]
+		var resp servePullResp
+		err := sc.call(ep, "ServePull", servePullReq{
+			Model: sc.model, Part: part, SnapEpoch: sl.SnapEpoch, IDs: ids,
+		}, &resp)
+		if err == nil {
+			return resp.Rows, nil
+		}
+		lastErr = err
+		if !errors.Is(err, rpc.ErrUnreachable) {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// hotPull reads hot-head rows from any endpoint (each holds the full
+// head), rotating for spread and failing over on unreachability.
+func (sc *ServeClient) hotPull(sl ServeLayout, ids []int64) (map[int64][]float64, error) {
+	start := int(sc.rr.Add(1)) % len(sl.Endpoints)
+	var lastErr error
+	for j := 0; j < len(sl.Endpoints); j++ {
+		ep := sl.Endpoints[(start+j)%len(sl.Endpoints)]
+		var resp servePullResp
+		err := sc.call(ep, "ServeHotPull", serveHotPullReq{
+			Model: sc.model, SnapEpoch: sl.SnapEpoch, IDs: ids,
+		}, &resp)
+		if err == nil {
+			return resp.Rows, nil
+		}
+		lastErr = err
+		if !errors.Is(err, rpc.ErrUnreachable) {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// call is a single-shot RPC: serve reads do their own replica failover,
+// so the client's retry-until-deadline engine would only add latency.
+func (sc *ServeClient) call(addr, method string, req, resp any) error {
+	body := enc(req)
+	sc.c.sentBytes.Add(int64(len(body)))
+	out, err := sc.c.tr.Call(addr, method, body)
+	putBuf(body)
+	if err != nil {
+		return err
+	}
+	sc.c.recvBytes.Add(int64(len(out)))
+	if resp == nil || out == nil {
+		return nil
+	}
+	return dec(out, resp)
+}
+
+// primaryPull is the last-resort read against the mutable primaries; it
+// inherits the mutation path's full reroute/retry machinery.
+func (sc *ServeClient) primaryPull(ids []int64) (map[int64][]float64, error) {
+	if sc.meta.Kind == DenseVector {
+		v, err := sc.c.Vector(sc.model)
+		if err != nil {
+			return nil, err
+		}
+		vals, err := v.Pull(ids)
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[int64][]float64, len(ids))
+		for i, idx := range ids {
+			out[idx] = []float64{vals[i]}
+		}
+		return out, nil
+	}
+	e, err := sc.c.Embedding(sc.model)
+	if err != nil {
+		return nil, err
+	}
+	return e.Pull(ids)
+}

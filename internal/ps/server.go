@@ -146,6 +146,10 @@ type Server struct {
 	// write fence, backup forwarding, and the heartbeat loop. See
 	// replica.go.
 	repl replState
+
+	// serve is the read-only serving tier: immutable epoch-tagged
+	// partition snapshots and the replicated hot head. See serve.go.
+	serve serveState
 }
 
 // NewServer creates a server that checkpoints to fs.
@@ -263,6 +267,7 @@ func (s *Server) createPart(req createPartReq) error {
 func (s *Server) deleteModel(req deleteModelReq) error {
 	s.store.delete(req.Name)
 	s.dropRoles(req.Name)
+	s.serveDrop(req.Name)
 	return nil
 }
 
