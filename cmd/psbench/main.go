@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	psbench [-scale small|medium] [-exp all|fig6|line|table1|table2|ablation|wire|server|dataflow|chaos|failover|ssp|rebalance|serve] [-wireout BENCH_ps_wire.json] [-serverout BENCH_ps_server.json] [-dataflowout BENCH_dataflow.json] [-chaosout BENCH_chaos.json] [-failoverout BENCH_failover.json] [-sspout BENCH_ssp.json] [-rebalanceout BENCH_rebalance.json] [-serveout BENCH_serve.json] [-seed N]
+//	psbench [-scale small|medium] [-exp all|fig6|line|table1|table2|ablation|wire|server|dataflow|chaos|failover|ssp|rebalance|serve|cluster] [-wireout BENCH_ps_wire.json] [-serverout BENCH_ps_server.json] [-dataflowout BENCH_dataflow.json] [-chaosout BENCH_chaos.json] [-failoverout BENCH_failover.json] [-sspout BENCH_ssp.json] [-rebalanceout BENCH_rebalance.json] [-serveout BENCH_serve.json] [-clusterout BENCH_cluster.json] [-seed N]
 package main
 
 import (
@@ -12,15 +12,47 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"psgraph/internal/bench"
 	"psgraph/internal/chaos"
+	"psgraph/internal/cluster"
 )
+
+// onSignal drains every spawned process fleet on the first
+// SIGINT/SIGTERM — so an interrupted -exp cluster run SIGTERMs its
+// psnode fleet instead of leaving the kernel's pdeathsig to kill -9 it
+// mid-checkpoint — then exits 128+signo. A second signal force-quits.
+func onSignal() {
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-ch
+		log.Printf("psbench: %v — draining process fleets (send again to force quit)", s)
+		done := make(chan struct{})
+		go func() {
+			cluster.CloseAll()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-ch:
+			log.Print("psbench: forced quit")
+		}
+		code := 130 // 128 + SIGINT
+		if s == syscall.SIGTERM {
+			code = 143
+		}
+		os.Exit(code)
+	}()
+}
 
 func main() {
 	log.SetFlags(0)
+	onSignal()
 	scaleName := flag.String("scale", "small", "dataset/resource scale preset (small|medium)")
-	exp := flag.String("exp", "all", "experiment to run (all|fig6|line|table1|table2|ablation|wire|server|dataflow|chaos|failover|ssp|rebalance|serve)")
+	exp := flag.String("exp", "all", "experiment to run (all|fig6|line|table1|table2|ablation|wire|server|dataflow|chaos|failover|ssp|rebalance|serve|cluster)")
 	wireOut := flag.String("wireout", "BENCH_ps_wire.json", "where -exp wire (or all) writes its JSON report")
 	serverOut := flag.String("serverout", "BENCH_ps_server.json", "where -exp server (or all) writes its JSON report")
 	dataflowOut := flag.String("dataflowout", "BENCH_dataflow.json", "where -exp dataflow (or all) writes its JSON report")
@@ -29,6 +61,7 @@ func main() {
 	sspOut := flag.String("sspout", "BENCH_ssp.json", "where -exp ssp (or all) writes its JSON report")
 	rebalanceOut := flag.String("rebalanceout", "BENCH_rebalance.json", "where -exp rebalance (or all) writes its JSON report")
 	serveOut := flag.String("serveout", "BENCH_serve.json", "where -exp serve (or all) writes its JSON report")
+	clusterOut := flag.String("clusterout", "BENCH_cluster.json", "where -exp cluster (or all) writes its JSON report")
 	seed := flag.Int64("seed", 7, "chaos fault-schedule seed")
 	flag.Parse()
 
@@ -46,7 +79,7 @@ func main() {
 	ok := true
 	switch *exp {
 	case "all":
-		ok = runFig6(scale) && runLine(scale) && runTable1(scale) && runTable2(scale) && runAblation(scale) && runWire(scale, *wireOut) && runServer(scale, *serverOut) && runDataflow(scale, *dataflowOut) && runChaos(scale, *seed, *chaosOut) && runFailover(scale, *failoverOut) && runSSP(scale, *sspOut) && runRebalance(scale, *rebalanceOut) && runServe(scale, *serveOut)
+		ok = runFig6(scale) && runLine(scale) && runTable1(scale) && runTable2(scale) && runAblation(scale) && runWire(scale, *wireOut) && runServer(scale, *serverOut) && runDataflow(scale, *dataflowOut) && runChaos(scale, *seed, *chaosOut) && runFailover(scale, *failoverOut) && runSSP(scale, *sspOut) && runRebalance(scale, *rebalanceOut) && runServe(scale, *serveOut) && runCluster(scale, *clusterOut)
 	case "fig6":
 		ok = runFig6(scale)
 	case "line":
@@ -73,6 +106,8 @@ func main() {
 		ok = runRebalance(scale, *rebalanceOut)
 	case "serve":
 		ok = runServe(scale, *serveOut)
+	case "cluster":
+		ok = runCluster(scale, *clusterOut)
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}
@@ -448,6 +483,41 @@ func runServe(s bench.Scale, outPath string) bool {
 		rep.HotMined, rep.HotHead, rep.SnapEpoch, 100*rep.HotHitRatio, rep.HotCacheHits, rep.HotLookups)
 	fmt.Printf("  training texture: mixed-phase push throughput %.2fx of control; applied=%d sent=%d\n",
 		rep.TrainRatio, rep.Applied, rep.Sent)
+	if outPath != "" {
+		if err := rep.WriteJSON(outPath); err != nil {
+			log.Printf("  writing %s FAILED: %v", outPath, err)
+			return false
+		}
+		fmt.Printf("  report written to %s\n", outPath)
+	}
+	fmt.Println()
+	return rep.Pass
+}
+
+// runCluster runs the multi-process deployment benchmark: every role a
+// real psnode OS process, a real kill -9 of partition 0's primary
+// mid-stream, crash-restart under the old address, and an end-to-end
+// exactly-once audit from this (the driver) process. Passes when zero
+// acknowledged updates were lost, applied == sent, and a promotion was
+// observed; constrained hosts record a skipped-but-passing report.
+func runCluster(s bench.Scale, outPath string) bool {
+	fmt.Println("== Cluster: kill -9 recovery across a real multi-process deployment ==")
+	cfg := bench.DefaultClusterConfig(s)
+	rep, err := bench.RunClusterBench(cfg)
+	if err != nil {
+		log.Printf("  cluster bench FAILED: %v", err)
+		return false
+	}
+	if rep.Skipped != "" {
+		fmt.Printf("  skipped: %s\n", rep.Skipped)
+	} else {
+		fmt.Printf("  %d server + %d executor processes, lease %.0fms, %d pushes/executor over %d rows\n",
+			rep.Servers, rep.Executors, rep.LeaseMillis, rep.Pushes, rep.Rows)
+		fmt.Printf("  kill -9 -> promotion detected %.1fms, client-visible outage %.1fms, rejoin ready %.1fms\n",
+			rep.DetectMillis, rep.RecoverMillis, rep.RejoinMillis)
+		fmt.Printf("  audit: acked=%d mass=%.0f lost=%d failed=%d applied=%d sent=%d retried=%d promotions=%d reseeds=%d\n",
+			rep.Acked, rep.Mass, rep.Lost, rep.Failed, rep.Applied, rep.Sent, rep.Retried, rep.Promotions, rep.Reseeds)
+	}
 	if outPath != "" {
 		if err := rep.WriteJSON(outPath); err != nil {
 			log.Printf("  writing %s FAILED: %v", outPath, err)

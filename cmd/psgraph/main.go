@@ -21,10 +21,47 @@ import (
 	"log"
 	"math"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"psgraph"
 )
+
+// onSignal runs drain on the first SIGINT/SIGTERM and exits with the
+// conventional 128+signo code once it returns — so an interrupt lands
+// between checkpoints, not in the middle of one. A second signal while
+// draining force-quits. The returned func detaches the handler.
+func onSignal(name string, drain func()) func() {
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s, ok := <-ch
+		if !ok {
+			return
+		}
+		log.Printf("%s: %v — draining cluster state (send again to force quit)", name, s)
+		done := make(chan struct{})
+		go func() {
+			drain()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-ch:
+			log.Printf("%s: forced quit", name)
+		}
+		code := 130 // 128 + SIGINT
+		if s == syscall.SIGTERM {
+			code = 143
+		}
+		os.Exit(code)
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(ch)
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -59,6 +96,9 @@ func main() {
 		log.Fatal(err)
 	}
 	defer ctx.Close()
+	// SIGINT/SIGTERM drain the cluster — checkpoints in flight finish,
+	// servers stop cleanly — instead of dying mid-write.
+	defer onSignal("psgraph", func() { ctx.Close() })()
 
 	if err := stage(ctx, *input, "/in/edges.txt"); err != nil {
 		log.Fatal(err)

@@ -78,12 +78,12 @@ type Report struct {
 	Phases []PhaseResult `json:"phases"`
 }
 
-// Run executes every chaos phase in order and aggregates the results.
-// Phases are independent — each builds (and tears down) its own
-// cluster — so a failure in one does not stop the rest.
+// Run executes every in-process chaos phase in order and aggregates the
+// results. Phases are independent — each builds (and tears down) its
+// own cluster — so a failure in one does not stop the rest. RunProcess
+// is the sibling runner whose faults are real dead PIDs.
 func Run(cfg Config) *Report {
-	rep := &Report{Seed: cfg.Seed, Short: cfg.Short, Pass: true}
-	for _, ph := range []func(Config) PhaseResult{
+	return runPhases(cfg, []func(Config) PhaseResult{
 		ExactlyOnce,
 		NegativeControl,
 		PageRankGolden,
@@ -93,7 +93,12 @@ func Run(cfg Config) *Report {
 		CheckpointCorruption,
 		MigrationKill,
 		ServeKill,
-	} {
+	})
+}
+
+func runPhases(cfg Config, phases []func(Config) PhaseResult) *Report {
+	rep := &Report{Seed: cfg.Seed, Short: cfg.Short, Pass: true}
+	for _, ph := range phases {
 		start := time.Now()
 		r := ph(cfg)
 		r.Seconds = time.Since(start).Seconds()

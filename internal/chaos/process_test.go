@@ -1,0 +1,22 @@
+package chaos
+
+import "testing"
+
+// TestRunProcess drives the process-mode chaos phases: real psnode
+// processes, a real kill -9, and exactly-once audited from this (the
+// test) process. Run under -race in CI, this is the proof that the
+// guarantee holds across a real process death, not a simulated one.
+func TestRunProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	rep := RunProcess(Config{Seed: 7, Short: true, Log: t.Logf})
+	for _, ph := range rep.Phases {
+		if !ph.Pass {
+			t.Errorf("process phase %s failed: %s", ph.Name, ph.Detail)
+		}
+	}
+	if !rep.Pass {
+		t.Fatal("process-mode chaos run failed")
+	}
+}

@@ -1,0 +1,46 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+)
+
+var (
+	buildOnce sync.Once
+	builtPath string
+	buildErr  error
+)
+
+// NodeBinary returns a psnode binary to spawn: $PSNODE_BIN when set
+// (CI can build once and share), otherwise `go build ./cmd/psnode`
+// run once per process into a temp dir. When the calling binary is
+// race-instrumented the child is built with -race as well, so chaos
+// runs exercise the detector in every process of the tree.
+func NodeBinary() (string, error) {
+	if p := os.Getenv("PSNODE_BIN"); p != "" {
+		return p, nil
+	}
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "psnode-bin-")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		out := filepath.Join(dir, "psnode")
+		args := []string{"build"}
+		if raceEnabled {
+			args = append(args, "-race")
+		}
+		args = append(args, "-o", out, "psgraph/cmd/psnode")
+		cmd := exec.Command("go", args...)
+		if o, err := cmd.CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("cluster: go build psnode: %v\n%s", err, o)
+			return
+		}
+		builtPath = out
+	})
+	return builtPath, buildErr
+}

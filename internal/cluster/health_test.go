@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"psgraph/internal/ps"
+	"psgraph/internal/rpc"
+)
+
+// reservePort grabs a free loopback address and releases it, so a test
+// can hand out an address that nothing listens on YET.
+func reservePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestServerNotReadyBeforeRegistration is the readiness contract: a
+// server that has bound its port but has NOT completed RegisterServer
+// with the master must fail the Health probe (reachable, Ready=false),
+// and must flip ready once the master appears and registration lands.
+func TestServerNotReadyBeforeRegistration(t *testing.T) {
+	masterAddr := reservePort(t)
+
+	node, err := StartNode(NodeConfig{
+		Role:        RoleServer,
+		MasterAddr:  masterAddr, // nothing listens here yet
+		JoinTimeout: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	probe := rpc.NewTCP()
+	defer probe.Close()
+
+	// The port is bound: the Health RPC itself must answer...
+	resp, err := probe.Call(node.Addr, "Health", nil)
+	if err != nil {
+		t.Fatalf("Health RPC on bound-but-unregistered server: %v", err)
+	}
+	var hi HealthInfo
+	if err := json.Unmarshal(resp, &hi); err != nil {
+		t.Fatal(err)
+	}
+	// ...but it must say NOT ready, because registration has not finished.
+	if hi.Ready {
+		t.Fatal("server reports ready before RegisterServer completed")
+	}
+	if hi.Role != RoleServer {
+		t.Fatalf("role = %q", hi.Role)
+	}
+
+	// The prober must respect its deadline and report the not-ready
+	// cause, not hang or invent readiness.
+	start := time.Now()
+	if _, err := WaitHealthy(probe, node.Addr, 250*time.Millisecond); err == nil {
+		t.Fatal("WaitHealthy succeeded with no master running")
+	} else if !strings.Contains(err.Error(), "not ready") {
+		t.Fatalf("WaitHealthy error does not name the not-ready cause: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("WaitHealthy overshot its 250ms deadline by %v", elapsed)
+	}
+
+	// Master comes up late on the promised address; the server's retrying
+	// join must land and Health must flip ready.
+	mtr := rpc.NewTCP()
+	defer mtr.Close()
+	master := ps.NewMaster(masterAddr, mtr)
+	if err := mtr.Register(masterAddr, master.Handle); err != nil {
+		t.Fatalf("bind master on %s: %v", masterAddr, err)
+	}
+	hi, err = WaitHealthy(probe, node.Addr, 15*time.Second)
+	if err != nil {
+		t.Fatalf("server never became ready after master appeared: %v", err)
+	}
+	if !hi.Ready || hi.Role != RoleServer {
+		t.Fatalf("healthy info = %+v", hi)
+	}
+}
+
+// TestWaitHealthyUnreachableDeadline: probing a dead endpoint must
+// return (with an unreachable cause) close to the deadline — retries
+// with capped backoff, no unbounded hang.
+func TestWaitHealthyUnreachableDeadline(t *testing.T) {
+	probe := rpc.NewTCP()
+	defer probe.Close()
+	dead := reservePort(t)
+	start := time.Now()
+	_, err := WaitHealthy(probe, dead, 300*time.Millisecond)
+	if err == nil {
+		t.Fatal("WaitHealthy succeeded against nothing")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("WaitHealthy took %v for a 300ms deadline", elapsed)
+	}
+}
+
+// TestExecutorReadyAfterMasterPing: an executor is ready only once the
+// master answers, so a ready executor can immediately resolve models.
+func TestExecutorReadyAfterMasterPing(t *testing.T) {
+	mtr := rpc.NewTCP()
+	defer mtr.Close()
+	master := ps.NewMaster("", mtr)
+	masterAddr, err := mtr.Listen(master.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	master.Addr = masterAddr
+
+	node, err := StartNode(NodeConfig{Role: RoleExecutor, MasterAddr: masterAddr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	probe := rpc.NewTCP()
+	defer probe.Close()
+	if _, err := WaitHealthy(probe, node.Addr, 10*time.Second); err != nil {
+		t.Fatalf("executor never ready: %v", err)
+	}
+}

@@ -1,0 +1,12 @@
+//go:build linux
+
+package cluster
+
+import "syscall"
+
+// procAttr asks the kernel to SIGKILL a spawned node when the thread
+// that spawned it dies — the backstop that keeps a killed harness (test
+// timeout, driver crash) from leaking a fleet of psnode processes.
+func procAttr() *syscall.SysProcAttr {
+	return &syscall.SysProcAttr{Pdeathsig: syscall.SIGKILL}
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package cluster
+
+import "syscall"
+
+// procAttr: parent-death signals are Linux-only; elsewhere the harness
+// relies on Close reaping the fleet.
+func procAttr() *syscall.SysProcAttr { return nil }

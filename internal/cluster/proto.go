@@ -1,0 +1,66 @@
+// Package cluster is the multi-process deployment harness: it runs
+// PSGraph roles (master, parameter server, executor agent) as separate
+// OS processes connected over the internal/rpc TCP transport, probes
+// them ready with a retry/backoff Health RPC, captures each process's
+// output to a per-node log file, and supports graceful SIGTERM drain
+// as well as hard kill -9 chaos with crash-restart rejoin. Everything
+// the in-process harness simulates — scheduler interleaving, "killed"
+// servers that are really just closed endpoints — becomes real here:
+// a killed server is a dead PID, its sockets are severed by the
+// kernel, and recovery must work from replication or from checkpoints
+// in a shared on-disk DFS (dfs.NewDir).
+//
+// The role logic lives in StartNode (node.go) so tests can run a node
+// in-process; cmd/psnode is a thin main around it. The process-level
+// harness is ProcCluster (harness.go).
+package cluster
+
+// Role names accepted by psnode -role and StartNode.
+const (
+	RoleMaster   = "master"
+	RoleServer   = "server"
+	RoleExecutor = "executor"
+)
+
+// HealthInfo is the JSON body of the Health RPC every role serves. A
+// node answers as soon as its listener is up, but Ready flips true
+// only once the role is actually usable: a server that bound its port
+// but has not finished registering with the master reports
+// Ready=false, and the readiness prober keeps backing off.
+type HealthInfo struct {
+	Role   string `json:"role"`
+	Addr   string `json:"addr"`
+	Ready  bool   `json:"ready"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// LoadReq asks an executor process to run a training-style push load
+// against an embedding model: Pushes rounds of PushAdd over Batch
+// distinct rows drawn from [0, Rows) by a seeded RNG, each update
+// adding 1.0 to component 0 — so the total component-0 mass across all
+// rows equals the number of acknowledged row-updates, and a driver in
+// ANOTHER process can audit lost updates exactly.
+type LoadReq struct {
+	Model       string `json:"model"`
+	Rows        int64  `json:"rows"`
+	Dim         int    `json:"dim"`
+	Pushes      int    `json:"pushes"`
+	Batch       int    `json:"batch"`
+	Seed        int64  `json:"seed"`
+	ThinkMicros int    `json:"think_micros,omitempty"`
+}
+
+// LoadResp reports one executor's side of the exactly-once audit.
+// Acked counts row-updates whose PushAdd returned success; Sent and
+// Retried are the agent's mutation counters (Sent is what the servers'
+// MutApplied must add up to); Failed counts PushAdd calls that
+// ultimately errored — any failure makes the mass audit ambiguous, so
+// gates require it to be zero.
+type LoadResp struct {
+	Acked   int64  `json:"acked"`
+	Sent    int64  `json:"sent"`
+	Retried int64  `json:"retried"`
+	Failed  int64  `json:"failed"`
+	Millis  int64  `json:"millis"`
+	LastErr string `json:"last_err,omitempty"` // last PushAdd failure, for diagnosis
+}

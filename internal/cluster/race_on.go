@@ -1,0 +1,9 @@
+//go:build race
+
+package cluster
+
+// raceEnabled mirrors whether THIS binary was built with the race
+// detector, so NodeBinary builds psnode with -race too and a race test
+// proves exactly-once across a real process death under the detector
+// on both sides of every socket.
+const raceEnabled = true

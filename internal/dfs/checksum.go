@@ -67,6 +67,9 @@ func (fs *FS) ReadFileSummed(path string) ([]byte, error) {
 // past the end wrap modulo the file size. Corruption copies the block
 // first so other files (and counters) sharing the pool are unaffected.
 func (fs *FS) CorruptFile(path string, off int64) error {
+	if fs.dir != "" {
+		return fs.dirCorruptFile(path, off)
+	}
 	fs.mu.Lock()
 	meta, ok := fs.files[path]
 	if !ok {

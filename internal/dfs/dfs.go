@@ -68,8 +68,11 @@ type datanode struct {
 }
 
 // FS is the file system handle shared by all simulated cluster nodes.
+// With dir set (NewDir) the same API is backed by a host directory
+// instead, shareable across OS processes; see dirfs.go.
 type FS struct {
 	cfg Config
+	dir string
 
 	mu      sync.RWMutex
 	files   map[string]*fileMeta
@@ -202,6 +205,9 @@ func (fs *FS) freeBlocks(ids []int64) {
 // Create returns a writer for path. The file becomes visible atomically
 // when the writer is closed, replacing any previous file at the path.
 func (fs *FS) Create(path string) io.WriteCloser {
+	if fs.dir != "" {
+		return fs.dirCreate(path)
+	}
 	return &fileWriter{fs: fs, path: path}
 }
 
@@ -248,6 +254,9 @@ func (w *fileWriter) Close() error {
 
 // Open returns a reader over the file at path.
 func (fs *FS) Open(path string) (io.ReadCloser, error) {
+	if fs.dir != "" {
+		return fs.dirOpen(path)
+	}
 	fs.mu.RLock()
 	meta, ok := fs.files[path]
 	fs.mu.RUnlock()
@@ -289,6 +298,9 @@ func (r *fileReader) Close() error { return nil }
 // reading only the blocks that overlap the range — the primitive behind
 // dataflow input splits (one task per byte range, as in HDFS).
 func (fs *FS) OpenRange(path string, off, length int64) (io.ReadCloser, error) {
+	if fs.dir != "" {
+		return fs.dirOpenRange(path, off, length)
+	}
 	fs.mu.RLock()
 	meta, ok := fs.files[path]
 	fs.mu.RUnlock()
@@ -360,6 +372,9 @@ func (fs *FS) ReadFile(path string) ([]byte, error) {
 
 // Exists reports whether path is a file.
 func (fs *FS) Exists(path string) bool {
+	if fs.dir != "" {
+		return fs.dirExists(path)
+	}
 	fs.mu.RLock()
 	_, ok := fs.files[path]
 	fs.mu.RUnlock()
@@ -368,6 +383,9 @@ func (fs *FS) Exists(path string) bool {
 
 // Size returns the byte length of the file at path.
 func (fs *FS) Size(path string) (int64, error) {
+	if fs.dir != "" {
+		return fs.dirSize(path)
+	}
 	fs.mu.RLock()
 	meta, ok := fs.files[path]
 	fs.mu.RUnlock()
@@ -379,6 +397,9 @@ func (fs *FS) Size(path string) (int64, error) {
 
 // Rename moves a file from old to new atomically.
 func (fs *FS) Rename(oldPath, newPath string) error {
+	if fs.dir != "" {
+		return fs.dirRename(oldPath, newPath)
+	}
 	fs.mu.Lock()
 	meta, ok := fs.files[oldPath]
 	if !ok {
@@ -397,6 +418,9 @@ func (fs *FS) Rename(oldPath, newPath string) error {
 
 // Delete removes the file at path. Deleting a missing file is an error.
 func (fs *FS) Delete(path string) error {
+	if fs.dir != "" {
+		return fs.dirDelete(path)
+	}
 	fs.mu.Lock()
 	meta, ok := fs.files[path]
 	if !ok {
@@ -412,6 +436,9 @@ func (fs *FS) Delete(path string) error {
 // DeletePrefix removes every file whose path starts with prefix and
 // returns the number removed.
 func (fs *FS) DeletePrefix(prefix string) int {
+	if fs.dir != "" {
+		return fs.dirDeletePrefix(prefix)
+	}
 	fs.mu.Lock()
 	var doomed []string
 	for p := range fs.files {
@@ -433,6 +460,9 @@ func (fs *FS) DeletePrefix(prefix string) int {
 
 // List returns the sorted paths that start with prefix.
 func (fs *FS) List(prefix string) []string {
+	if fs.dir != "" {
+		return fs.dirList(prefix)
+	}
 	fs.mu.RLock()
 	var out []string
 	for p := range fs.files {

@@ -333,24 +333,7 @@ type ServerStats struct {
 // sweep: it is reported with Dead=true and the survivors are still
 // summed — during a failover some endpoints are expected to be gone.
 func (c *Cluster) Stats() ([]ServerStats, error) {
-	var out []ServerStats
-	for _, addr := range c.ServerAddrs() {
-		resp, err := c.Transport.Call(addr, "Stats", nil)
-		if err != nil {
-			out = append(out, ServerStats{Addr: addr, Dead: true})
-			continue
-		}
-		var r statsResp
-		if err := dec(resp, &r); err != nil {
-			return nil, err
-		}
-		out = append(out, ServerStats{
-			Addr: addr, Models: r.Models, Partitions: r.Partitions, Bytes: r.Bytes,
-			MutApplied: r.MutApplied, MutReplayed: r.MutReplayed,
-			MutReplicated: r.MutReplicated, ReplDropped: r.ReplDropped, Replicas: r.Replicas,
-		})
-	}
-	return out, nil
+	return queryServerStats(c.Transport, c.ServerAddrs())
 }
 
 // FailoverStats fetches the master's failover counters.

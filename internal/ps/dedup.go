@@ -32,6 +32,7 @@ package ps
 // everything else. See DESIGN.md section 9.
 
 import (
+	crand "crypto/rand"
 	"encoding/binary"
 	"errors"
 	"sync"
@@ -71,8 +72,25 @@ var dedupWindowSize atomic.Int64
 
 func init() { dedupWindowSize.Store(4096) }
 
-// nextClientID hands out process-unique client ids.
+// nextClientID hands out client ids that are unique across processes,
+// not just within one. A multi-process deployment runs one PS agent per
+// executor process; if every process counted up from zero, two agents
+// in different processes would both mint clientID 1 and share a dedup
+// window on the servers — one client's fresh mutation could be
+// swallowed as a "replay" of the other's. Seeding the counter with a
+// random 63-bit base keeps sequential draws unique within a process
+// while making a cross-process collision require two bases within
+// #clients of each other (~2^-40 for realistic client counts).
 var nextClientID atomic.Uint64
+
+func init() {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		// Shift keeps the base clear of the top bit so billions of
+		// sequential draws cannot wrap uint64 into another base's range.
+		nextClientID.Store(binary.LittleEndian.Uint64(b[:]) >> 1)
+	}
+}
 
 // wrapDedup prepends the tagSeq envelope to payload in a pooled buffer;
 // release it with putBuf after the call completes. A positive epoch

@@ -351,8 +351,14 @@ func (m *Master) failoverServer(deadAddr string) int {
 		// partitions still mapped to deadAddr (the promoted ones moved).
 		if err := m.recoverServer(deadAddr); err == nil {
 			m.mu.Lock()
-			delete(m.dead, deadAddr)
-			m.leases[deadAddr] = time.Now()
+			// Only an in-place restart brings the ADDRESS back to life;
+			// the reassignment path (no restart hook) moved the orphans
+			// elsewhere and the address stays dead until the relaunched
+			// process re-registers it.
+			if m.restart != nil {
+				delete(m.dead, deadAddr)
+				m.leases[deadAddr] = time.Now()
+			}
 			m.recoveries++
 			m.mu.Unlock()
 			mtrace("failover %s: orphaned partitions restored from checkpoints", deadAddr)

@@ -1,0 +1,101 @@
+package ps
+
+// Join/rejoin helpers for deployments where master, servers, and
+// executors live in SEPARATE processes. In-process clusters wire a
+// server straight into the master (cluster.go); a standalone server
+// process instead races the master's startup and must retry its
+// registration, and driver processes need RPC-level access to the
+// stats the in-process harness reads off struct fields.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"psgraph/internal/rpc"
+)
+
+// JoinMaster registers srv with the master at masterAddr, retrying
+// with capped backoff until timeout while the master is still coming
+// up (or is mid-failover), then wires the server's outbound transport
+// and — when hb > 0 — starts its heartbeat loop. It is the
+// cross-process equivalent of Cluster.wireServer + RegisterServer, and
+// it is also the REJOIN path: a crash-restarted server process calls
+// it again under its old address, and the master's RegisterServer
+// clears the dead mark and re-points replication around it.
+func JoinMaster(tr rpc.Transport, masterAddr string, srv *Server, hb, lease, timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	backoff := 5 * time.Millisecond
+	body := enc(registerServerReq{Addr: srv.Addr})
+	for {
+		_, err := tr.Call(masterAddr, "RegisterServer", body)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, rpc.ErrUnreachable) {
+			return fmt.Errorf("ps: register %s with master %s: %w", srv.Addr, masterAddr, err)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("ps: master %s unreachable for %v registering %s: %w", masterAddr, timeout, srv.Addr, err)
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > 250*time.Millisecond {
+			backoff = 250 * time.Millisecond
+		}
+	}
+	out := tr
+	if cv, ok := tr.(interface{ Caller(string) rpc.Transport }); ok {
+		out = cv.Caller(srv.Addr)
+	}
+	srv.SetOutbound(out)
+	if hb > 0 {
+		srv.StartHeartbeat(masterAddr, hb, lease)
+	}
+	return nil
+}
+
+// queryServerStats sweeps the Stats RPC over addrs. An unreachable
+// server is reported with Dead=true rather than aborting the sweep —
+// during a failover some endpoints are expected to be gone.
+func queryServerStats(tr rpc.Transport, addrs []string) ([]ServerStats, error) {
+	var out []ServerStats
+	for _, addr := range addrs {
+		resp, err := tr.Call(addr, "Stats", nil)
+		if err != nil {
+			out = append(out, ServerStats{Addr: addr, Dead: true})
+			continue
+		}
+		var r statsResp
+		if err := dec(resp, &r); err != nil {
+			return nil, err
+		}
+		out = append(out, ServerStats{
+			Addr: addr, Models: r.Models, Partitions: r.Partitions, Bytes: r.Bytes,
+			MutApplied: r.MutApplied, MutReplayed: r.MutReplayed,
+			MutReplicated: r.MutReplicated, ReplDropped: r.ReplDropped, Replicas: r.Replicas,
+		})
+	}
+	return out, nil
+}
+
+// ServerStats queries the Stats RPC of each given server endpoint.
+// Unreachable servers come back with Dead=true. This is how a driver
+// process audits applied==sent against servers it does not host.
+func (c *Client) ServerStats(addrs []string) ([]ServerStats, error) {
+	return queryServerStats(c.tr, addrs)
+}
+
+// FailoverStats fetches the master's failover counters over RPC —
+// the driver-process view of Cluster.FailoverStats.
+func (c *Client) FailoverStats() (FailoverStats, error) {
+	resp, err := c.call(c.masterAddr, "FailoverStats", nil)
+	if err != nil {
+		return FailoverStats{}, err
+	}
+	var st FailoverStats
+	err = dec(resp, &st)
+	return st, err
+}

@@ -154,19 +154,9 @@ func (m *Master) dispatch(method string, body []byte) ([]byte, error) {
 		if err := dec(body, &req); err != nil {
 			return nil, err
 		}
-		m.mu.Lock()
-		m.servers = append(m.servers, req.Addr)
-		// A returning server starts with a clean slate: if it was drained
-		// out before, registering again opts it back into placements.
-		delete(m.drained, req.Addr)
-		// Seed the lease of a late-registered server (mirroring what
-		// EnableLeases does for pre-registered ones): without an entry the
-		// checker would skip it, and a server whose heartbeats never arrive
-		// would silently escape lease-based failure detection.
-		if m.stopLeases != nil {
-			m.leases[req.Addr] = time.Now()
+		if err := m.registerServer(req.Addr); err != nil {
+			return nil, err
 		}
-		m.mu.Unlock()
 		return nil, nil
 	case "CreateModel":
 		var req createModelReq
@@ -718,17 +708,35 @@ func (m *Master) CheckServers() []string {
 func (m *Master) recoverServer(addr string) error {
 	m.mu.Lock()
 	restart := m.restart
+	m.mu.Unlock()
+	if restart == nil {
+		// No restart hook means the master cannot exec the dead server
+		// back into existence — the multi-process deployment, where an
+		// external supervisor owns the process table. Recover by moving
+		// the dead address's partitions onto the survivors instead; the
+		// relaunched process rejoins empty via RegisterServer later.
+		return m.reassignDead(addr)
+	}
+	if err := restart(addr); err != nil {
+		return fmt.Errorf("ps: restart %s: %w", addr, err)
+	}
+	return m.restoreForServer(addr)
+}
+
+// restoreForServer restores every partition mapped to addr from the
+// latest CRC-checked checkpoints onto the (empty) process now serving
+// that address, falling back to the previous generation when the latest
+// is torn. Checkpoint manifests whose partition table predates the
+// current layout are adopted first, in which case EVERY partition of
+// the model comes back from the manifest's table — never a mix of two
+// layouts. Caller holds recMu.
+func (m *Master) restoreForServer(addr string) error {
+	m.mu.Lock()
 	models := make([]ModelMeta, 0, len(m.models))
 	for _, meta := range m.models {
 		models = append(models, meta)
 	}
 	m.mu.Unlock()
-	if restart == nil {
-		return fmt.Errorf("ps: no restart function configured")
-	}
-	if err := restart(addr); err != nil {
-		return fmt.Errorf("ps: restart %s: %w", addr, err)
-	}
 	for _, meta := range models {
 		only := addr
 		if adopted, changed := m.adoptManifest(meta); changed {
@@ -751,6 +759,179 @@ func (m *Master) recoverServer(addr string) error {
 			return err
 		}
 		mtrace("recover: restored %s for %s", meta.Name, addr)
+	}
+	return nil
+}
+
+// registerServer is the join AND rejoin path. A new address joins the
+// ring; a re-registration of an address the master had declared dead is
+// the crash-restart rejoin (clear the mark, reseed replication around
+// it). The subtle case is a re-registration of an address the master
+// still believes is ALIVE: the process behind it crashed and was
+// relaunched faster than failure detection could notice, so the new
+// incarnation is empty while the layout still routes its old partitions
+// to it. The master must run the same ladder a lease expiry would —
+// promote those partitions onto their backups (replicated mode) or
+// restore them from checkpoints onto the relaunched process (checkpoint
+// mode) — BEFORE welcoming the address back, or every push to those
+// partitions would chase a layout that points at empty state forever.
+func (m *Master) registerServer(addr string) error {
+	m.mu.Lock()
+	known := false
+	for _, s := range m.servers {
+		if s == addr {
+			known = true
+			break
+		}
+	}
+	wasDead := m.dead[addr]
+	replicate := m.replicate
+	fs := m.fs
+	m.mu.Unlock()
+
+	if known && !wasDead {
+		if replicate {
+			// failoverServer is idempotent against the lease checker racing
+			// this same conclusion: whoever marks the address dead first
+			// runs the promotions, the other is a no-op.
+			m.failoverServer(addr)
+			wasDead = true
+		} else if fs != nil {
+			m.recMu.Lock()
+			err := m.restoreForServer(addr)
+			m.recMu.Unlock()
+			if err != nil {
+				return fmt.Errorf("ps: restore rejoined %s: %w", addr, err)
+			}
+		}
+	}
+
+	m.mu.Lock()
+	// A crash-restarted process re-registers under the address it
+	// already holds; appending blindly would double-count it in every
+	// ring walk and placement round-robin.
+	if !known {
+		dup := false
+		for _, s := range m.servers {
+			if s == addr {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			m.servers = append(m.servers, addr)
+		}
+	}
+	// A returning server starts with a clean slate: if it was drained
+	// out before, registering again opts it back into placements, and
+	// if it was declared dead by a lease expiry or probe, registration
+	// IS the rejoin — the relaunched process has a fresh engine and a
+	// live listener, so it goes back into the ring.
+	delete(m.drained, addr)
+	delete(m.dead, addr)
+	// Seed the lease of a late-registered server (mirroring what
+	// EnableLeases does for pre-registered ones): without an entry the
+	// checker would skip it, and a server whose heartbeats never arrive
+	// would silently escape lease-based failure detection.
+	if m.stopLeases != nil {
+		m.leases[addr] = time.Now()
+	}
+	m.mu.Unlock()
+	// Under replication the ring just changed shape: re-point backups
+	// so the joiner both protects its ring-next and is protected. The
+	// reseed is the same background ladder a failover uses, so a rejoin
+	// mid-promotion serializes behind it instead of racing it.
+	if replicate && (wasDead || !known) {
+		m.kickReseed()
+	}
+	return nil
+}
+
+// reassignDead recovers the partitions of a dead server without
+// restarting it: the dead address's partitions are re-placed
+// round-robin across the surviving ring and restored there from the
+// latest CRC-checked checkpoints (previous generation if the latest is
+// torn). Used when no restart hook is configured — a real crashed
+// process can only be relaunched by an external supervisor, and it
+// rejoins under RegisterServer with a fresh engine, so waiting for an
+// in-place restart would stall recovery forever. Checkpoint manifests
+// are NOT adopted here: a manifest records the partition table of
+// checkpoint time, which still names the dead address. Callers hold
+// recMu (both call sites — CheckServers and the failover orphan path —
+// already do), so reassignment never interleaves with a checkpoint.
+func (m *Master) reassignDead(deadAddr string) error {
+	m.mu.Lock()
+	m.dead[deadAddr] = true
+	ring := m.liveRingLocked()
+	if len(ring) == 0 {
+		m.mu.Unlock()
+		return fmt.Errorf("ps: no live servers left to take over partitions of %s", deadAddr)
+	}
+	m.epoch++
+	epoch := m.epoch
+	type job struct {
+		meta  ModelMeta
+		moved map[int]bool
+	}
+	var jobs []job
+	rr := 0
+	for name, meta := range m.models {
+		parts := append([]Partition(nil), meta.Parts...)
+		moved := map[int]bool{}
+		changed := false
+		for i := range parts {
+			switch {
+			case parts[i].Server == deadAddr:
+				parts[i].Server = ring[rr%len(ring)]
+				rr++
+				parts[i].Backup = ""
+				moved[parts[i].Index] = true
+				changed = true
+			case parts[i].Backup == deadAddr:
+				parts[i].Backup = ""
+				changed = true
+			}
+		}
+		if changed {
+			meta.Parts = parts
+			meta.Epoch = epoch
+			m.models[name] = meta
+		}
+		if len(moved) > 0 {
+			jobs = append(jobs, job{meta: m.models[name], moved: moved})
+		}
+	}
+	m.mu.Unlock()
+	for _, j := range jobs {
+		err := m.restorePartSet(j.meta, j.moved, false)
+		if err != nil && isCorruptCheckpointErr(err) {
+			// Same fencing rule as recoverServer: a torn latest generation
+			// rolls the WHOLE model to the previous one, never a mix.
+			mtrace("reassign: %s latest checkpoint corrupt (%v), using previous generation", j.meta.Name, err)
+			err = m.restorePartSet(j.meta, nil, true)
+		}
+		if err != nil {
+			return err
+		}
+		mtrace("reassign: restored %s partitions of %s across %d survivors", j.meta.Name, deadAddr, len(ring))
+	}
+	return nil
+}
+
+// restorePartSet restores the partitions of meta whose Index is in set
+// (nil means all; ConsistentRecovery models always restore whole) from
+// the checkpoint generation selected by prev. The restore lands on the
+// partition's CURRENT server per meta — which is how a reassigned
+// partition comes back on its new home.
+func (m *Master) restorePartSet(meta ModelMeta, set map[int]bool, prev bool) error {
+	for _, p := range meta.Parts {
+		if set != nil && !set[p.Index] && !meta.ConsistentRecovery {
+			continue
+		}
+		body := enc(restoreReq{Meta: meta, Part: p.Index, Prev: prev})
+		if _, err := m.callWithRetry(p.Server, "Restore", body); err != nil {
+			return fmt.Errorf("ps: restore %s/%d on %s: %w", meta.Name, p.Index, p.Server, err)
+		}
 	}
 	return nil
 }

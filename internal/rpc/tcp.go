@@ -102,7 +102,13 @@ type TCP struct {
 	mu        sync.Mutex
 	listeners map[string]net.Listener
 	pools     map[string]chan *tcpConn
-	closed    bool
+	// accepted tracks the server-side connections of each listener.
+	// Deregister and Close sever them along with the listener itself:
+	// without this, a "restarted" endpoint would keep serving requests on
+	// connections accepted by its previous incarnation, which no real
+	// process restart can do.
+	accepted map[string]map[net.Conn]struct{}
+	closed   bool
 }
 
 // NewTCP returns a TCP transport.
@@ -110,6 +116,7 @@ func NewTCP() *TCP {
 	return &TCP{
 		listeners: make(map[string]net.Listener),
 		pools:     make(map[string]chan *tcpConn),
+		accepted:  make(map[string]map[net.Conn]struct{}),
 	}
 }
 
@@ -125,7 +132,7 @@ func (t *TCP) Listen(h Handler) (string, error) {
 	t.mu.Lock()
 	t.listeners[addr] = ln
 	t.mu.Unlock()
-	go t.serve(ln, h)
+	go t.serve(addr, ln, h)
 	return addr, nil
 }
 
@@ -140,8 +147,12 @@ func (t *TCP) Register(addr string, h Handler) error {
 		old.Close()
 	}
 	t.listeners[addr] = ln
+	for c := range t.accepted[addr] {
+		c.Close()
+	}
+	delete(t.accepted, addr)
 	t.mu.Unlock()
-	go t.serve(ln, h)
+	go t.serve(addr, ln, h)
 	return nil
 }
 
@@ -153,6 +164,10 @@ func (t *TCP) Deregister(addr string) {
 		ln.Close()
 		delete(t.listeners, addr)
 	}
+	for c := range t.accepted[addr] {
+		c.Close()
+	}
+	delete(t.accepted, addr)
 	if pool, ok := t.pools[addr]; ok {
 		close(pool)
 		for c := range pool {
@@ -162,13 +177,44 @@ func (t *TCP) Deregister(addr string) {
 	}
 }
 
-func (t *TCP) serve(ln net.Listener, h Handler) {
+// trackAccepted records a server-side connection under its listener so a
+// later Deregister/Close severs it. Returns false when the endpoint was
+// deregistered between Accept and here (the conn is closed instead).
+func (t *TCP) trackAccepted(addr string, c net.Conn) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.listeners[addr]; !ok || t.closed {
+		c.Close()
+		return false
+	}
+	set := t.accepted[addr]
+	if set == nil {
+		set = make(map[net.Conn]struct{})
+		t.accepted[addr] = set
+	}
+	set[c] = struct{}{}
+	return true
+}
+
+func (t *TCP) untrackAccepted(addr string, c net.Conn) {
+	t.mu.Lock()
+	if set, ok := t.accepted[addr]; ok {
+		delete(set, c)
+	}
+	t.mu.Unlock()
+}
+
+func (t *TCP) serve(addr string, ln net.Listener, h Handler) {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			return
 		}
+		if !t.trackAccepted(addr, conn) {
+			continue
+		}
 		go func(c net.Conn) {
+			defer t.untrackAccepted(addr, c)
 			defer c.Close()
 			tc := newTCPConn(c)
 			var head []byte
@@ -207,11 +253,15 @@ func (t *TCP) serve(ln net.Listener, h Handler) {
 	}
 }
 
-func (t *TCP) getConn(addr string) (*tcpConn, error) {
+// getConn pops a pooled connection to addr or dials a fresh one. pooled
+// reports which: a pooled conn may have died with the peer process while
+// idle, and Call treats its first-reuse write failure as retryable by
+// transparently redialing.
+func (t *TCP) getConn(addr string) (c *tcpConn, pooled bool, err error) {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
-		return nil, errors.New("rpc: transport closed")
+		return nil, false, errors.New("rpc: transport closed")
 	}
 	pool, ok := t.pools[addr]
 	if !ok {
@@ -222,10 +272,15 @@ func (t *TCP) getConn(addr string) (*tcpConn, error) {
 	select {
 	case c, ok := <-pool:
 		if ok && c != nil {
-			return c, nil
+			return c, true, nil
 		}
 	default:
 	}
+	c, err = t.dial(addr)
+	return c, false, err
+}
+
+func (t *TCP) dial(addr string) (*tcpConn, error) {
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
@@ -278,7 +333,7 @@ func (t *TCP) putConn(addr string, c *tcpConn) {
 // Call implements Transport. The returned body is owned by the caller
 // (it is a sub-slice of a pooled frame no longer referenced here).
 func (t *TCP) Call(addr, method string, body []byte) ([]byte, error) {
-	c, err := t.getConn(addr)
+	c, pooled, err := t.getConn(addr)
 	if err != nil {
 		return nil, err
 	}
@@ -286,6 +341,20 @@ func (t *TCP) Call(addr, method string, body []byte) ([]byte, error) {
 	head = binary.AppendUvarint(head, uint64(len(method)))
 	head = append(head, method...)
 	werr := writeFrame(c.bw, head, body)
+	if werr != nil && pooled {
+		// The conn died idle in the pool — the usual sign the peer process
+		// exited (and possibly restarted) since it was pooled. A failed
+		// write means no complete frame reached any handler, so redialing
+		// and resending is invisible to the caller; without this, the first
+		// call after a peer restart burns an error on every pooled conn.
+		c.conn.Close()
+		t.evictConns(addr)
+		if c, err = t.dial(addr); err != nil {
+			putFrame(head)
+			return nil, err
+		}
+		werr = writeFrame(c.bw, head, body)
+	}
 	putFrame(head)
 	if werr != nil {
 		// A reset between connect and write is retryable: the request may
@@ -331,6 +400,12 @@ func (t *TCP) Close() error {
 	for addr, ln := range t.listeners {
 		ln.Close()
 		delete(t.listeners, addr)
+	}
+	for addr, set := range t.accepted {
+		for c := range set {
+			c.Close()
+		}
+		delete(t.accepted, addr)
 	}
 	for addr, pool := range t.pools {
 		close(pool)

@@ -1,0 +1,148 @@
+package rpc
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPooledConnAfterPeerRestart pools a connection to a live endpoint,
+// "kills" the peer (listener and its accepted connections are severed,
+// as a process exit would), restarts a fresh handler on the same port,
+// and calls again. The first reuse of the stale pooled conn must never
+// surface a non-retryable error — a write failure redials transparently,
+// a read failure classifies as ErrUnreachable — and the pool must be
+// evicted so a follow-up call reaches the restarted listener.
+func TestPooledConnAfterPeerRestart(t *testing.T) {
+	server := NewTCP()
+	defer server.Close()
+	client := NewTCP()
+	defer client.Close()
+
+	var gen1, gen2 atomic.Int64
+	addr, err := server.Listen(func(method string, body []byte) ([]byte, error) {
+		gen1.Add(1)
+		return []byte("one"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := client.Call(addr, "Echo", nil); err != nil || string(resp) != "one" {
+		t.Fatalf("first call: resp=%q err=%v", resp, err)
+	}
+
+	// Peer process dies: the listener and every accepted conn go away.
+	server.Deregister(addr)
+	// Peer restarts on the same address with a new handler generation.
+	if err := server.Register(addr, func(method string, body []byte) ([]byte, error) {
+		gen2.Add(1)
+		return []byte("two"), nil
+	}); err != nil {
+		t.Fatalf("restart listener on %s: %v", addr, err)
+	}
+
+	// Depending on whether the stale conn's death is seen at write or at
+	// read time, the first reuse either succeeds via the transparent
+	// redial or fails retryably. It must never fail non-retryably, and
+	// the restarted handler must be reachable within a few attempts.
+	var resp []byte
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err = client.Call(addr, "Echo", nil)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrUnreachable) {
+			t.Fatalf("first reuse after peer restart: non-retryable error %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted listener never reachable: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if string(resp) != "two" {
+		t.Fatalf("call after restart answered by old handler: resp=%q", resp)
+	}
+	if gen2.Load() == 0 {
+		t.Fatal("restarted handler never ran")
+	}
+	if old := gen1.Load(); old != 1 {
+		t.Fatalf("pre-restart handler ran %d times, want exactly 1 (severed conns must not keep serving)", old)
+	}
+}
+
+// TestPooledConnWriteFailureRedials forces the deterministic half of the
+// restart contract: a pooled conn whose socket is already dead fails the
+// first write of its reuse, and Call must redial and complete with no
+// error at all (no complete frame reached any handler, so the resend is
+// invisible).
+func TestPooledConnWriteFailureRedials(t *testing.T) {
+	server := NewTCP()
+	defer server.Close()
+	client := NewTCP()
+	defer client.Close()
+
+	addr, err := server.Listen(func(method string, body []byte) ([]byte, error) {
+		return append([]byte(nil), body...), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Call(addr, "Echo", []byte("warm")); err != nil {
+		t.Fatalf("warm-up call: %v", err)
+	}
+
+	// Kill the pooled conn's socket in place, then return it to the pool:
+	// the next Call pops a conn whose write fails immediately.
+	client.mu.Lock()
+	pool := client.pools[addr]
+	client.mu.Unlock()
+	select {
+	case c := <-pool:
+		c.conn.Close()
+		pool <- c
+	default:
+		t.Fatal("no pooled conn after warm-up call")
+	}
+
+	resp, err := client.Call(addr, "Echo", []byte("after"))
+	if err != nil {
+		t.Fatalf("reuse of dead pooled conn surfaced an error: %v", err)
+	}
+	if string(resp) != "after" {
+		t.Fatalf("resp = %q, want %q", resp, "after")
+	}
+}
+
+// TestDeregisterSeversAcceptedConns verifies that deregistering an
+// endpoint closes its accepted server-side connections, not only the
+// listener — otherwise an in-test "restart" leaves the old handler
+// serving pooled conns forever, which no real process death allows.
+func TestDeregisterSeversAcceptedConns(t *testing.T) {
+	server := NewTCP()
+	defer server.Close()
+	client := NewTCP()
+	defer client.Close()
+
+	addr, err := server.Listen(func(method string, body []byte) ([]byte, error) {
+		return []byte("ok"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Call(addr, "Ping", nil); err != nil {
+		t.Fatal(err)
+	}
+	server.Deregister(addr)
+
+	// Every attempt must now fail retryably: the pooled conn was severed
+	// server-side and nothing listens on the port.
+	for i := 0; i < 3; i++ {
+		if _, err := client.Call(addr, "Ping", nil); err == nil {
+			t.Fatalf("call %d after Deregister succeeded — accepted conn still serving", i)
+		} else if !errors.Is(err, ErrUnreachable) {
+			t.Fatalf("call %d after Deregister: non-retryable error %v", i, err)
+		}
+	}
+}
