@@ -25,6 +25,7 @@ func RunProcess(cfg Config) *Report {
 	return runPhases(cfg, []func(Config) PhaseResult{
 		ProcessKillPromotion,
 		ProcessCheckpointRejoin,
+		ProcessMasterKill,
 	})
 }
 
@@ -161,6 +162,153 @@ func ProcessKillPromotion(cfg Config) PhaseResult {
 		return failf(r, "kill -9 produced no promotion (%s)", r.Detail)
 	case applied != r.Sent:
 		return failf(r, "applied != sent across a real process death (%s)", r.Detail)
+	case int64(mass+0.5) != acked:
+		return failf(r, "component-0 mass %.0f != acked %d — lost updates (%s)", mass, acked, r.Detail)
+	}
+	r.Pass = true
+	return r
+}
+
+// ProcessMasterKill is the master crash-restart phase: the real master
+// PID is shot with kill -9 while both executors are mid-stream, then
+// relaunched under its old address. The new process must replay the
+// metadata WAL before listening — layouts, membership and the epoch
+// high-water mark all come back — and the startup grace window must
+// keep the replayed (nominally expired) leases from mass-failing-over
+// servers that are alive and re-heartbeating. The audit, from this
+// driver process: zero spurious promotions, epoch monotonicity across
+// the restart, applied == sent and mass == acked (no lost updates).
+func ProcessMasterKill(cfg Config) PhaseResult {
+	r := PhaseResult{Name: "proc-master-kill"}
+	pushes := 250
+	if cfg.Short {
+		pushes = 120
+	}
+	pc, err := cluster.StartCluster(cluster.Config{
+		Servers:   2,
+		Executors: 2,
+		Replicate: true,
+		Lease:     250 * time.Millisecond,
+	})
+	if err != nil {
+		if errors.Is(err, cluster.ErrConstrained) {
+			return skipf(r, err)
+		}
+		return failf(r, "start cluster: %v", err)
+	}
+	defer pc.Close()
+
+	cl := pc.NewClient()
+	const rows = 256
+	if _, err := cl.CreateEmbedding(ps.EmbeddingSpec{Name: "proc-mha", Dim: 8, Partitions: 4}); err != nil {
+		return failf(r, "create: %v", err)
+	}
+	// Bump the epoch past zero pre-kill so the monotonicity assertion has
+	// teeth: a restarted master that lost the high-water mark would come
+	// back at a LOWER epoch and fence every post-restart layout as stale.
+	if err := cl.SplitPartition("proc-mha", 0, ""); err != nil {
+		return failf(r, "pre-kill split: %v", err)
+	}
+	foPre, err := cl.FailoverStats()
+	if err != nil {
+		return failf(r, "pre-kill stats: %v", err)
+	}
+	if foPre.Epoch == 0 {
+		return failf(r, "pre-kill epoch still zero after a split")
+	}
+
+	execs := pc.Executors()
+	resps := make([]cluster.LoadResp, len(execs))
+	errs := make([]error, len(execs))
+	var wg sync.WaitGroup
+	for i, p := range execs {
+		wg.Add(1)
+		go func(i int, p *cluster.Proc) {
+			defer wg.Done()
+			resps[i], errs[i] = pc.RunLoad(p, cluster.LoadReq{
+				Model: "proc-mha", Rows: rows, Dim: 8,
+				Pushes: pushes, Batch: 8, Seed: cfg.Seed + int64(i), ThinkMicros: 2000,
+			})
+		}(i, p)
+	}
+
+	time.Sleep(100 * time.Millisecond)
+	pc.KillMaster()
+	t0 := time.Now()
+	if _, err := pc.RestartMaster(); err != nil {
+		return failf(r, "master crash-restart: %v", err)
+	}
+	readyMillis := float64(time.Since(t0)) / float64(time.Millisecond)
+
+	wg.Wait()
+	var acked, sent, retried, failed int64
+	for i := range execs {
+		if errs[i] != nil {
+			return failf(r, "executor %d load: %v", i, errs[i])
+		}
+		acked += resps[i].Acked
+		sent += resps[i].Sent
+		retried += resps[i].Retried
+		failed += resps[i].Failed
+	}
+	// Fresh client against the restarted master: the replayed metadata,
+	// not a cached layout, must carry the whole audit.
+	cl2 := pc.NewClient()
+	fo, err := cl2.FailoverStats()
+	if err != nil {
+		return failf(r, "post-restart stats: %v", err)
+	}
+	meta, err := cl2.GetModel("proc-mha")
+	if err != nil {
+		return failf(r, "GetModel after restart: %v", err)
+	}
+	dSent, _ := cl.MutationStats()
+	stats, err := cl2.ServerStats(pc.LiveServerAddrs())
+	if err != nil {
+		return failf(r, "server stats: %v", err)
+	}
+	var applied int64
+	for _, s := range stats {
+		if s.Dead {
+			return failf(r, "server %s unreachable after master restart", s.Addr)
+		}
+		applied += s.MutApplied
+	}
+	emb2, err := cl2.Embedding("proc-mha")
+	if err != nil {
+		return failf(r, "embedding handle after restart: %v", err)
+	}
+	ids := make([]int64, rows)
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	final, err := emb2.Pull(ids)
+	if err != nil {
+		return failf(r, "final pull: %v", err)
+	}
+	var mass float64
+	for _, vec := range final {
+		mass += vec[0]
+	}
+
+	r.Applied, r.Sent, r.Replayed = applied, sent+dSent, 0
+	r.Detail = fmt.Sprintf("killed -9 master mid-stream; ready=%.0fms epoch %d->%d acked=%d applied=%d sent=%d retried=%d promotions=%d mass=%.0f",
+		readyMillis, foPre.Epoch, fo.Epoch, acked, applied, r.Sent, retried, fo.Promotions, mass)
+	switch {
+	case failed != 0:
+		return failf(r, "%d pushes failed outright across the master outage (%s)", failed, r.Detail)
+	case acked == 0:
+		return failf(r, "no load was applied (%s)", r.Detail)
+	case fo.Epoch < foPre.Epoch:
+		return failf(r, "epoch went BACKWARD across the restart: stale layouts possible (%s)", r.Detail)
+	case meta.Epoch < foPre.Epoch:
+		return failf(r, "restarted master published layout at stale epoch %d < %d (%s)", meta.Epoch, foPre.Epoch, r.Detail)
+	case len(meta.Parts) != 5:
+		return failf(r, "replayed layout has %d partitions, want the post-split 5 (%s)", len(meta.Parts), r.Detail)
+	case fo.Promotions != 0:
+		return failf(r, "grace window failed: restart promoted partitions off live servers (%s)", r.Detail)
+	case applied != r.Sent:
+		return failf(r, "applied != sent across the master death (%s)", r.Detail)
 	case int64(mass+0.5) != acked:
 		return failf(r, "component-0 mass %.0f != acked %d — lost updates (%s)", mass, acked, r.Detail)
 	}

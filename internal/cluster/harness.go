@@ -323,6 +323,40 @@ func (c *ProcCluster) RestartServer(dead *Proc) (*Proc, error) {
 	return p, nil
 }
 
+// KillMaster delivers SIGKILL to the master process — the metadata-WAL
+// crash the fenced-recovery path exists for — and returns the reaped
+// Proc for a later RestartMaster.
+func (c *ProcCluster) KillMaster() *Proc {
+	m := c.Master
+	c.Kill9(m)
+	return m
+}
+
+// RestartMaster relaunches the master under its OLD address after a
+// KillMaster/Stop: the new process replays the metadata WAL from the
+// shared DFS before listening, so servers (which keep heartbeating the
+// address) and clients (which retry-backoff against it) reconnect to a
+// master that already knows the fleet and every layout. The old process
+// must already be reaped.
+func (c *ProcCluster) RestartMaster() (*Proc, error) {
+	old := c.Master
+	if old.Alive() {
+		return nil, fmt.Errorf("cluster: master %s still running", old.Name)
+	}
+	c.mu.Lock()
+	c.nextID++
+	name := fmt.Sprintf("master-r%d", c.nextID)
+	c.mu.Unlock()
+	p, err := c.launch(RoleMaster, name, old.Addr)
+	if err != nil {
+		return nil, err
+	}
+	// Same address, fresh process. Swapped after the health probe so a
+	// concurrent NewClient never targets a half-started master.
+	c.Master = p
+	return p, nil
+}
+
 // StartExecutor launches one more executor agent process.
 func (c *ProcCluster) StartExecutor() (*Proc, error) {
 	c.mu.Lock()

@@ -85,10 +85,22 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	}
 
 	var inner rpc.Handler
+	var masterRecovered bool
 	switch cfg.Role {
 	case RoleMaster:
 		n.Master = ps.NewMaster("", n.Transport)
 		n.Master.SetFS(fs)
+		if cfg.DFSDir != "" {
+			// Journal every metadata transition to the shared DFS and, on a
+			// crash-restart, replay it BEFORE the listener comes up: replay
+			// is pure filesystem + memory work, so doing it here means no
+			// client can ever observe the pre-replay empty state. Memory-FS
+			// masters skip the WAL — it would die with the process anyway.
+			if masterRecovered, err = n.Master.EnableWAL(); err != nil {
+				n.Transport.Close()
+				return nil, err
+			}
+		}
 		inner = n.Master.Handle
 	case RoleServer:
 		if cfg.MasterAddr == "" {
@@ -138,6 +150,15 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		}
 		if cfg.Replicate {
 			n.Master.SetReplication(true)
+			if masterRecovered {
+				// The WAL replayed every lease as nominally expired. Give the
+				// fleet a grace window — a few heartbeat intervals — to
+				// re-announce before the lease checker may treat that silence
+				// as death, or the restart itself would mass-fail-over every
+				// server it just recovered. StartGrace must precede
+				// EnableLeases so no checker tick runs ungated.
+				n.Master.StartGrace(2 * cfg.Lease)
+			}
 			n.Master.EnableLeases(cfg.Lease)
 		}
 		if cfg.Monitor > 0 {

@@ -339,6 +339,23 @@ func (s *SSPClock) Tick() error {
 	return s.c.invoke(s.c.masterAddr, "ClockWait", req, &resp)
 }
 
+// Readvance republishes the worker's cached clock without incrementing
+// it or waiting. Clock rings live only in master memory — they are NOT
+// journaled to the metadata WAL — so a restarted master rebuilds them
+// from the clients: advance auto-creates the ring and max-merges the
+// absolute value, which makes Readvance idempotent and safe to call on
+// every master reconnect (or eagerly after a suspected restart). A
+// worker that never calls it still resynchronizes on its next Tick; the
+// only cost is one window of extra staleness.
+func (s *SSPClock) Readvance() error {
+	if s.clock == 0 {
+		return nil
+	}
+	req := clockReq{Tag: s.tag, Worker: s.worker, Expect: s.expect, K: s.k, Clock: s.clock, LeaseNS: int64(s.lease)}
+	var resp clockResp
+	return s.c.invoke(s.c.masterAddr, "ClockAdvance", req, &resp)
+}
+
 // Retire releases this worker's slot; the ring no longer counts it in the
 // minimum.
 func (s *SSPClock) Retire() error {

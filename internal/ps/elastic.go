@@ -410,6 +410,7 @@ func (m *Master) rollbackPart(model string, prev Partition, addedID int) {
 	sortParts(parts)
 	meta.Parts = parts
 	m.models[model] = meta
+	m.journalModelLocked(meta)
 }
 
 // splitOne splits partition id of model at its range midpoint, homing
@@ -456,6 +457,7 @@ func (m *Master) splitOne(model string, id int, dest string) error {
 	meta.Parts = parts
 	meta.Epoch = epoch
 	m.models[model] = meta
+	m.journalModelLocked(meta)
 	m.mu.Unlock()
 	mtrace("split %s/%d at %d -> new part %d on %s, epoch -> %d", model, id, mid, newID, dest, epoch)
 
@@ -507,6 +509,7 @@ func (m *Master) moveOne(model string, id int, dest string) error {
 	meta.Parts = parts
 	meta.Epoch = epoch
 	m.models[model] = meta
+	m.journalModelLocked(meta)
 	m.mu.Unlock()
 	mtrace("move %s/%d: %s -> %s, epoch -> %d", model, id, src.Server, dest, epoch)
 
@@ -568,6 +571,7 @@ func (m *Master) DrainServer(addr string) error {
 		m.drained = make(map[string]bool)
 	}
 	m.drained[addr] = true
+	m.journalStateLocked()
 	type mv struct {
 		model string
 		part  int
@@ -585,6 +589,7 @@ func (m *Master) DrainServer(addr string) error {
 		if err := m.moveOne(v.model, v.part, ""); err != nil {
 			m.mu.Lock()
 			delete(m.drained, addr)
+			m.journalStateLocked()
 			m.mu.Unlock()
 			return fmt.Errorf("ps: drain %s: %w", addr, err)
 		}
@@ -885,6 +890,7 @@ func (m *Master) adoptManifest(meta ModelMeta) (ModelMeta, bool) {
 	adopted.Epoch = m.epoch
 	epoch := m.epoch
 	m.models[meta.Name] = adopted
+	m.journalModelLocked(adopted)
 	m.mu.Unlock()
 	mtrace("restore %s: adopted checkpoint layout (%d parts, epoch -> %d)", meta.Name, len(adopted.Parts), epoch)
 	for _, p := range strays {

@@ -186,6 +186,7 @@ func (m *Master) heartbeat(req heartbeatReq) heartbeatResp {
 			if changed {
 				meta.Parts = parts
 				m.models[name] = meta
+				m.journalModelLocked(meta)
 			}
 		}
 	}
@@ -260,6 +261,14 @@ func (m *Master) StopLeases() {
 func (m *Master) checkLeases() {
 	now := time.Now()
 	m.mu.Lock()
+	if now.Before(m.graceUntil) {
+		// Post-restart grace window (masterwal.go): every replayed lease
+		// is nominally expired, but that is the restart's silence, not the
+		// servers'. Give the fleet one heartbeat interval to re-announce
+		// before expiry means death.
+		m.mu.Unlock()
+		return
+	}
 	var expired []string
 	for _, s := range m.servers {
 		if m.dead[s] {
@@ -334,9 +343,11 @@ func (m *Master) failoverServer(deadAddr string) int {
 			meta.Parts = parts
 			meta.Epoch = epoch
 			m.models[name] = meta
+			m.journalModelLocked(meta)
 		}
 	}
 	m.promotions += int64(len(promos))
+	m.journalStateLocked()
 	m.mu.Unlock()
 	mtrace("failover %s: epoch -> %d, promoting %d partitions", deadAddr, epoch, len(promos))
 	for _, p := range promos {
@@ -360,6 +371,7 @@ func (m *Master) failoverServer(deadAddr string) int {
 				m.leases[deadAddr] = time.Now()
 			}
 			m.recoveries++
+			m.journalStateLocked()
 			m.mu.Unlock()
 			mtrace("failover %s: orphaned partitions restored from checkpoints", deadAddr)
 		} else {
@@ -453,6 +465,7 @@ func (m *Master) reseed() {
 				meta.Parts[slot].Backup = sd.backup
 				m.models[sd.meta.Name] = meta
 				m.reseeds++
+				m.journalModelLocked(meta)
 			}
 		}
 		m.mu.Unlock()

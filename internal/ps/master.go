@@ -75,6 +75,12 @@ type Master struct {
 	serveOpts    ServeOptions
 	serveLayouts map[string]ServeLayout
 
+	// Durable-metadata state (masterwal.go): the open metadata WAL (nil
+	// until EnableWAL) and the end of the post-restart grace window
+	// during which expired leases do not trigger failover.
+	wal        *dfs.WAL
+	graceUntil time.Time
+
 	// dedup replays retried control-plane mutations (CreateModel, Barrier,
 	// Checkpoint...) from their cached acks — the same exactly-once window
 	// the servers keep for pushes. Barrier especially: a retried arrival
@@ -370,6 +376,7 @@ func (m *Master) createModel(meta ModelMeta) (ModelMeta, error) {
 	}
 	m.mu.Lock()
 	m.models[meta.Name] = meta
+	m.journalModelLocked(meta)
 	fs := m.fs
 	m.mu.Unlock()
 	if fs != nil {
@@ -385,6 +392,9 @@ func (m *Master) deleteModel(name string) error {
 	_, ok := m.models[name]
 	delete(m.models, name)
 	delete(m.serveLayouts, name)
+	if ok {
+		m.journalModelDeleteLocked(name)
+	}
 	// Broadcast to every live server, not only the primaries: with
 	// replication on, backups hold replica partitions of the model too.
 	servers := m.liveRingLocked()
@@ -699,6 +709,7 @@ func (m *Master) CheckServers() []string {
 	if len(recovered) > 0 {
 		m.mu.Lock()
 		m.recoveries++
+		m.journalStateLocked()
 		mtrace("recoveries -> %d", m.recoveries)
 		m.mu.Unlock()
 	}
@@ -836,6 +847,7 @@ func (m *Master) registerServer(addr string) error {
 	if m.stopLeases != nil {
 		m.leases[addr] = time.Now()
 	}
+	m.journalStateLocked()
 	m.mu.Unlock()
 	// Under replication the ring just changed shape: re-point backups
 	// so the joiner both protects its ring-next and is protected. The
@@ -896,11 +908,13 @@ func (m *Master) reassignDead(deadAddr string) error {
 			meta.Parts = parts
 			meta.Epoch = epoch
 			m.models[name] = meta
+			m.journalModelLocked(meta)
 		}
 		if len(moved) > 0 {
 			jobs = append(jobs, job{meta: m.models[name], moved: moved})
 		}
 	}
+	m.journalStateLocked()
 	m.mu.Unlock()
 	for _, j := range jobs {
 		err := m.restorePartSet(j.meta, j.moved, false)

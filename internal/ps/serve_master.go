@@ -172,6 +172,7 @@ func (m *Master) publishSnapshotLocked(model string) (ServeLayout, error) {
 		m.serveLayouts = make(map[string]ServeLayout)
 	}
 	m.serveLayouts[model] = sl
+	m.journalServeLocked(sl)
 	fs := m.fs
 	m.mu.Unlock()
 	if fs != nil {

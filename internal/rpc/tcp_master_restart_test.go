@@ -1,0 +1,91 @@
+package rpc
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMasterRestartEvictsPooledConns is the master crash-restart shape
+// of the pool contract: several client transports (the driver, a probe,
+// executor agents) each hold a pooled connection to the master address;
+// the master process dies and the address goes DARK for a while — no
+// listener at all, unlike an instant in-place restart — then a new
+// incarnation binds the same address. During the dark window every reuse
+// of a stale pooled conn must fail retryably (ErrUnreachable — the
+// ps.Client's retry-backoff rides on that classification); after the
+// relaunch every client must evict/redial onto the new incarnation, and
+// the dead incarnation's handler must never run again.
+func TestMasterRestartEvictsPooledConns(t *testing.T) {
+	master := NewTCP()
+	defer master.Close()
+	clients := []*TCP{NewTCP(), NewTCP(), NewTCP()}
+	for _, c := range clients {
+		defer c.Close()
+	}
+
+	var gen1, gen2 atomic.Int64
+	addr, err := master.Listen(func(method string, body []byte) ([]byte, error) {
+		gen1.Add(1)
+		return []byte("old-master"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every client pools a conn to the live master first, so the restart
+	// below is exercised against warm pools, not fresh dials.
+	for i, c := range clients {
+		if resp, err := c.Call(addr, "Ping", nil); err != nil || string(resp) != "old-master" {
+			t.Fatalf("client %d warm-up: resp=%q err=%v", i, resp, err)
+		}
+	}
+
+	// kill -9: listener and accepted conns die, and the address stays
+	// dark — the harness relaunch takes real time (WAL replay, bind).
+	master.Deregister(addr)
+	for i, c := range clients {
+		for attempt := 0; attempt < 3; attempt++ {
+			if _, err := c.Call(addr, "Ping", nil); err == nil {
+				t.Fatalf("client %d call %d during the dark window succeeded", i, attempt)
+			} else if !errors.Is(err, ErrUnreachable) {
+				t.Fatalf("client %d call %d during the dark window: non-retryable %v", i, attempt, err)
+			}
+		}
+	}
+
+	// The new incarnation binds the OLD address, exactly as
+	// RestartMaster relaunches psnode with -addr <old>.
+	if err := master.Register(addr, func(method string, body []byte) ([]byte, error) {
+		gen2.Add(1)
+		return []byte("new-master"), nil
+	}); err != nil {
+		t.Fatalf("rebind master address %s: %v", addr, err)
+	}
+	for i, c := range clients {
+		var resp []byte
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			resp, err = c.Call(addr, "Ping", nil)
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, ErrUnreachable) {
+				t.Fatalf("client %d after relaunch: non-retryable %v", i, err)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("client %d never reached the relaunched master: %v", i, err)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if string(resp) != "new-master" {
+			t.Fatalf("client %d answered by the dead incarnation: resp=%q", i, resp)
+		}
+	}
+	if gen2.Load() < int64(len(clients)) {
+		t.Fatalf("new incarnation served %d calls, want >= %d (one per client)", gen2.Load(), len(clients))
+	}
+	if old := gen1.Load(); old != int64(len(clients)) {
+		t.Fatalf("dead incarnation served %d calls, want exactly the %d warm-ups", old, len(clients))
+	}
+}
